@@ -1,0 +1,48 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench prints the corresponding paper table/figure as text on stdout
+// with a paper-vs-measured column where the paper reports numbers. The
+// BRO_SCALE environment variable (default 0.25) scales matrix dimensions;
+// BRO_SCALE=1 reproduces paper-size matrices.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/matrix.h"
+#include "gpusim/device.h"
+#include "kernels/sim_spmv.h"
+#include "sparse/convert.h"
+#include "sparse/matgen/suite.h"
+#include "sparse/stats.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace bro::bench {
+
+inline std::vector<value_t> random_x(index_t n, std::uint64_t seed = 2013) {
+  Rng rng(seed);
+  std::vector<value_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform() * 2 - 1;
+  return x;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "Reproduces: " << paper_ref << "\n"
+            << "Matrix scale factor (BRO_SCALE): " << bench_scale() << "\n\n";
+}
+
+/// Geometric mean helper for "average speedup" rows (the paper averages
+/// per-matrix speedups).
+inline double geomean(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  double log_sum = 0;
+  for (const double x : v) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+} // namespace bro::bench

@@ -1,0 +1,44 @@
+// Figure 4: BRO-ELL vs ELLPACK vs ELLPACK-R across Test Set 1 on all three
+// GPUs. The paper reports average BRO-ELL speedups over ELLPACK of 1.5x
+// (C2070), 1.6x (GTX680) and 1.4x (K20), and 13% over ELLPACK-R on average.
+#include "bench_common.h"
+
+int main() {
+  using namespace bro;
+  bench::print_header("Figure 4: BRO-ELL vs ELLPACK vs ELLPACK-R",
+                      "Fig. 4 (Test Set 1, GFlop/s per device)");
+
+  for (const auto& dev : sim::all_devices()) {
+    std::cout << dev.name << ":\n";
+    Table t({"Matrix", "ELLPACK", "ELLPACK-R", "BRO-ELL", "speedup vs ELL",
+             "speedup vs ELL-R"});
+    std::vector<double> vs_ell, vs_ellr;
+    for (const auto& e : sparse::suite_test_set(1)) {
+      const sparse::Csr m = sparse::generate_suite_matrix(e, bench_scale());
+      const auto x = bench::random_x(m.cols);
+      const sparse::Ell ell = sparse::csr_to_ell(m);
+
+      const auto r_ell = kernels::sim_spmv_ell(dev, ell, x);
+      const auto r_ellr =
+          kernels::sim_spmv_ellr(dev, sparse::csr_to_ellr(m), x);
+      const auto r_bro =
+          kernels::sim_spmv_bro_ell(dev, core::BroEll::compress(ell), x);
+
+      const double s1 = r_bro.time.gflops / r_ell.time.gflops;
+      const double s2 = r_bro.time.gflops / r_ellr.time.gflops;
+      vs_ell.push_back(s1);
+      vs_ellr.push_back(s2);
+      t.add_row({e.name, Table::fmt(r_ell.time.gflops, 2),
+                 Table::fmt(r_ellr.time.gflops, 2),
+                 Table::fmt(r_bro.time.gflops, 2), Table::fmt(s1, 2) + "x",
+                 Table::fmt(s2, 2) + "x"});
+    }
+    t.print(std::cout);
+    std::cout << "Average speedup vs ELLPACK: "
+              << Table::fmt(bench::geomean(vs_ell), 2) << "x   vs ELLPACK-R: "
+              << Table::fmt(bench::geomean(vs_ellr), 2) << "x\n";
+    std::cout << "Paper: 1.5x / 1.6x / 1.4x vs ELLPACK on C2070 / GTX680 / "
+                 "K20; +13% vs ELLPACK-R on average.\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Model breakdown: where the simulated time goes, per format, on one
+// representative matrix — DRAM traffic decomposition, cache hit rates, and
+// the memory/compute roofline split. This is the diagnostic view behind
+// EXPERIMENTS.md's analysis.
+#include "bench_common.h"
+
+#include "sparse/convert.h"
+
+namespace {
+
+void report(const char* label, const bro::kernels::SimResult& r) {
+  using bro::Table;
+  const auto& s = r.stats;
+  const double tex_total = double(s.tex_hits + s.tex_misses);
+  const double l2_total = double(s.l2_hits + s.l2_misses);
+  std::cout << "  " << label << ": " << Table::fmt(r.time.gflops, 2)
+            << " GFlop/s, " << s.dram_bytes() / 1024 << " KiB DRAM ("
+            << (r.time.memory_bound ? "memory" : "compute") << "-bound; mem "
+            << Table::fmt(r.time.mem_seconds * 1e6, 1) << " us vs compute "
+            << Table::fmt(r.time.compute_seconds * 1e6, 1) << " us)\n"
+            << "      tex hit "
+            << Table::pct(tex_total > 0 ? s.tex_hits / tex_total : 0)
+            << ", L2 hit "
+            << Table::pct(l2_total > 0 ? s.l2_hits / l2_total : 0)
+            << ", " << s.mem_transactions << " transactions over "
+            << s.warp_loads << " warp loads ("
+            << Table::fmt(s.warp_loads > 0
+                              ? double(s.mem_transactions) / double(s.warp_loads)
+                              : 0, 2)
+            << " per load)\n";
+}
+
+} // namespace
+
+int main() {
+  using namespace bro;
+  bench::print_header("Model breakdown on Tesla K20",
+                      "diagnostic (EXPERIMENTS.md analysis view)");
+
+  const auto dev = sim::tesla_k20();
+  for (const char* name : {"cant", "mc2depi", "webbase-1M"}) {
+    const auto entry = sparse::find_suite_entry(name);
+    const sparse::Csr m = sparse::generate_suite_matrix(*entry, bench_scale());
+    const auto x = bench::random_x(m.cols);
+    std::cout << name << " (" << m.nnz() << " nnz):\n";
+
+    const bool ell_ok = static_cast<double>(m.rows) * m.max_row_length() <=
+                        3.0 * static_cast<double>(m.nnz());
+    if (ell_ok) {
+      const sparse::Ell ell = sparse::csr_to_ell(m);
+      report("ELLPACK ", kernels::sim_spmv_ell(dev, ell, x));
+      report("BRO-ELL ", kernels::sim_spmv_bro_ell(
+                             dev, core::BroEll::compress(ell), x));
+    }
+    const sparse::Coo coo = sparse::csr_to_coo(m);
+    report("COO     ", kernels::sim_spmv_coo(dev, coo, x));
+    report("BRO-HYB ", kernels::sim_spmv_bro_hyb(
+                           dev, core::BroHyb::compress(m), x));
+    std::cout << '\n';
+  }
+  std::cout << "Reading guide: BRO variants shrink DRAM KiB (index traffic) "
+               "while adding compute microseconds (decode); the format wins "
+               "where the first effect dominates.\n";
+  return 0;
+}

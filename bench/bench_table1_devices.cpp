@@ -1,0 +1,34 @@
+// Table 1: specifications of the GPUs used in the evaluation study.
+#include "bench_common.h"
+
+int main() {
+  using namespace bro;
+  bench::print_header("Table 1: GPU specifications",
+                      "Table 1 (paper page 5) — device models used by the "
+                      "analytic simulator");
+
+  Table t({"Specification", "Tesla C2070", "GTX680", "Tesla K20"});
+  const auto& d = sim::all_devices();
+  t.add_row({"Compute capability", Table::fmt(d[0].compute_capability, 1),
+             Table::fmt(d[1].compute_capability, 1),
+             Table::fmt(d[2].compute_capability, 1)});
+  t.add_row({"Cores", std::to_string(d[0].sm_count * d[0].cores_per_sm),
+             std::to_string(d[1].sm_count * d[1].cores_per_sm),
+             std::to_string(d[2].sm_count * d[2].cores_per_sm)});
+  t.add_row({"Mem. BW (GB/s)", Table::fmt(d[0].peak_bw_gbps, 1),
+             Table::fmt(d[1].peak_bw_gbps, 1), Table::fmt(d[2].peak_bw_gbps, 1)});
+  t.add_row({"DP perf. (GFlop/s)", Table::fmt(d[0].dp_gflops, 0),
+             Table::fmt(d[1].dp_gflops, 0), Table::fmt(d[2].dp_gflops, 0)});
+  t.add_row({"Measured BW (GB/s, paper 4.1)", Table::fmt(d[0].measured_bw_gbps, 0),
+             Table::fmt(d[1].measured_bw_gbps, 0),
+             Table::fmt(d[2].measured_bw_gbps, 0)});
+  t.add_row({"SMs x cores/SM",
+             std::to_string(d[0].sm_count) + " x " + std::to_string(d[0].cores_per_sm),
+             std::to_string(d[1].sm_count) + " x " + std::to_string(d[1].cores_per_sm),
+             std::to_string(d[2].sm_count) + " x " + std::to_string(d[2].cores_per_sm)});
+  t.print(std::cout);
+
+  std::cout << "\nPaper values: 448 / 1536 / 2496 cores; 144 / 192.3 / 208 "
+               "GB/s; 515 / 129 / 1170 DP GFlop/s.\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Table 3: space savings (eta) achieved by BRO-ELL index compression on the
+// sixteen Test Set 1 matrices, vs the paper's published savings.
+#include "bench_common.h"
+
+int main() {
+  using namespace bro;
+  bench::print_header("Table 3: BRO-ELL index space savings",
+                      "Table 3 (Test Set 1, eta = 1 - C/O)");
+
+  Table t({"Matrix", "eta measured", "eta paper", "kappa (ratio)"});
+  double sum_meas = 0, sum_paper = 0;
+  int n = 0;
+  for (const auto& e : sparse::suite_test_set(1)) {
+    const sparse::Csr m = sparse::generate_suite_matrix(e, bench_scale());
+    const core::BroEll bro =
+        core::BroEll::compress(sparse::csr_to_ell(m));
+    const auto s = core::make_savings(bro.original_index_bytes(),
+                                      bro.compressed_index_bytes());
+    t.add_row({e.name, Table::pct(s.eta()), Table::pct(e.paper_eta_broell),
+               Table::fmt(s.kappa(), 2) + "x"});
+    sum_meas += s.eta();
+    sum_paper += e.paper_eta_broell;
+    ++n;
+  }
+  t.print(std::cout);
+  std::cout << "\nMean eta: measured " << Table::pct(sum_meas / n)
+            << " vs paper " << Table::pct(sum_paper / n) << '\n';
+  return 0;
+}

@@ -1,0 +1,156 @@
+// CUDA kernels for the BRO formats — Algorithm 1 of the paper, transcribed
+// against the wire formats defined in docs/FORMATS.md. Not compiled in the
+// default (GPU-less) build; see cuda/README.md.
+#include <cstdint>
+
+#include "bro_kernels.cuh"
+
+namespace bro::cuda {
+
+namespace {
+
+constexpr unsigned kFullMask = 0xffffffffu;
+
+} // namespace
+
+// One block per slice, one thread per slice row (blockDim.x == slice height
+// h). Warp-uniform control flow: bit_alloc is identical across the block, so
+// every thread's remaining-bit counter rb evolves identically and the symbol
+// loads below are taken (or skipped) by all threads together.
+__global__ void bro_ell_spmv_kernel(
+    const std::uint32_t* __restrict__ comp_str, // all slices, concatenated
+    const std::uint64_t* __restrict__ slice_sym_off, // per-slice symbol base
+    const std::uint8_t* __restrict__ bit_alloc,      // concatenated widths
+    const std::uint64_t* __restrict__ bit_alloc_off, // per-slice base
+    const int* __restrict__ num_col,                 // l_s per slice
+    const double* __restrict__ vals,                 // column-major m x k
+    const double* __restrict__ x, double* __restrict__ y, int rows) {
+  const int slice = static_cast<int>(blockIdx.x);
+  const int t = static_cast<int>(threadIdx.x);
+  const int row = slice * static_cast<int>(blockDim.x) + t;
+  if (row >= rows) return;
+
+  const std::uint64_t sym_base = slice_sym_off[slice];
+  const std::uint8_t* ba = bit_alloc + bit_alloc_off[slice];
+  const int l = num_col[slice];
+  const int h = static_cast<int>(blockDim.x);
+
+  // Algorithm 1 state. The buffer is kept left-aligned in a 64-bit register
+  // so a 32-bit width never shifts by >= 64.
+  std::uint64_t sym = 0;
+  int rb = 0;
+  int loads = 0;
+  int col = -1;
+  double sum = 0.0;
+
+  for (int c = 0; c < l; ++c) {
+    const int b = ba[c];
+    std::uint32_t decoded;
+    if (b <= rb) {
+      decoded = static_cast<std::uint32_t>(sym >> (64 - b));
+      sym <<= b;
+      rb -= b;
+    } else {
+      decoded = rb > 0 ? static_cast<std::uint32_t>(sym >> (64 - rb)) : 0u;
+      const int low = b - rb;
+      const std::uint64_t fresh =
+          static_cast<std::uint64_t>(
+              __ldg(comp_str + sym_base +
+                    static_cast<std::uint64_t>(loads) * h + t))
+          << 32; // left-align the 32-bit symbol
+      ++loads;
+      decoded = (decoded << low) |
+                static_cast<std::uint32_t>(fresh >> (64 - low));
+      sym = fresh << low;
+      rb = 32 - low;
+    }
+    if (decoded != 0u) { // 0 = padding sentinel
+      col += static_cast<int>(decoded);
+      sum += vals[static_cast<std::size_t>(c) * rows + row] * __ldg(x + col);
+    }
+  }
+  y[row] = sum;
+}
+
+// Bell & Garland ELLPACK baseline: thread per row, column-major arrays.
+__global__ void ell_spmv_kernel(const int* __restrict__ col_idx,
+                                const double* __restrict__ vals,
+                                const double* __restrict__ x,
+                                double* __restrict__ y, int rows, int width) {
+  const int row = static_cast<int>(blockIdx.x * blockDim.x + threadIdx.x);
+  if (row >= rows) return;
+  double sum = 0.0;
+  for (int j = 0; j < width; ++j) {
+    const int c = col_idx[static_cast<std::size_t>(j) * rows + row];
+    if (c >= 0) sum += vals[static_cast<std::size_t>(j) * rows + row] *
+                       __ldg(x + c);
+  }
+  y[row] = sum;
+}
+
+// BRO-COO: one warp per interval (fixed bit width per interval); the
+// interval's lane-j entries are base + c*32 + j. Products are combined with
+// a warp segmented reduction keyed on the decoded row index; boundary sums
+// are added to y with atomics (the per-warp carry pass of the paper's
+// implementation is folded into atomics here for simplicity).
+__global__ void bro_coo_spmv_kernel(
+    const std::uint32_t* __restrict__ comp_str,
+    const std::uint64_t* __restrict__ interval_sym_off,
+    const int* __restrict__ interval_bits,
+    const int* __restrict__ interval_start_row,
+    const int* __restrict__ col_idx, const double* __restrict__ vals,
+    const double* __restrict__ x, double* __restrict__ y,
+    long long padded_nnz, int interval_cols) {
+  const int warp_in_block = static_cast<int>(threadIdx.x) >> 5;
+  const int lane = static_cast<int>(threadIdx.x) & 31;
+  const long long interval =
+      static_cast<long long>(blockIdx.x) * (blockDim.x >> 5) + warp_in_block;
+  const long long base = interval * 32ll * interval_cols;
+  if (base >= padded_nnz) return;
+
+  const int b = interval_bits[interval];
+  const std::uint64_t sym_base = interval_sym_off[interval];
+  std::uint64_t sym = 0;
+  int rb = 0;
+  int loads = 0;
+  int row = interval_start_row[interval];
+
+  for (int c = 0; c < interval_cols; ++c) {
+    std::uint32_t d;
+    if (b <= rb) {
+      d = static_cast<std::uint32_t>(sym >> (64 - b));
+      sym <<= b;
+      rb -= b;
+    } else {
+      d = rb > 0 ? static_cast<std::uint32_t>(sym >> (64 - rb)) : 0u;
+      const int low = b - rb;
+      const std::uint64_t fresh =
+          static_cast<std::uint64_t>(
+              __ldg(comp_str + sym_base +
+                    static_cast<std::uint64_t>(loads) * 32 + lane))
+          << 32;
+      ++loads;
+      d = (d << low) | static_cast<std::uint32_t>(fresh >> (64 - low));
+      sym = fresh << low;
+      rb = 32 - low;
+    }
+    row += static_cast<int>(d);
+
+    const long long e = base + static_cast<long long>(c) * 32 + lane;
+    const double prod = vals[e] * __ldg(x + col_idx[e]);
+
+    // Head-segmented inclusive sum over the warp: lane l accumulates
+    // products from lanes <= l that share its row.
+    double acc = prod;
+    for (int off = 1; off < 32; off <<= 1) {
+      const double up = __shfl_up_sync(kFullMask, acc, off);
+      const int up_row = __shfl_up_sync(kFullMask, row, off);
+      if (lane >= off && up_row == row) acc += up;
+    }
+    const int next_row = __shfl_down_sync(kFullMask, row, 1);
+    const bool segment_end = (lane == 31) || (next_row != row);
+    if (segment_end) atomicAdd(y + row, acc);
+  }
+}
+
+} // namespace bro::cuda

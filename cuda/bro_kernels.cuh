@@ -1,0 +1,24 @@
+// Declarations for the optional CUDA backend (see cuda/README.md).
+#pragma once
+
+#include <cstdint>
+
+namespace bro::cuda {
+
+__global__ void bro_ell_spmv_kernel(
+    const std::uint32_t* comp_str, const std::uint64_t* slice_sym_off,
+    const std::uint8_t* bit_alloc, const std::uint64_t* bit_alloc_off,
+    const int* num_col, const double* vals, const double* x, double* y,
+    int rows);
+
+__global__ void ell_spmv_kernel(const int* col_idx, const double* vals,
+                                const double* x, double* y, int rows,
+                                int width);
+
+__global__ void bro_coo_spmv_kernel(
+    const std::uint32_t* comp_str, const std::uint64_t* interval_sym_off,
+    const int* interval_bits, const int* interval_start_row,
+    const int* col_idx, const double* vals, const double* x, double* y,
+    long long padded_nnz, int interval_cols);
+
+} // namespace bro::cuda

@@ -1,0 +1,89 @@
+// format_explorer: given a matrix (a .mtx file or a named suite matrix),
+// print its statistics, the space savings every BRO format achieves, and the
+// simulated SpMV performance of every format on the three paper GPUs —
+// a practical "which format should I use?" tool.
+//
+// Run:  ./build/examples/format_explorer cant
+//       ./build/examples/format_explorer path/to/matrix.mtx [scale]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/matrix.h"
+#include "kernels/sim_spmv.h"
+#include "sparse/convert.h"
+#include "sparse/matgen/suite.h"
+#include "sparse/mmio.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace bro;
+
+  const std::string name = argc > 1 ? argv[1] : "cant";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.125;
+
+  sparse::Csr csr;
+  if (const auto entry = sparse::find_suite_entry(name)) {
+    std::cout << "Suite matrix '" << name << "' at scale " << scale << "\n";
+    csr = sparse::generate_suite_matrix(*entry, scale);
+  } else {
+    std::cout << "Matrix Market file " << name << "\n";
+    csr = sparse::coo_to_csr(sparse::read_matrix_market_file(name));
+  }
+  const core::Matrix m = core::Matrix::from_csr(std::move(csr));
+
+  const auto stats = m.stats();
+  std::cout << "  " << m.rows() << " x " << m.cols() << ", " << m.nnz()
+            << " non-zeros; row length mean " << stats.mean_row_length
+            << ", sigma " << stats.stddev_row_length << ", max "
+            << stats.max_row_length << "\n\n";
+
+  const bool ell_viable = m.auto_format() == core::Format::kBroEll;
+  std::cout << "Recommended format: " << core::format_name(m.auto_format())
+            << (ell_viable ? " (regular rows)\n"
+                           : " (row-length variance too high for ELLPACK)\n");
+
+  const auto savings = m.savings();
+  std::cout << "Index compression: " << savings.eta() * 100 << "% saved ("
+            << savings.kappa() << "x)\n\n";
+
+  Rng rng(1);
+  std::vector<value_t> x(static_cast<std::size_t>(m.cols()));
+  for (auto& v : x) v = rng.uniform();
+
+  Table t({"Format", "C2070 GFlop/s", "GTX680 GFlop/s", "K20 GFlop/s"});
+  const auto add = [&](const char* label, auto&& run) {
+    std::vector<std::string> row = {label};
+    for (const auto& dev : sim::all_devices())
+      row.push_back(Table::fmt(run(dev).time.gflops, 2));
+    t.add_row(std::move(row));
+  };
+
+  const sparse::Coo coo = m.coo();
+  add("COO", [&](const auto& d) { return kernels::sim_spmv_coo(d, coo, x); });
+  add("BRO-COO", [&](const auto& d) {
+    return kernels::sim_spmv_bro_coo(
+        d, core::BroCoo::compress(coo, kernels::bro_coo_options_for(coo.nnz(), d)),
+        x);
+  });
+  if (ell_viable) {
+    add("ELLPACK",
+        [&](const auto& d) { return kernels::sim_spmv_ell(d, m.ell(), x); });
+    add("ELLPACK-R",
+        [&](const auto& d) { return kernels::sim_spmv_ellr(d, m.ellr(), x); });
+    add("BRO-ELL", [&](const auto& d) {
+      return kernels::sim_spmv_bro_ell(d, m.bro_ell(), x);
+    });
+  }
+  add("HYB", [&](const auto& d) { return kernels::sim_spmv_hyb(d, m.hyb(), x); });
+  add("BRO-HYB", [&](const auto& d) {
+    return kernels::sim_spmv_bro_hyb(d, m.bro_hyb(), x);
+  });
+  t.print(std::cout);
+
+  std::cout << "\n(Performance numbers are from the analytic GPU simulator "
+               "described in DESIGN.md.)\n";
+  return 0;
+}

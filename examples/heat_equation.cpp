@@ -1,0 +1,84 @@
+// heat_equation: a transient PDE solve — the workload class where offline
+// compression amortizes perfectly. Backward-Euler time stepping for the 2-D
+// heat equation u_t = laplace(u): every step solves (I + dt*L) u_next = u
+// with CG, and every CG iteration is one SpMV on the *same* matrix. The
+// matrix is compressed once; thousands of SpMVs reuse the streams.
+//
+// Run:  ./build/examples/heat_equation [grid_side] [steps]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/matrix.h"
+#include "solver/cg.h"
+#include "sparse/convert.h"
+#include "sparse/matgen/generators.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace bro;
+
+  const index_t side = argc > 1 ? std::atoi(argv[1]) : 128;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 20;
+  const double dt = 2.0; // in units of h^2 (backward Euler is stable for any dt)
+
+  // System matrix A = I + dt * L, with L the 5-point Laplacian.
+  sparse::Csr lap = sparse::generate_poisson2d(side, side);
+  for (index_t r = 0; r < lap.rows; ++r)
+    for (index_t p = lap.row_ptr[r]; p < lap.row_ptr[r + 1]; ++p)
+      lap.vals[p] = dt * lap.vals[p] + (lap.col_idx[p] == r ? 1.0 : 0.0);
+
+  Timer compress_timer;
+  const core::Matrix a = core::Matrix::from_csr(std::move(lap));
+  const auto& bro_format = a.bro_ell(); // force compression now
+  const double compress_s = compress_timer.seconds();
+  (void)bro_format;
+
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  std::cout << "Heat equation on a " << side << " x " << side
+            << " grid, backward Euler, " << steps << " steps\n"
+            << "Matrix compressed once in " << compress_s << " s ("
+            << a.space_savings() * 100 << "% index savings)\n\n";
+
+  // Initial condition: a hot square in the centre.
+  std::vector<value_t> u(n, 0.0);
+  for (index_t yy = side / 3; yy < 2 * side / 3; ++yy)
+    for (index_t xx = side / 3; xx < 2 * side / 3; ++xx)
+      u[static_cast<std::size_t>(yy) * side + xx] = 1.0;
+
+  const solver::Operator op = [&](std::span<const value_t> in,
+                                  std::span<value_t> out) { a.spmv(in, out); };
+
+  Timer solve_timer;
+  int total_iters = 0;
+  double heat0 = 0;
+  for (const auto v : u) heat0 += v;
+  for (int s = 0; s < steps; ++s) {
+    std::vector<value_t> rhs = u;
+    solver::SolveOptions opts;
+    opts.tolerance = 1e-10;
+    opts.max_iterations = 2000;
+    const auto res = solver::cg(op, rhs, u, opts);
+    if (!res.converged) {
+      std::cerr << "step " << s << ": CG failed to converge\n";
+      return 1;
+    }
+    total_iters += res.iterations;
+  }
+  const double solve_s = solve_timer.seconds();
+
+  double heat1 = 0, peak = 0;
+  for (const auto v : u) {
+    heat1 += v;
+    peak = std::max(peak, v);
+  }
+  std::cout << "Ran " << steps << " implicit steps, " << total_iters
+            << " CG iterations (= SpMVs) in " << solve_s << " s\n"
+            << "Total heat " << heat0 << " -> " << heat1
+            << " (conserved up to boundary loss), peak " << peak << "\n"
+            << "Compression cost amortized over " << total_iters
+            << " SpMVs: " << compress_s / total_iters * 1e6
+            << " us per SpMV — negligible against the per-SpMV runtime.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// reorder_study: the §3.4 story on one matrix — how BRO-aware reordering
+// (BAR) compares with RCM and AMD for the BRO-ELL format. Prints the
+// Eqn. (1) objective, the achieved index compression and the simulated K20
+// performance under each ordering.
+//
+// Run:  ./build/examples/reorder_study [suite-matrix] [scale]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/bar.h"
+#include "core/bro_ell.h"
+#include "kernels/sim_spmv.h"
+#include "reorder/amd.h"
+#include "reorder/permutation.h"
+#include "reorder/rcm.h"
+#include "sparse/convert.h"
+#include "sparse/matgen/suite.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace bro;
+
+  const std::string name = argc > 1 ? argv[1] : "lhr71";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.125;
+  const auto entry = sparse::find_suite_entry(name);
+  if (!entry) {
+    std::cerr << "unknown suite matrix '" << name << "'\n";
+    return 1;
+  }
+  const sparse::Csr m = sparse::generate_suite_matrix(*entry, scale);
+  std::cout << "Matrix " << name << " at scale " << scale << ": " << m.rows
+            << " rows, " << m.nnz() << " non-zeros\n\n";
+
+  Rng rng(3);
+  std::vector<value_t> x(static_cast<std::size_t>(m.cols));
+  for (auto& v : x) v = rng.uniform();
+  const auto dev = sim::tesla_k20();
+
+  core::BarOptions bopts;
+  bopts.max_candidates = 32;
+
+  const auto evaluate = [&](const sparse::Csr& mat) {
+    const core::BroEll bro = core::BroEll::compress(sparse::csr_to_ell(mat));
+    const double eta =
+        1.0 - static_cast<double>(bro.compressed_index_bytes()) /
+                  static_cast<double>(bro.original_index_bytes());
+    const double gflops = kernels::sim_spmv_bro_ell(dev, bro, x).time.gflops;
+    std::vector<index_t> identity(static_cast<std::size_t>(mat.rows));
+    for (index_t i = 0; i < mat.rows; ++i) identity[static_cast<std::size_t>(i)] = i;
+    const double obj = core::bar_objective(mat, identity, bopts);
+    return std::tuple{eta, gflops, obj};
+  };
+
+  Table t({"Ordering", "eta", "K20 GFlop/s", "Eqn.(1) objective"});
+  const auto add = [&](const char* label, const sparse::Csr& mat) {
+    const auto [eta, gflops, obj] = evaluate(mat);
+    t.add_row({label, Table::pct(eta), Table::fmt(gflops, 2),
+               Table::fmt(obj, 0)});
+  };
+
+  add("original", m);
+
+  const auto bar = core::bar_reorder(m, bopts);
+  add("BAR (Algorithm 2)", reorder::permute_rows(m, bar.permutation));
+
+  if (m.rows == m.cols) {
+    add("RCM", reorder::permute_rows(m, reorder::rcm_order(m)));
+    add("AMD", reorder::permute_rows(m, reorder::amd_order(m)));
+  }
+  t.print(std::cout);
+
+  std::cout << "\nBAR minimizes Eqn. (1) — bit-packed index transactions plus "
+               "x-vector cache lines — so it is the only ordering here that "
+               "targets the compressed format directly.\n";
+  return 0;
+}

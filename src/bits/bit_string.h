@@ -1,0 +1,76 @@
+// BitString: an append-only big-endian bit string plus a matching reader.
+//
+// The BRO formats treat each matrix row's compressed indices as one long bit
+// string: values are appended MSB-first, then the string is chopped into
+// sym_len-bit symbols (Algorithm 1 consumes bits from the top of the symbol
+// buffer via `decoded = sym[0:b]; sym <<= b`). BitString implements exactly
+// that bit order so the packer and the GPU-style decoder agree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace bro::bits {
+
+class BitString {
+ public:
+  BitString() = default;
+
+  /// Append the low `nbits` bits of `value`, most significant bit first.
+  /// nbits must be in [0, 64] and value must fit in nbits bits.
+  void append(std::uint64_t value, int nbits);
+
+  /// Total number of bits appended so far.
+  std::size_t size_bits() const { return size_bits_; }
+
+  /// Pad with zero bits so that `multiple` divides size_bits().
+  /// Returns the number of padding bits added.
+  int pad_to_multiple(int multiple);
+
+  /// Extract the symbol of width `sym_len` starting at bit `sym_len * index`.
+  /// The symbol is returned right-aligned (low sym_len bits). Bits beyond
+  /// size_bits() read as zero.
+  std::uint64_t symbol(std::size_t index, int sym_len) const;
+
+  /// Number of sym_len-wide symbols needed to hold the string.
+  std::size_t symbol_count(int sym_len) const {
+    return (size_bits_ + static_cast<std::size_t>(sym_len) - 1) /
+           static_cast<std::size_t>(sym_len);
+  }
+
+  /// Read back `nbits` bits starting at `bit_pos` (MSB-first order).
+  std::uint64_t peek(std::size_t bit_pos, int nbits) const;
+
+  // Serialization access: the raw word storage (big-endian bit order within
+  // each word) and reconstruction from it.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  static BitString from_words(std::vector<std::uint64_t> words,
+                              std::size_t size_bits);
+
+ private:
+  std::vector<std::uint64_t> words_; // big-endian bit order within each word
+  std::size_t size_bits_ = 0;
+};
+
+/// Sequential reader over a BitString (host-side verification path).
+class BitStringReader {
+ public:
+  explicit BitStringReader(const BitString& s) : s_(&s) {}
+
+  std::uint64_t read(int nbits) {
+    const std::uint64_t v = s_->peek(pos_, nbits);
+    pos_ += static_cast<std::size_t>(nbits);
+    return v;
+  }
+
+  std::size_t position() const { return pos_; }
+  bool exhausted() const { return pos_ >= s_->size_bits(); }
+
+ private:
+  const BitString* s_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace bro::bits

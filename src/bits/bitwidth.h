@@ -1,0 +1,33 @@
+// Bit-width helpers: the Γ(u) function of the paper (number of bits required
+// to represent an unsigned integer) and related utilities.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace bro::bits {
+
+/// Γ(u): number of bits required to pack the unsigned integer u.
+/// Γ(0) = 0, Γ(1) = 1, Γ(2) = 2, Γ(3) = 2, Γ(4) = 3, ...
+constexpr int bit_width_of(std::uint64_t u) {
+  return u == 0 ? 0 : 64 - std::countl_zero(u);
+}
+
+/// Largest value representable in `b` bits (b in [0, 64]).
+constexpr std::uint64_t max_value_for_bits(int b) {
+  return b >= 64 ? ~0ull : (b <= 0 ? 0ull : ((1ull << b) - 1));
+}
+
+/// Zigzag map for signed deltas (extension; the paper's deltas are
+/// non-negative, but reordering experiments may produce signed gaps).
+constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t zigzag_decode(std::uint64_t u) {
+  return static_cast<std::int64_t>(u >> 1) ^
+         -static_cast<std::int64_t>(u & 1);
+}
+
+} // namespace bro::bits

@@ -1,0 +1,56 @@
+#include "bits/delta.h"
+
+#include "util/error.h"
+
+namespace bro::bits {
+
+std::vector<std::uint32_t> delta_encode_row(std::span<const index_t> idx) {
+  std::vector<std::uint32_t> out;
+  out.reserve(idx.size());
+  index_t prev = -1; // 0-based indices biased by one: first gap = idx[0]+1
+  for (const index_t v : idx) {
+    BRO_CHECK_MSG(v > prev, "column indices must be strictly increasing");
+    out.push_back(static_cast<std::uint32_t>(v - prev));
+    prev = v;
+  }
+  return out;
+}
+
+std::vector<index_t> delta_decode_row(std::span<const std::uint32_t> deltas) {
+  std::vector<index_t> out;
+  out.reserve(deltas.size());
+  index_t acc = -1;
+  for (const std::uint32_t d : deltas) {
+    if (d == kInvalidDelta) continue;
+    acc += static_cast<index_t>(d);
+    out.push_back(acc);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> delta_encode_monotonic(std::span<const index_t> idx,
+                                                  index_t base) {
+  std::vector<std::uint32_t> out;
+  out.reserve(idx.size());
+  index_t prev = base;
+  for (const index_t v : idx) {
+    BRO_CHECK_MSG(v >= prev, "sequence must be non-decreasing");
+    out.push_back(static_cast<std::uint32_t>(v - prev));
+    prev = v;
+  }
+  return out;
+}
+
+std::vector<index_t> delta_decode_monotonic(std::span<const std::uint32_t> deltas,
+                                            index_t base) {
+  std::vector<index_t> out;
+  out.reserve(deltas.size());
+  index_t acc = base;
+  for (const std::uint32_t d : deltas) {
+    acc += static_cast<index_t>(d);
+    out.push_back(acc);
+  }
+  return out;
+}
+
+} // namespace bro::bits

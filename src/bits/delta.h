@@ -1,0 +1,38 @@
+// Delta coding of index sequences (the preprocessing stage of Fig. 1/2).
+//
+// Column indices within a matrix row are strictly increasing, so successive
+// differences are >= 1 once indices are biased to 1-based values. The BRO
+// schemes reserve delta value 0 for ELLPACK padding ("invalid"), which is why
+// the bias matters: a valid first column index of 0 still produces delta 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.h"
+
+namespace bro::bits {
+
+/// Sentinel delta marking an ELLPACK padding slot.
+inline constexpr std::uint32_t kInvalidDelta = 0;
+
+/// Delta-encode a strictly increasing run of 0-based column indices into
+/// 1-based gaps: out[0] = idx[0]+1, out[j] = idx[j]-idx[j-1] (all >= 1).
+std::vector<std::uint32_t> delta_encode_row(std::span<const index_t> idx);
+
+/// Inverse of delta_encode_row. Deltas equal to kInvalidDelta terminate
+/// nothing here; they are simply skipped (they carry no index).
+std::vector<index_t> delta_decode_row(std::span<const std::uint32_t> deltas);
+
+/// Delta-encode a non-decreasing sequence (BRO-COO row indices along a warp
+/// lane): out[j] = idx[j] - prev, with `prev` starting at `base`. Gaps may be
+/// zero (repeated rows are the common case in COO).
+std::vector<std::uint32_t> delta_encode_monotonic(std::span<const index_t> idx,
+                                                  index_t base);
+
+/// Inverse of delta_encode_monotonic.
+std::vector<index_t> delta_decode_monotonic(std::span<const std::uint32_t> deltas,
+                                            index_t base);
+
+} // namespace bro::bits

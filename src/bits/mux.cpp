@@ -1,0 +1,33 @@
+#include "bits/mux.h"
+
+#include "util/error.h"
+
+namespace bro::bits {
+
+MuxedStream::MuxedStream(int sym_len, std::size_t height,
+                         std::size_t symbols_per_row)
+    : sym_len_(sym_len),
+      height_(height),
+      symbols_per_row_(symbols_per_row),
+      slots_(height * symbols_per_row, 0) {
+  BRO_CHECK_MSG(sym_len == 32 || sym_len == 64,
+                "sym_len must be 32 or 64, got " << sym_len);
+}
+
+MuxedStream MuxedStream::interleave(std::span<const BitString> rows,
+                                    int sym_len) {
+  BRO_CHECK(!rows.empty());
+  const std::size_t h = rows.size();
+  std::size_t symbols = rows[0].symbol_count(sym_len);
+  for (const auto& r : rows) {
+    BRO_CHECK_MSG(r.symbol_count(sym_len) == symbols,
+                  "all row streams must have equal symbol counts (pad first)");
+  }
+  MuxedStream out(sym_len, h, symbols);
+  for (std::size_t c = 0; c < symbols; ++c)
+    for (std::size_t t = 0; t < h; ++t)
+      out.slots_[c * h + t] = rows[t].symbol(c, sym_len);
+  return out;
+}
+
+} // namespace bro::bits

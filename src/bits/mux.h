@@ -1,0 +1,62 @@
+// Symbol-stream multiplexing (the final stage of Fig. 1/2).
+//
+// Given h per-row bit strings that have been padded to the same number S of
+// sym_len-bit symbols, the symbols are interleaved so that stream[c*h + t]
+// holds symbol c of row t. During decompression, thread t of a slice loads
+// consecutive groups of h symbols together with its warp-mates — a coalesced
+// access pattern on the GPU.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bits/bit_string.h"
+
+namespace bro::bits {
+
+/// A multiplexed stream of fixed-width symbols. Symbols are stored one per
+/// uint64 slot for decode speed on the host; byte_size() reports the true
+/// packed size (sym_len bits per symbol) used for space-savings accounting
+/// and for the simulator's memory addressing.
+class MuxedStream {
+ public:
+  MuxedStream() = default;
+  MuxedStream(int sym_len, std::size_t height, std::size_t symbols_per_row);
+
+  /// Build by interleaving `rows` (each padded to the same symbol count).
+  static MuxedStream interleave(std::span<const BitString> rows, int sym_len);
+
+  int sym_len() const { return sym_len_; }
+  std::size_t height() const { return height_; }
+  std::size_t symbols_per_row() const { return symbols_per_row_; }
+  std::size_t total_symbols() const { return slots_.size(); }
+
+  /// Symbol c of row t (the GPU access comp_str[c*h + t]).
+  std::uint64_t at(std::size_t c, std::size_t t) const {
+    return slots_[c * height_ + t];
+  }
+
+  /// Linear access by flat symbol index.
+  std::uint64_t operator[](std::size_t i) const { return slots_[i]; }
+  std::uint64_t& slot(std::size_t i) { return slots_[i]; }
+
+  /// True packed size in bytes (sym_len bits per symbol, byte-rounded
+  /// per stream as a whole).
+  std::size_t byte_size() const {
+    return (slots_.size() * static_cast<std::size_t>(sym_len_) + 7) / 8;
+  }
+
+  /// Simulated device address of flat symbol i relative to the stream base.
+  std::size_t symbol_offset_bytes(std::size_t i) const {
+    return i * static_cast<std::size_t>(sym_len_ / 8);
+  }
+
+ private:
+  int sym_len_ = 32;
+  std::size_t height_ = 0;
+  std::size_t symbols_per_row_ = 0;
+  std::vector<std::uint64_t> slots_;
+};
+
+} // namespace bro::bits

@@ -1,0 +1,251 @@
+#include "core/bar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "bits/bitwidth.h"
+#include "bits/delta.h"
+#include "util/error.h"
+
+namespace bro::core {
+
+namespace {
+
+/// Per-row precomputation: delta bit widths and x-vector cache line ids.
+struct RowProfile {
+  std::vector<std::uint8_t> gamma; // Γ of each delta
+  std::vector<std::uint32_t> line; // cache line of each column's x element
+};
+
+RowProfile profile_row(const sparse::Csr& csr, index_t r,
+                       const BarOptions& opts) {
+  RowProfile p;
+  const auto cols = csr.row_cols(r);
+  const auto deltas = bits::delta_encode_row(cols);
+  p.gamma.resize(deltas.size());
+  p.line.resize(deltas.size());
+  const auto lines_per =
+      static_cast<std::uint32_t>(opts.cacheline_bytes / opts.x_element_bytes);
+  for (std::size_t j = 0; j < deltas.size(); ++j) {
+    p.gamma[j] = static_cast<std::uint8_t>(
+        std::max(1, bits::bit_width_of(deltas[j])));
+    p.line[j] = static_cast<std::uint32_t>(cols[j]) / lines_per;
+  }
+  return p;
+}
+
+// Per-(cluster, column) cache-line signature: a 1024-bit Bloom filter. The
+// width matters — a saturated signature makes every further row look free in
+// the c(S, j) term, so the greedy pass would stop preserving x locality.
+inline constexpr int kBloomWords = 16; // 1024 bits
+
+struct BloomSig {
+  std::uint64_t w[kBloomWords] = {};
+
+  static std::pair<int, std::uint64_t> slot(std::uint32_t line) {
+    std::uint64_t x = line;
+    x ^= x >> 16;
+    x *= 0x45d9f3b;
+    x ^= x >> 16;
+    const int word = static_cast<int>((x >> 6) % kBloomWords);
+    return {word, 1ull << (x & 63)};
+  }
+
+  bool contains(std::uint32_t line) const {
+    const auto [word, bit] = slot(line);
+    return (w[word] & bit) != 0;
+  }
+
+  /// Returns true if the line was newly inserted.
+  bool insert(std::uint32_t line) {
+    const auto [word, bit] = slot(line);
+    if (w[word] & bit) return false;
+    w[word] |= bit;
+    return true;
+  }
+};
+
+/// Incremental cluster state for the greedy pass.
+struct Cluster {
+  index_t count = 0;
+  std::uint64_t sum_bits = 0;            // Σ_j d(S, j)
+  std::uint64_t cache_lines = 0;         // Σ_j c(S, j) (Bloom estimate)
+  std::vector<std::uint8_t> d;           // per-column max bit width
+  std::vector<BloomSig> bloom;           // per-column line signature
+
+  /// Marginal Eqn. (1) cost (without the constant h/w factor) of adding `p`.
+  double marginal_cost(const RowProfile& p, int sym_len) const {
+    std::uint64_t extra_bits = 0;
+    std::uint64_t extra_lines = 0;
+    const std::size_t overlap = std::min(p.gamma.size(), d.size());
+    for (std::size_t j = 0; j < overlap; ++j) {
+      if (p.gamma[j] > d[j]) extra_bits += p.gamma[j] - d[j];
+      if (!bloom[j].contains(p.line[j])) ++extra_lines;
+    }
+    for (std::size_t j = overlap; j < p.gamma.size(); ++j) {
+      extra_bits += p.gamma[j];
+      ++extra_lines;
+    }
+    const double before = std::ceil(static_cast<double>(sum_bits) / sym_len) +
+                          static_cast<double>(cache_lines);
+    const double after =
+        std::ceil(static_cast<double>(sum_bits + extra_bits) / sym_len) +
+        static_cast<double>(cache_lines + extra_lines);
+    return after - before;
+  }
+
+  void add(const RowProfile& p) {
+    if (p.gamma.size() > d.size()) {
+      d.resize(p.gamma.size(), 0);
+      bloom.resize(p.gamma.size());
+    }
+    for (std::size_t j = 0; j < p.gamma.size(); ++j) {
+      if (p.gamma[j] > d[j]) {
+        sum_bits += p.gamma[j] - d[j];
+        d[j] = p.gamma[j];
+      }
+      if (bloom[j].insert(p.line[j])) ++cache_lines;
+    }
+    ++count;
+  }
+};
+
+} // namespace
+
+double bar_objective(const sparse::Csr& csr, std::span<const index_t> perm,
+                     const BarOptions& opts) {
+  BRO_CHECK(perm.size() == static_cast<std::size_t>(csr.rows));
+  const index_t h = opts.slice_height;
+  const double hw = static_cast<double>(h) / opts.warp_size;
+  double total = 0;
+
+  // Exact evaluation (hash sets) — used for reporting, not the hot loop.
+  for (index_t start = 0; start < csr.rows; start += h) {
+    const index_t end = std::min<index_t>(start + h, csr.rows);
+    std::vector<std::uint8_t> d;
+    std::vector<std::unordered_set<std::uint32_t>> lines;
+    for (index_t i = start; i < end; ++i) {
+      const RowProfile p = profile_row(csr, perm[static_cast<std::size_t>(i)],
+                                       opts);
+      if (p.gamma.size() > d.size()) {
+        d.resize(p.gamma.size(), 0);
+        lines.resize(p.gamma.size());
+      }
+      for (std::size_t j = 0; j < p.gamma.size(); ++j) {
+        d[j] = std::max(d[j], p.gamma[j]);
+        lines[j].insert(p.line[j]);
+      }
+    }
+    std::uint64_t sum_bits = 0;
+    std::uint64_t cache_lines = 0;
+    for (std::size_t j = 0; j < d.size(); ++j) {
+      sum_bits += d[j];
+      cache_lines += lines[j].size();
+    }
+    total += hw * (std::ceil(static_cast<double>(sum_bits) / opts.sym_len) +
+                   static_cast<double>(cache_lines));
+  }
+  return total;
+}
+
+BarResult bar_reorder(const sparse::Csr& csr, BarOptions opts) {
+  BRO_CHECK(opts.slice_height > 0 && opts.warp_size > 0 && opts.sym_len > 0);
+  const index_t m = csr.rows;
+  BarResult result;
+  result.permutation.resize(static_cast<std::size_t>(m));
+  std::iota(result.permutation.begin(), result.permutation.end(), 0);
+  if (m == 0) return result;
+
+  result.identity_objective = bar_objective(csr, result.permutation, opts);
+
+  const index_t h = opts.slice_height;
+  const index_t v = (m + h - 1) / h;
+
+  // Line 2: sort rows by length. Ties broken by row id for determinism.
+  std::vector<index_t> sorted(static_cast<std::size_t>(m));
+  std::iota(sorted.begin(), sorted.end(), 0);
+  std::stable_sort(sorted.begin(), sorted.end(), [&](index_t a, index_t b) {
+    return csr.row_length(a) < csr.row_length(b);
+  });
+
+  std::vector<Cluster> clusters(static_cast<std::size_t>(v));
+  std::vector<std::vector<index_t>> members(static_cast<std::size_t>(v));
+
+  // Precompute profiles once (the greedy pass touches each many times).
+  std::vector<RowProfile> profiles(static_cast<std::size_t>(m));
+  for (index_t r = 0; r < m; ++r) profiles[static_cast<std::size_t>(r)] =
+      profile_row(csr, r, opts);
+
+  // Lines 3-6: seed cluster t with sorted row (t-1)*h+1 — entries spaced h
+  // apart so seeds span the row-length range.
+  std::vector<bool> placed(static_cast<std::size_t>(m), false);
+  for (index_t t = 0; t < v; ++t) {
+    const index_t r = sorted[static_cast<std::size_t>(t * h)];
+    clusters[static_cast<std::size_t>(t)].add(
+        profiles[static_cast<std::size_t>(r)]);
+    members[static_cast<std::size_t>(t)].push_back(r);
+    placed[static_cast<std::size_t>(r)] = true;
+  }
+
+  // Lines 7-13: place each remaining row into the cheapest non-full cluster.
+  for (const index_t r : sorted) {
+    if (placed[static_cast<std::size_t>(r)]) continue;
+    const RowProfile& p = profiles[static_cast<std::size_t>(r)];
+
+    double best_cost = 0;
+    index_t best = -1;
+    const auto consider = [&](index_t t) {
+      Cluster& cl = clusters[static_cast<std::size_t>(t)];
+      if (cl.count >= h) return;
+      const double cost = cl.marginal_cost(p, opts.sym_len);
+      if (best < 0 || cost < best_cost) {
+        best_cost = cost;
+        best = t;
+      }
+    };
+
+    if (opts.max_candidates <= 0 || opts.max_candidates >= v) {
+      for (index_t t = 0; t < v; ++t) consider(t);
+    } else {
+      // Evenly spaced subsample, rotated by the row id so all clusters are
+      // reachable over the course of the pass.
+      const index_t stride = std::max<index_t>(1, v / opts.max_candidates);
+      for (index_t s = 0; s < opts.max_candidates + 1; ++s)
+        consider((r + s * stride) % v);
+      // Always ensure at least one non-full cluster was seen.
+      for (index_t t = 0; best < 0 && t < v; ++t) consider(t);
+    }
+
+    BRO_CHECK_MSG(best >= 0, "no non-full cluster available");
+    clusters[static_cast<std::size_t>(best)].add(p);
+    members[static_cast<std::size_t>(best)].push_back(r);
+    placed[static_cast<std::size_t>(r)] = true;
+  }
+
+  // Emit the clustering as a permutation. The per-column bit allocation of a
+  // slice is invariant under any within-cluster row order, so rows inside a
+  // cluster are sorted by original index and clusters are ordered by their
+  // median row — preserving warp-level x-vector coalescing that the greedy
+  // insertion order would otherwise destroy.
+  for (auto& mem : members) std::sort(mem.begin(), mem.end());
+  std::vector<index_t> cluster_order(static_cast<std::size_t>(v));
+  std::iota(cluster_order.begin(), cluster_order.end(), 0);
+  std::sort(cluster_order.begin(), cluster_order.end(),
+            [&](index_t a, index_t b) {
+              const auto& ma = members[static_cast<std::size_t>(a)];
+              const auto& mb = members[static_cast<std::size_t>(b)];
+              return ma[ma.size() / 2] < mb[mb.size() / 2];
+            });
+  std::size_t pos = 0;
+  for (const index_t t : cluster_order)
+    for (const index_t r : members[static_cast<std::size_t>(t)])
+      result.permutation[pos++] = r;
+  BRO_CHECK(pos == static_cast<std::size_t>(m));
+
+  result.objective = bar_objective(csr, result.permutation, opts);
+  return result;
+}
+
+} // namespace bro::core

@@ -1,0 +1,53 @@
+// BAR: BRO-aware matrix reordering (paper §3.4).
+//
+// Row reordering is posed as equi-partition data clustering: find v = ceil(m/h)
+// clusters of at most h rows minimizing Eqn. (1),
+//
+//   Φ = Σ_i (h/w) * ( ceil(Σ_j d(S_i, j) / α) + Σ_j c(S_i, j) )
+//
+// where d(S_i, j) is the max delta bit width of column j across the cluster
+// (Eqn. 2) and c(S_i, j) counts the unique x-vector cache lines column j
+// touches across the cluster (Eqn. 3). Algorithm 2's greedy heuristic seeds
+// each cluster with rows spaced h apart in row-length-sorted order, then
+// places every remaining row into the cheapest non-full cluster.
+//
+// The unique-cacheline count uses a 64-bit Bloom signature per cluster column
+// (exact sets would dominate the runtime); this only affects the c(.) term's
+// estimate, not the correctness of the resulting permutation.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace bro::core {
+
+struct BarOptions {
+  int slice_height = 256;  // h (matches the BRO-ELL slice height)
+  int warp_size = 32;      // w
+  int sym_len = 32;        // α
+  int cacheline_bytes = 128;
+  int x_element_bytes = 8; // double-precision input vector
+  // 0 = evaluate every non-full cluster per row (Algorithm 2 verbatim);
+  // otherwise evaluate this many evenly spaced candidates (large matrices).
+  int max_candidates = 0;
+};
+
+struct BarResult {
+  /// perm[new_row] = old_row. Applying it to the matrix rows yields A' = P*A.
+  std::vector<index_t> permutation;
+  /// Final value of the Eqn. (1) objective for the produced clustering.
+  double objective = 0;
+  /// Objective of the identity (unreordered) clustering, for comparison.
+  double identity_objective = 0;
+};
+
+/// Run Algorithm 2 on the matrix and return the row permutation.
+BarResult bar_reorder(const sparse::Csr& csr, BarOptions opts = {});
+
+/// Evaluate the Eqn. (1) objective of an arbitrary row order (rows taken in
+/// `perm` order, clustered into consecutive groups of h).
+double bar_objective(const sparse::Csr& csr, std::span<const index_t> perm,
+                     const BarOptions& opts);
+
+} // namespace bro::core

@@ -1,0 +1,155 @@
+#include "core/bro_coo.h"
+
+#include <algorithm>
+
+#include "bits/bit_string.h"
+#include "bits/bitwidth.h"
+#include "bits/delta.h"
+#include "util/error.h"
+
+namespace bro::core {
+
+BroCoo BroCoo::compress(const sparse::Coo& coo, BroCooOptions opts) {
+  BRO_CHECK_MSG(coo.is_canonical(), "BRO-COO requires canonical COO order");
+  BRO_CHECK_MSG(opts.warp_size > 0 && opts.interval_cols > 0,
+                "interval dimensions must be positive");
+  BRO_CHECK_MSG(opts.sym_len == 32 || opts.sym_len == 64,
+                "sym_len must be 32 or 64");
+
+  BroCoo out;
+  out.rows_ = coo.rows;
+  out.cols_ = coo.cols;
+  out.nnz_ = coo.nnz();
+  out.opts_ = opts;
+
+  if (coo.nnz() == 0) return out;
+
+  // Pad the entry stream to a whole number of intervals with (last_row,
+  // last_col, 0.0) entries: delta 0, value 0 — no effect on the product.
+  const std::size_t interval_size =
+      static_cast<std::size_t>(opts.warp_size) *
+      static_cast<std::size_t>(opts.interval_cols);
+  const std::size_t padded =
+      (coo.nnz() + interval_size - 1) / interval_size * interval_size;
+
+  std::vector<index_t> row_idx = coo.row_idx;
+  out.col_idx_ = coo.col_idx;
+  out.vals_ = coo.vals;
+  row_idx.resize(padded, coo.row_idx.back());
+  out.col_idx_.resize(padded, coo.col_idx.back());
+  out.vals_.resize(padded, value_t{0});
+
+  const std::size_t num_intervals = padded / interval_size;
+  out.intervals_.reserve(num_intervals);
+  const int w = opts.warp_size;
+
+  for (std::size_t i = 0; i < num_intervals; ++i) {
+    const std::size_t base = i * interval_size;
+    BroCooInterval iv;
+    iv.start_row = row_idx[base];
+
+    // Pass 1: delta-encode down each lane to find the interval's bit width.
+    int bits_needed = 1;
+    for (int j = 0; j < w; ++j) {
+      index_t prev = iv.start_row;
+      for (int c = 0; c < opts.interval_cols; ++c) {
+        const index_t r =
+            row_idx[base + static_cast<std::size_t>(c) * w +
+                    static_cast<std::size_t>(j)];
+        BRO_CHECK_MSG(r >= prev, "row indices not sorted within interval");
+        bits_needed = std::max(
+            bits_needed,
+            bits::bit_width_of(static_cast<std::uint32_t>(r - prev)));
+        prev = r;
+      }
+    }
+
+    // Pass 2: pack every lane with the final bit width.
+    iv.bits = bits_needed;
+    std::vector<bits::BitString> streams(static_cast<std::size_t>(w));
+    for (int j = 0; j < w; ++j) {
+      index_t prev = iv.start_row;
+      auto& bs = streams[static_cast<std::size_t>(j)];
+      for (int c = 0; c < opts.interval_cols; ++c) {
+        const index_t r =
+            row_idx[base + static_cast<std::size_t>(c) * w +
+                    static_cast<std::size_t>(j)];
+        bs.append(static_cast<std::uint32_t>(r - prev), iv.bits);
+        prev = r;
+      }
+      bs.pad_to_multiple(opts.sym_len);
+    }
+    iv.stream = bits::MuxedStream::interleave(streams, opts.sym_len);
+    out.intervals_.push_back(std::move(iv));
+  }
+  return out;
+}
+
+std::vector<index_t> BroCoo::decode_rows() const {
+  std::vector<index_t> out(padded_nnz());
+  const int w = opts_.warp_size;
+  const std::size_t interval_size =
+      static_cast<std::size_t>(w) * static_cast<std::size_t>(opts_.interval_cols);
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    const auto& iv = intervals_[i];
+    for (int j = 0; j < w; ++j) {
+      // Reuse the BRO-ELL row-stream decoder shape: symbols of lane j are at
+      // c*w + j; decode sequentially with the fixed width.
+      std::uint64_t sym = 0;
+      int rb = 0;
+      index_t loads = 0;
+      index_t acc = iv.start_row;
+      const auto load = [&]() {
+        sym = iv.stream.at(static_cast<std::size_t>(loads),
+                           static_cast<std::size_t>(j));
+        ++loads;
+        rb = opts_.sym_len;
+      };
+      const auto take = [&](int q) -> std::uint64_t {
+        if (q <= 0) return 0;
+        const std::uint64_t v =
+            (sym >> (rb - q)) & bits::max_value_for_bits(q);
+        rb -= q;
+        return v;
+      };
+      for (int c = 0; c < opts_.interval_cols; ++c) {
+        std::uint64_t d;
+        if (iv.bits <= rb) {
+          d = take(iv.bits);
+        } else {
+          const int high = rb;
+          d = take(high);
+          load();
+          const int low = iv.bits - high;
+          d = (d << low) | take(low);
+        }
+        acc += static_cast<index_t>(d);
+        out[i * interval_size + static_cast<std::size_t>(c) * w +
+            static_cast<std::size_t>(j)] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+void BroCoo::spmv_accumulate(std::span<const value_t> x,
+                             std::span<value_t> y) const {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(cols_));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(rows_));
+  const std::vector<index_t> rows = decode_rows();
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    y[static_cast<std::size_t>(rows[i])] +=
+        vals_[i] * x[static_cast<std::size_t>(col_idx_[i])];
+}
+
+std::size_t BroCoo::compressed_row_bytes() const {
+  std::size_t total = 0;
+  for (const auto& iv : intervals_) {
+    total += iv.stream.byte_size();
+    total += sizeof(index_t); // start_row
+    total += 1;               // bit width
+  }
+  return total;
+}
+
+} // namespace bro::core

@@ -1,0 +1,80 @@
+// BRO-COO: bit-representation-optimized COO (paper §3.2, Fig. 2).
+//
+// Only the row-index array is compressed. The nnz stream is divided into
+// intervals of warp_size * interval_cols entries; each interval is viewed as
+// a warp_size-wide 2-D array in which lane j owns entries
+// base + c*warp_size + j, so the row index increases monotonically down each
+// lane ("the vertical direction"). Lane sequences are delta-encoded against
+// the interval's starting row, packed with a single bit width per interval,
+// and multiplexed exactly like BRO-ELL row streams.
+//
+// The trailing partial interval is padded with copies of the last coordinate
+// carrying value 0 (a harmless fused multiply-add during SpMV).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "bits/mux.h"
+#include "sparse/coo.h"
+
+namespace bro::core {
+
+struct SerializeAccess;
+
+struct BroCooOptions {
+  int warp_size = 32;     // lanes per interval (GPU warp width)
+  int interval_cols = 64; // entries per lane; interval = warp_size * this
+  int sym_len = 32;
+};
+
+struct BroCooInterval {
+  index_t start_row = 0; // row index of the interval's first entry
+  int bits = 1;          // single bit width used for every delta
+  bits::MuxedStream stream;
+};
+
+class BroCoo {
+ public:
+  /// Offline compression. Requires canonical (row-sorted) COO.
+  static BroCoo compress(const sparse::Coo& coo, BroCooOptions opts = {});
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  std::size_t nnz() const { return nnz_; }                 // real entries
+  std::size_t padded_nnz() const { return col_idx_.size(); } // incl. padding
+  const BroCooOptions& options() const { return opts_; }
+  const std::vector<BroCooInterval>& intervals() const { return intervals_; }
+  const std::vector<index_t>& col_idx() const { return col_idx_; }
+  const std::vector<value_t>& vals() const { return vals_; }
+
+  /// Decode all row indices (testing path); returns padded_nnz entries in
+  /// stream order.
+  std::vector<index_t> decode_rows() const;
+
+  /// y += A * x (accumulating, matching the GPU kernel's semantics where the
+  /// COO part runs after the ELL part in HYB). Callers wanting y = A*x must
+  /// zero y first.
+  void spmv_accumulate(std::span<const value_t> x, std::span<value_t> y) const;
+
+  /// Compressed bytes of the row-index data (streams + per-interval header).
+  std::size_t compressed_row_bytes() const;
+
+  /// Original row-index bytes (nnz * 4, unpadded).
+  std::size_t original_row_bytes() const { return nnz_ * sizeof(index_t); }
+
+  friend struct SerializeAccess; // serialization (serialize.cpp)
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::size_t nnz_ = 0;
+  BroCooOptions opts_;
+  std::vector<BroCooInterval> intervals_;
+  std::vector<index_t> col_idx_; // uncompressed, padded
+  std::vector<value_t> vals_;    // uncompressed, padded
+};
+
+} // namespace bro::core

@@ -1,0 +1,67 @@
+// BRO-ELL-VC: value compression, the second future-work item of the paper
+// (§6), in the dictionary style of Kourtis et al. (CF'08).
+//
+// Many engineering matrices carry few distinct values (stencil coefficients,
+// unit entries, material constants). Per BRO-ELL slice, the distinct values
+// are collected into a dictionary; if there are at most `max_dict` of them,
+// the slice's value array is replaced by Γ(|dict|-1)-bit codes packed and
+// multiplexed exactly like the index stream (so the GPU decode is the same
+// branch-free loop). Slices whose values don't repeat keep the raw array —
+// the format never loses, it just stops winning.
+#pragma once
+
+#include <optional>
+
+#include "core/bro_ell.h"
+
+namespace bro::core {
+
+struct BroEllValuesOptions {
+  BroEllOptions ell;
+  std::size_t max_dict = 4096; // dictionary entries worth indexing
+};
+
+/// Per-slice value encoding: either a dictionary + packed codes, or raw.
+struct ValueSlice {
+  std::vector<value_t> dict;     // empty => raw (values read from BroEll)
+  int code_bits = 0;             // Γ(|dict|-1), >= 1 when dict in use
+  bits::MuxedStream codes;       // height x num_col codes
+};
+
+class BroEllValues {
+ public:
+  static BroEllValues compress(const sparse::Ell& ell,
+                               BroEllValuesOptions opts = {});
+
+  const BroEll& index_part() const { return index_; }
+  const std::vector<ValueSlice>& value_slices() const { return values_; }
+
+  index_t rows() const { return index_.rows(); }
+  index_t cols() const { return index_.cols(); }
+
+  /// y = A * x with on-the-fly index and value decoding.
+  void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+  /// Value bytes after compression (dicts + code streams + raw slices).
+  std::size_t compressed_value_bytes() const;
+
+  /// Original value bytes (m * k * 8).
+  std::size_t original_value_bytes() const;
+
+  /// Combined (index + value) compression accounting.
+  std::size_t compressed_total_bytes() const {
+    return index_.compressed_index_bytes() + compressed_value_bytes();
+  }
+  std::size_t original_total_bytes() const {
+    return index_.original_index_bytes() + original_value_bytes();
+  }
+
+  /// Fraction of slices that ended up dictionary-coded.
+  double dict_slice_fraction() const;
+
+ private:
+  BroEll index_;
+  std::vector<ValueSlice> values_;
+};
+
+} // namespace bro::core

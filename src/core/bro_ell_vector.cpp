@@ -1,0 +1,65 @@
+#include "core/bro_ell_vector.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.h"
+
+namespace bro::core {
+
+BroEllVector BroEllVector::compress(const sparse::Ell& ell,
+                                    int threads_per_row,
+                                    BroEllOptions opts) {
+  BRO_CHECK_MSG(threads_per_row >= 1 && threads_per_row <= 32 &&
+                    (threads_per_row & (threads_per_row - 1)) == 0,
+                "threads_per_row must be a power of two in [1, 32]");
+  const int t_count = threads_per_row;
+
+  // Expand to m*T sub-rows: sub-row r*T + l holds entries l, l+T, ... of
+  // row r. Column indices stay strictly increasing within each sub-row.
+  sparse::Ell expanded;
+  expanded.rows = ell.rows * t_count;
+  expanded.cols = ell.cols;
+  expanded.width = (ell.width + t_count - 1) / t_count;
+  expanded.col_idx.assign(
+      static_cast<std::size_t>(expanded.rows) * expanded.width, sparse::kPad);
+  expanded.vals.assign(
+      static_cast<std::size_t>(expanded.rows) * expanded.width, value_t{0});
+
+  for (index_t r = 0; r < ell.rows; ++r) {
+    for (index_t j = 0; j < ell.width; ++j) {
+      const index_t col = ell.col_at(r, j);
+      if (col == sparse::kPad) break;
+      const index_t sub = r * t_count + (j % t_count);
+      const index_t sub_j = j / t_count;
+      expanded.col_idx[static_cast<std::size_t>(sub_j) * expanded.rows + sub] =
+          col;
+      expanded.vals[static_cast<std::size_t>(sub_j) * expanded.rows + sub] =
+          ell.val_at(r, j);
+    }
+  }
+
+  BroEllVector out;
+  out.rows_ = ell.rows;
+  out.threads_per_row_ = t_count;
+  out.original_index_bytes_ = ell.index_bytes();
+  out.inner_ = BroEll::compress(expanded, opts);
+  return out;
+}
+
+void BroEllVector::spmv(std::span<const value_t> x,
+                        std::span<value_t> y) const {
+  BRO_CHECK(y.size() == static_cast<std::size_t>(rows_));
+  std::vector<value_t> partial(
+      static_cast<std::size_t>(rows_) * threads_per_row_);
+  inner_.spmv(x, partial);
+  for (index_t r = 0; r < rows_; ++r) {
+    value_t sum = 0;
+    for (int l = 0; l < threads_per_row_; ++l)
+      sum += partial[static_cast<std::size_t>(r) * threads_per_row_ +
+                     static_cast<std::size_t>(l)];
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+}
+
+} // namespace bro::core

@@ -1,0 +1,41 @@
+// BRO-ELL-T: the "multiple threads per row" extension the paper lists as
+// future work (§6). Each matrix row is split round-robin into T sub-rows
+// (thread l of a row takes entries l, l+T, l+2T, ...); the sub-rows are
+// compressed as an ordinary BRO-ELL of m*T rows, with a row's T sub-rows
+// adjacent so the GPU kernel can reduce their partial sums with warp
+// shuffles. Long-row matrices gain parallelism and shorter decode loops at
+// the cost of somewhat larger deltas (stride-T column gaps).
+#pragma once
+
+#include "core/bro_ell.h"
+
+namespace bro::core {
+
+class BroEllVector {
+ public:
+  /// threads_per_row must be a power of two in [1, 32] (a warp fraction).
+  static BroEllVector compress(const sparse::Ell& ell, int threads_per_row,
+                               BroEllOptions opts = {});
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return inner_.cols(); }
+  int threads_per_row() const { return threads_per_row_; }
+  const BroEll& inner() const { return inner_; }
+
+  /// y = A * x.
+  void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+  std::size_t compressed_index_bytes() const {
+    return inner_.compressed_index_bytes();
+  }
+  /// Original bytes of the *unexpanded* ELLPACK index array.
+  std::size_t original_index_bytes() const { return original_index_bytes_; }
+
+ private:
+  index_t rows_ = 0;
+  int threads_per_row_ = 1;
+  std::size_t original_index_bytes_ = 0;
+  BroEll inner_; // BRO-ELL over the m * T sub-row expansion
+};
+
+} // namespace bro::core

@@ -1,0 +1,43 @@
+#include "core/bro_hyb.h"
+
+#include <algorithm>
+
+#include "sparse/convert.h"
+#include "util/error.h"
+
+namespace bro::core {
+
+BroHyb BroHyb::compress(const sparse::Csr& csr, BroHybOptions opts) {
+  const sparse::Hyb hyb = sparse::csr_to_hyb(csr, opts.width_override);
+
+  BroHyb out;
+  out.rows_ = csr.rows;
+  out.cols_ = csr.cols;
+  out.split_width_ = hyb.ell.width;
+  out.ell_nnz_ = csr.nnz() - hyb.coo.nnz();
+  out.ell_ = BroEll::compress(hyb.ell, opts.ell);
+  out.coo_ = BroCoo::compress(hyb.coo, opts.coo);
+  return out;
+}
+
+double BroHyb::ell_fraction() const {
+  const std::size_t total = ell_nnz_ + coo_.nnz();
+  if (total == 0) return 1.0;
+  return static_cast<double>(ell_nnz_) / static_cast<double>(total);
+}
+
+void BroHyb::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+  ell_.spmv(x, y); // writes y
+  if (coo_.nnz() > 0) coo_.spmv_accumulate(x, y);
+}
+
+std::size_t BroHyb::compressed_index_bytes() const {
+  return ell_.compressed_index_bytes() + coo_.compressed_row_bytes() +
+         coo_.nnz() * sizeof(index_t); // COO col_idx stays uncompressed
+}
+
+std::size_t BroHyb::original_index_bytes() const {
+  return ell_.original_index_bytes() + 2 * coo_.nnz() * sizeof(index_t);
+}
+
+} // namespace bro::core

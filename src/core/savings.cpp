@@ -1,0 +1,21 @@
+#include "core/savings.h"
+
+namespace bro::core {
+
+double Savings::eta() const {
+  if (original_bytes == 0) return 0.0;
+  return 1.0 - static_cast<double>(compressed_bytes) /
+                   static_cast<double>(original_bytes);
+}
+
+double Savings::kappa() const {
+  if (compressed_bytes == 0) return 0.0;
+  return static_cast<double>(original_bytes) /
+         static_cast<double>(compressed_bytes);
+}
+
+Savings make_savings(std::size_t original_bytes, std::size_t compressed_bytes) {
+  return Savings{original_bytes, compressed_bytes};
+}
+
+} // namespace bro::core

@@ -1,0 +1,22 @@
+// Space-savings and compression-ratio accounting (paper §4.2.1):
+//   η = 1 - C/O (space savings), κ = 1/(1-η) = O/C (compression ratio).
+#pragma once
+
+#include <cstddef>
+
+namespace bro::core {
+
+struct Savings {
+  std::size_t original_bytes = 0;
+  std::size_t compressed_bytes = 0;
+
+  /// η in [0, 1); negative if "compression" expanded the data.
+  double eta() const;
+
+  /// κ = original/compressed.
+  double kappa() const;
+};
+
+Savings make_savings(std::size_t original_bytes, std::size_t compressed_bytes);
+
+} // namespace bro::core

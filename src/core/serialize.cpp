@@ -1,0 +1,340 @@
+#include "core/serialize.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace bro::core {
+
+/// Passkey granting the serializers access to the formats' internals.
+struct SerializeAccess {
+  static BroEll make_ell(index_t rows, index_t cols, index_t width,
+                         BroEllOptions opts, std::vector<BroEllSlice> slices,
+                         std::vector<value_t> vals) {
+    BroEll m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.width_ = width;
+    m.opts_ = opts;
+    m.slices_ = std::move(slices);
+    m.vals_ = std::move(vals);
+    return m;
+  }
+  static BroCoo make_coo(index_t rows, index_t cols, std::size_t nnz,
+                         BroCooOptions opts,
+                         std::vector<BroCooInterval> intervals,
+                         std::vector<index_t> col_idx,
+                         std::vector<value_t> vals) {
+    BroCoo m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.nnz_ = nnz;
+    m.opts_ = opts;
+    m.intervals_ = std::move(intervals);
+    m.col_idx_ = std::move(col_idx);
+    m.vals_ = std::move(vals);
+    return m;
+  }
+  static BroHyb make_hyb(index_t rows, index_t cols, index_t split_width,
+                         std::size_t ell_nnz, BroEll ell, BroCoo coo) {
+    BroHyb m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.split_width_ = split_width;
+    m.ell_nnz_ = ell_nnz;
+    m.ell_ = std::move(ell);
+    m.coo_ = std::move(coo);
+    return m;
+  }
+  static const bits::BitString& csr_stream(const BroCsr& m) {
+    return m.stream_;
+  }
+  static BroCsr make_csr(index_t rows, index_t cols, BroCsrOptions opts,
+                         std::vector<index_t> row_ptr,
+                         std::vector<std::uint8_t> bits,
+                         std::vector<std::uint32_t> sym_ptr,
+                         std::vector<value_t> vals, bits::BitString stream) {
+    BroCsr m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.opts_ = opts;
+    m.row_ptr_ = std::move(row_ptr);
+    m.bits_ = std::move(bits);
+    m.sym_ptr_ = std::move(sym_ptr);
+    m.vals_ = std::move(vals);
+    m.stream_ = std::move(stream);
+    return m;
+  }
+};
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53'4F'52'42; // "BROS" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+enum class Tag : std::uint8_t {
+  kBroEll = 1,
+  kBroCoo = 2,
+  kBroHyb = 3,
+  kBroCsr = 4,
+};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  BRO_CHECK_MSG(in.good(), "truncated stream while reading "
+                               << sizeof(T) << "-byte field");
+  return v;
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  write_pod<std::uint64_t>(out, v.size());
+  if (!v.empty())
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& in, std::uint64_t sanity_max) {
+  const auto n = read_pod<std::uint64_t>(in);
+  BRO_CHECK_MSG(n <= sanity_max, "implausible element count " << n);
+  std::vector<T> v(n);
+  if (n > 0) {
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+    BRO_CHECK_MSG(in.good(), "truncated stream while reading array");
+  }
+  return v;
+}
+
+// Generous bound for corrupted-size detection (1 G elements).
+constexpr std::uint64_t kSane = 1ull << 30;
+
+void write_header(std::ostream& out, Tag tag) {
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint8_t>(tag));
+}
+
+void read_header(std::istream& in, Tag expected) {
+  BRO_CHECK_MSG(read_pod<std::uint32_t>(in) == kMagic,
+                "not a BRO serialized stream (bad magic)");
+  BRO_CHECK_MSG(read_pod<std::uint32_t>(in) == kVersion,
+                "unsupported BRO stream version");
+  const auto tag = read_pod<std::uint8_t>(in);
+  BRO_CHECK_MSG(tag == static_cast<std::uint8_t>(expected),
+                "stream holds a different format (tag " << int(tag) << ')');
+}
+
+void write_mux(std::ostream& out, const bits::MuxedStream& s) {
+  write_pod<std::int32_t>(out, s.sym_len());
+  write_pod<std::uint64_t>(out, s.height());
+  write_pod<std::uint64_t>(out, s.symbols_per_row());
+  for (std::size_t i = 0; i < s.total_symbols(); ++i)
+    write_pod<std::uint64_t>(out, s[i]);
+}
+
+bits::MuxedStream read_mux(std::istream& in) {
+  const auto sym_len = read_pod<std::int32_t>(in);
+  const auto height = read_pod<std::uint64_t>(in);
+  const auto spr = read_pod<std::uint64_t>(in);
+  BRO_CHECK_MSG(height <= kSane && spr <= kSane && height * spr <= kSane,
+                "implausible stream dimensions");
+  bits::MuxedStream s(sym_len, height, spr);
+  for (std::size_t i = 0; i < s.total_symbols(); ++i)
+    s.slot(i) = read_pod<std::uint64_t>(in);
+  return s;
+}
+
+void write_ell_body(std::ostream& out, const BroEll& m) {
+  write_pod(out, m.rows());
+  write_pod(out, m.cols());
+  write_pod(out, m.width());
+  write_pod<std::int32_t>(out, m.options().slice_height);
+  write_pod<std::int32_t>(out, m.options().sym_len);
+  write_pod<std::uint64_t>(out, m.slices().size());
+  for (const BroEllSlice& s : m.slices()) {
+    write_pod(out, s.first_row);
+    write_pod(out, s.height);
+    write_pod(out, s.num_col);
+    write_pod<std::int32_t>(out, s.pad_bits);
+    write_vec(out, s.bit_alloc);
+    write_mux(out, s.stream);
+  }
+  write_vec(out, m.vals());
+}
+
+BroEll read_ell_body(std::istream& in) {
+  const auto rows = read_pod<index_t>(in);
+  const auto cols = read_pod<index_t>(in);
+  const auto width = read_pod<index_t>(in);
+  BroEllOptions opts;
+  opts.slice_height = read_pod<std::int32_t>(in);
+  opts.sym_len = read_pod<std::int32_t>(in);
+  BRO_CHECK_MSG(opts.sym_len == 32 || opts.sym_len == 64, "corrupt sym_len");
+  const auto n = read_pod<std::uint64_t>(in);
+  BRO_CHECK_MSG(n <= kSane, "implausible slice count");
+  std::vector<BroEllSlice> slices(n);
+  for (auto& s : slices) {
+    s.first_row = read_pod<index_t>(in);
+    s.height = read_pod<index_t>(in);
+    s.num_col = read_pod<index_t>(in);
+    s.pad_bits = read_pod<std::int32_t>(in);
+    s.bit_alloc = read_vec<std::uint8_t>(in, kSane);
+    s.stream = read_mux(in);
+  }
+  auto vals = read_vec<value_t>(in, kSane);
+  return SerializeAccess::make_ell(rows, cols, width, opts, std::move(slices),
+                                   std::move(vals));
+}
+
+void write_coo_body(std::ostream& out, const BroCoo& m) {
+  write_pod(out, m.rows());
+  write_pod(out, m.cols());
+  write_pod<std::uint64_t>(out, m.nnz());
+  write_pod<std::int32_t>(out, m.options().warp_size);
+  write_pod<std::int32_t>(out, m.options().interval_cols);
+  write_pod<std::int32_t>(out, m.options().sym_len);
+  write_pod<std::uint64_t>(out, m.intervals().size());
+  for (const BroCooInterval& iv : m.intervals()) {
+    write_pod(out, iv.start_row);
+    write_pod<std::int32_t>(out, iv.bits);
+    write_mux(out, iv.stream);
+  }
+  write_vec(out, m.col_idx());
+  write_vec(out, m.vals());
+}
+
+BroCoo read_coo_body(std::istream& in) {
+  const auto rows = read_pod<index_t>(in);
+  const auto cols = read_pod<index_t>(in);
+  const auto nnz = read_pod<std::uint64_t>(in);
+  BroCooOptions opts;
+  opts.warp_size = read_pod<std::int32_t>(in);
+  opts.interval_cols = read_pod<std::int32_t>(in);
+  opts.sym_len = read_pod<std::int32_t>(in);
+  const auto n = read_pod<std::uint64_t>(in);
+  BRO_CHECK_MSG(n <= kSane, "implausible interval count");
+  std::vector<BroCooInterval> intervals(n);
+  for (auto& iv : intervals) {
+    iv.start_row = read_pod<index_t>(in);
+    iv.bits = read_pod<std::int32_t>(in);
+    iv.stream = read_mux(in);
+  }
+  auto col_idx = read_vec<index_t>(in, kSane);
+  auto vals = read_vec<value_t>(in, kSane);
+  return SerializeAccess::make_coo(rows, cols, nnz, opts, std::move(intervals),
+                                   std::move(col_idx), std::move(vals));
+}
+
+} // namespace
+
+void write_bro_ell(std::ostream& out, const BroEll& m) {
+  write_header(out, Tag::kBroEll);
+  write_ell_body(out, m);
+}
+
+BroEll read_bro_ell(std::istream& in) {
+  read_header(in, Tag::kBroEll);
+  return read_ell_body(in);
+}
+
+void write_bro_coo(std::ostream& out, const BroCoo& m) {
+  write_header(out, Tag::kBroCoo);
+  write_coo_body(out, m);
+}
+
+BroCoo read_bro_coo(std::istream& in) {
+  read_header(in, Tag::kBroCoo);
+  return read_coo_body(in);
+}
+
+void write_bro_hyb(std::ostream& out, const BroHyb& m) {
+  write_header(out, Tag::kBroHyb);
+  write_pod(out, m.rows());
+  write_pod(out, m.cols());
+  write_pod(out, m.split_width());
+  write_pod<std::uint64_t>(out, m.ell_nnz());
+  write_ell_body(out, m.ell_part());
+  write_coo_body(out, m.coo_part());
+}
+
+BroHyb read_bro_hyb(std::istream& in) {
+  read_header(in, Tag::kBroHyb);
+  const auto rows = read_pod<index_t>(in);
+  const auto cols = read_pod<index_t>(in);
+  const auto split_width = read_pod<index_t>(in);
+  const auto ell_nnz = read_pod<std::uint64_t>(in);
+  BroEll ell = read_ell_body(in);
+  BroCoo coo = read_coo_body(in);
+  return SerializeAccess::make_hyb(rows, cols, split_width, ell_nnz,
+                                   std::move(ell), std::move(coo));
+}
+
+void write_bro_csr(std::ostream& out, const BroCsr& m) {
+  write_header(out, Tag::kBroCsr);
+  write_pod(out, m.rows());
+  write_pod(out, m.cols());
+  write_pod<std::int32_t>(out, m.options().sym_len);
+  write_vec(out, m.row_ptr());
+  write_vec(out, m.bits_per_row());
+  write_vec(out, m.row_sym_ptr());
+  write_vec(out, m.vals());
+  // Raw bit-string words.
+  const bits::BitString& stream = SerializeAccess::csr_stream(m);
+  write_pod<std::uint64_t>(out, stream.size_bits());
+  write_vec(out, stream.words());
+}
+
+BroCsr read_bro_csr(std::istream& in) {
+  read_header(in, Tag::kBroCsr);
+  const auto rows = read_pod<index_t>(in);
+  const auto cols = read_pod<index_t>(in);
+  BroCsrOptions opts;
+  opts.sym_len = read_pod<std::int32_t>(in);
+  auto row_ptr = read_vec<index_t>(in, kSane);
+  auto bits_v = read_vec<std::uint8_t>(in, kSane);
+  auto sym_ptr = read_vec<std::uint32_t>(in, kSane);
+  auto vals = read_vec<value_t>(in, kSane);
+  const auto size_bits = read_pod<std::uint64_t>(in);
+  auto words = read_vec<std::uint64_t>(in, kSane);
+  return SerializeAccess::make_csr(
+      rows, cols, opts, std::move(row_ptr), std::move(bits_v),
+      std::move(sym_ptr), std::move(vals),
+      bits::BitString::from_words(std::move(words), size_bits));
+}
+
+void save_bro_ell(const std::string& path, const BroEll& m) {
+  std::ofstream out(path, std::ios::binary);
+  BRO_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  write_bro_ell(out, m);
+}
+
+BroEll load_bro_ell(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  BRO_CHECK_MSG(in.good(), "cannot open '" << path << '\'');
+  return read_bro_ell(in);
+}
+
+void save_bro_hyb(const std::string& path, const BroHyb& m) {
+  std::ofstream out(path, std::ios::binary);
+  BRO_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  write_bro_hyb(out, m);
+}
+
+BroHyb load_bro_hyb(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  BRO_CHECK_MSG(in.good(), "cannot open '" << path << '\'');
+  return read_bro_hyb(in);
+}
+
+} // namespace bro::core

@@ -1,0 +1,38 @@
+// Binary serialization of the compressed formats.
+//
+// The paper's deployment model is compress-once-offline, decode-every-
+// iteration-online; serialization completes it: a matrix is compressed on
+// any host, written as a .bro file, and loaded directly into SpMV-ready form
+// without recompression. The encoding is a tagged little-endian stream with
+// a magic/version header; malformed input throws std::runtime_error.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/bro_coo.h"
+#include "core/bro_csr.h"
+#include "core/bro_ell.h"
+#include "core/bro_hyb.h"
+
+namespace bro::core {
+
+void write_bro_ell(std::ostream& out, const BroEll& m);
+BroEll read_bro_ell(std::istream& in);
+
+void write_bro_coo(std::ostream& out, const BroCoo& m);
+BroCoo read_bro_coo(std::istream& in);
+
+void write_bro_hyb(std::ostream& out, const BroHyb& m);
+BroHyb read_bro_hyb(std::istream& in);
+
+void write_bro_csr(std::ostream& out, const BroCsr& m);
+BroCsr read_bro_csr(std::istream& in);
+
+// File-path conveniences.
+void save_bro_ell(const std::string& path, const BroEll& m);
+BroEll load_bro_ell(const std::string& path);
+void save_bro_hyb(const std::string& path, const BroHyb& m);
+BroHyb load_bro_hyb(const std::string& path);
+
+} // namespace bro::core

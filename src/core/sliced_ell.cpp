@@ -1,0 +1,77 @@
+#include "core/sliced_ell.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace bro::core {
+
+SlicedEll SlicedEll::build(const sparse::Ell& ell, int slice_height) {
+  BRO_CHECK(slice_height > 0);
+  SlicedEll out;
+  out.rows_ = ell.rows;
+  out.cols_ = ell.cols;
+  out.slice_height_ = slice_height;
+
+  const index_t h = slice_height;
+  for (index_t first = 0; first < ell.rows; first += h) {
+    SlicedEllSlice slice;
+    slice.first_row = first;
+    slice.height = std::min<index_t>(h, ell.rows - first);
+
+    for (index_t t = 0; t < slice.height; ++t) {
+      index_t len = 0;
+      while (len < ell.width && ell.col_at(first + t, len) != sparse::kPad)
+        ++len;
+      slice.num_col = std::max(slice.num_col, len);
+    }
+
+    const std::size_t entries = static_cast<std::size_t>(slice.height) *
+                                static_cast<std::size_t>(slice.num_col);
+    slice.col_idx.assign(entries, sparse::kPad);
+    slice.vals.assign(entries, value_t{0});
+    for (index_t t = 0; t < slice.height; ++t)
+      for (index_t c = 0; c < slice.num_col; ++c) {
+        if (c >= ell.width) break;
+        const index_t col = ell.col_at(first + t, c);
+        if (col == sparse::kPad) break;
+        slice.col_idx[static_cast<std::size_t>(c) * slice.height + t] = col;
+        slice.vals[static_cast<std::size_t>(c) * slice.height + t] =
+            ell.val_at(first + t, c);
+      }
+    out.slices_.push_back(std::move(slice));
+  }
+  return out;
+}
+
+void SlicedEll::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(cols_));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(rows_));
+  for (const SlicedEllSlice& s : slices_) {
+    for (index_t t = 0; t < s.height; ++t) {
+      value_t sum = 0;
+      for (index_t c = 0; c < s.num_col; ++c) {
+        const index_t col = s.col_idx[static_cast<std::size_t>(c) * s.height + t];
+        if (col == sparse::kPad) continue;
+        sum += s.vals[static_cast<std::size_t>(c) * s.height + t] *
+               x[static_cast<std::size_t>(col)];
+      }
+      y[static_cast<std::size_t>(s.first_row + t)] = sum;
+    }
+  }
+}
+
+std::size_t SlicedEll::index_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : slices_)
+    total += s.col_idx.size() * sizeof(index_t) + sizeof(index_t); // + num_col
+  return total;
+}
+
+std::size_t SlicedEll::value_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : slices_) total += s.vals.size() * sizeof(value_t);
+  return total;
+}
+
+} // namespace bro::core

@@ -1,0 +1,54 @@
+// Sliced-ELLPACK (Monakov et al., HiPEAC'10) — the uncompressed half of
+// BRO-ELL. Rows are partitioned into slices of `slice_height`; each slice
+// stores its col_idx/vals padded only to the slice's own maximum row length
+// (num_col), in slice-local column-major order.
+//
+// This is implemented both as a baseline from the paper's related work and
+// as the key ablation for BRO-ELL: comparing ELLPACK -> Sliced-ELLPACK ->
+// BRO-ELL separates how much of BRO-ELL's win comes from per-slice width
+// adaptation versus from index compression.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/ell.h"
+
+namespace bro::core {
+
+struct SlicedEllSlice {
+  index_t first_row = 0;
+  index_t height = 0;
+  index_t num_col = 0;
+  // Slice-local column-major: entry (t, c) at [c * height + t].
+  std::vector<index_t> col_idx;
+  std::vector<value_t> vals;
+};
+
+class SlicedEll {
+ public:
+  static SlicedEll build(const sparse::Ell& ell, int slice_height = 256);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  int slice_height() const { return slice_height_; }
+  const std::vector<SlicedEllSlice>& slices() const { return slices_; }
+
+  /// y = A * x.
+  void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+  /// Stored index bytes (the quantity BRO-ELL further compresses).
+  std::size_t index_bytes() const;
+
+  /// Total stored value bytes.
+  std::size_t value_bytes() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  int slice_height_ = 256;
+  std::vector<SlicedEllSlice> slices_;
+};
+
+} // namespace bro::core

@@ -1,0 +1,80 @@
+#include "gpusim/device.h"
+
+namespace bro::sim {
+
+DeviceSpec tesla_c2070() {
+  DeviceSpec d;
+  d.name = "Tesla C2070";
+  d.compute_capability = 2.0;
+  d.sm_count = 14;
+  d.cores_per_sm = 32;
+  d.clock_ghz = 1.15;
+  d.peak_bw_gbps = 144.0;
+  d.measured_bw_gbps = 114.0;
+  d.dp_gflops = 515.0;
+  d.max_warps_per_sm = 48;
+  d.l2_bytes = 768 * 1024;
+  d.tex_cache_bytes_per_sm = 12 * 1024;
+  d.int_ops_per_cycle_sm = 32;
+  d.ls_per_cycle_sm = 1.0; // L1/LSU: ~one 128 B line segment per cycle
+  d.shfl_ops_per_cycle_sm = 16;
+  d.mem_latency_cycles = 600;
+  d.mlp_per_warp = 4.0;
+  return d;
+}
+
+DeviceSpec gtx680() {
+  DeviceSpec d;
+  d.name = "GTX680";
+  d.compute_capability = 3.0;
+  d.sm_count = 8;
+  d.cores_per_sm = 192;
+  d.clock_ghz = 1.006;
+  d.peak_bw_gbps = 192.3;
+  d.measured_bw_gbps = 149.0;
+  d.dp_gflops = 129.0;
+  d.max_warps_per_sm = 64;
+  d.max_blocks_per_sm = 16;
+  d.l2_bytes = 512 * 1024;
+  d.tex_cache_bytes_per_sm = 12 * 1024; // GK104 texture cache
+  d.int_ops_per_cycle_sm = 144; // GK104 effective rate for the decode mix
+  d.ls_per_cycle_sm = 2.0; // wider LSU datapath than Fermi
+  d.shfl_ops_per_cycle_sm = 32;
+  // Kepler: lower-latency cache hierarchy than Fermi (paper §4.2.3), but the
+  // wider SMX needs more warps in flight per SM to cover it.
+  d.mem_latency_cycles = 450;
+  d.mlp_per_warp = 2.5;
+  return d;
+}
+
+DeviceSpec tesla_k20() {
+  DeviceSpec d;
+  d.name = "Tesla K20";
+  d.compute_capability = 3.5;
+  d.sm_count = 13;
+  d.cores_per_sm = 192;
+  d.clock_ghz = 0.706;
+  d.peak_bw_gbps = 208.0;
+  d.measured_bw_gbps = 159.0;
+  d.dp_gflops = 1170.0;
+  d.max_warps_per_sm = 64;
+  d.max_blocks_per_sm = 16;
+  d.l2_bytes = 1280 * 1024;
+  d.tex_cache_bytes_per_sm = 48 * 1024; // GK110 read-only data cache
+  // GK110 issues the shift-heavy decode mix at roughly a third of GK104's
+  // per-clock rate (32-bit shift units are quarter-rate on GK110).
+  d.int_ops_per_cycle_sm = 52;
+  d.ls_per_cycle_sm = 2.0;
+  d.shfl_ops_per_cycle_sm = 32;
+  d.mem_latency_cycles = 500;
+  d.mlp_per_warp = 2.5;
+  return d;
+}
+
+const std::vector<DeviceSpec>& all_devices() {
+  static const std::vector<DeviceSpec> devices = {tesla_c2070(), gtx680(),
+                                                  tesla_k20()};
+  return devices;
+}
+
+} // namespace bro::sim

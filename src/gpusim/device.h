@@ -1,0 +1,83 @@
+// GPU device models (Table 1 of the paper) and the analytic performance
+// constants the simulator uses.
+//
+// The simulator is a *trace-driven analytic* model, not cycle-accurate: SpMV
+// kernels execute functionally warp-by-warp while the simulator counts DRAM
+// transactions (128 B coalescing), cache behaviour and per-SM instruction
+// issue; the runtime estimate is a roofline combination of those counts with
+// an occupancy-limited bandwidth term (Little's law). This captures the
+// first-order effects the paper reports: memory-boundedness, decompression
+// overhead break-evens, and underutilization when a matrix has too few rows
+// to fill a wide GPU.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bro::sim {
+
+struct DeviceSpec {
+  std::string name;
+
+  // Table 1 headline numbers.
+  double compute_capability = 2.0;
+  int sm_count = 14;
+  int cores_per_sm = 32;
+  double clock_ghz = 1.15;
+  double peak_bw_gbps = 144.0;     // pin bandwidth (GB/s)
+  double measured_bw_gbps = 114.0; // achievable (paper §4.1)
+  double dp_gflops = 515.0;        // peak double-precision rate
+
+  // Microarchitectural model constants.
+  int warp_size = 32;
+  int max_warps_per_sm = 48;
+  int max_blocks_per_sm = 8;
+  std::size_t l2_bytes = 768 * 1024;
+  std::size_t tex_cache_bytes_per_sm = 12 * 1024;
+  int cacheline_bytes = 128; // global-memory coalescing granularity
+  int tex_line_bytes = 32;   // texture fetch granularity
+
+  // Issue throughputs, operations per cycle per SM. The integer rate is the
+  // effective throughput of the shift/mask/add decode mix: full ALU rate on
+  // Fermi (32/SM) and GK104 (160/SMX), but shift-limited on GK110 (64/SMX) —
+  // this is what makes the K20 need the largest space savings before BRO-ELL
+  // beats ELLPACK (paper Fig. 3: 17% / 9% / 23% break-evens).
+  double int_ops_per_cycle_sm = 32;  // integer ALU (decode loop cost)
+  // Load/store throughput in *memory transactions* (cache-line segments)
+  // per cycle per SM. Uncoalesced warp accesses replay once per segment,
+  // so this is what makes scattered access issue-bound, not just
+  // bandwidth-bound.
+  double ls_per_cycle_sm = 1.0;
+  double shfl_ops_per_cycle_sm = 16; // shuffle / shared-memory exchange
+
+  // Fraction of the smaller roofline term exposed rather than overlapped:
+  // T = max(T_mem, T_compute) + overlap_alpha * min(...). Real kernels never
+  // overlap perfectly; the decode chain is data-dependent on loaded symbols.
+  double overlap_alpha = 0.35;
+
+  // Memory-level parallelism model (Little's law bandwidth ceiling).
+  double mem_latency_cycles = 600;
+  double mlp_per_warp = 4.0; // outstanding cache-line misses per warp
+
+  double kernel_launch_us = 5.0; // fixed per-kernel-invocation overhead
+
+  /// Double-precision FMA issue rate per cycle per SM (2 flops per FMA).
+  double dp_fma_per_cycle_sm() const {
+    return dp_gflops / 2.0 / clock_ghz / sm_count;
+  }
+};
+
+/// Tesla C2070 (Fermi), Table 1 column 1.
+DeviceSpec tesla_c2070();
+
+/// GeForce GTX680 (Kepler GK104), Table 1 column 2.
+DeviceSpec gtx680();
+
+/// Tesla K20 (Kepler GK110), Table 1 column 3.
+DeviceSpec tesla_k20();
+
+/// The three devices in Table 1 order.
+const std::vector<DeviceSpec>& all_devices();
+
+} // namespace bro::sim

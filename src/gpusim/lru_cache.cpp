@@ -1,0 +1,71 @@
+#include "gpusim/lru_cache.h"
+
+namespace bro::sim {
+
+LruCache::LruCache(std::size_t capacity_bytes, int line_bytes)
+    : capacity_lines_(line_bytes > 0 ? capacity_bytes / line_bytes : 0),
+      line_bytes_(line_bytes > 0 ? line_bytes : 1) {
+  map_.reserve(capacity_lines_ * 2);
+  nodes_.reserve(capacity_lines_);
+}
+
+bool LruCache::access(std::uint64_t addr) { return access_tag(tag_of(addr)); }
+
+bool LruCache::access_tag(std::uint64_t tag) {
+  if (capacity_lines_ == 0) {
+    ++misses_;
+    return false;
+  }
+  const auto it = map_.find(tag);
+  if (it != map_.end()) {
+    ++hits_;
+    const std::int32_t i = it->second;
+    if (i != head_) {
+      unlink(i);
+      push_front(i);
+    }
+    return true;
+  }
+
+  ++misses_;
+  std::int32_t i;
+  if (nodes_.size() < capacity_lines_) {
+    i = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back({tag, -1, -1});
+  } else {
+    i = tail_; // evict LRU
+    map_.erase(nodes_[i].tag);
+    unlink(i);
+    nodes_[i].tag = tag;
+  }
+  push_front(i);
+  map_.emplace(tag, i);
+  return false;
+}
+
+void LruCache::clear() {
+  map_.clear();
+  nodes_.clear();
+  head_ = tail_ = -1;
+  hits_ = misses_ = 0;
+}
+
+void LruCache::unlink(std::int32_t i) {
+  Node& n = nodes_[i];
+  if (n.prev >= 0) nodes_[n.prev].next = n.next;
+  else head_ = n.next;
+  if (n.next >= 0) nodes_[n.next].prev = n.prev;
+  else tail_ = n.prev;
+  n.prev = n.next = -1;
+}
+
+void LruCache::push_front(std::int32_t i) {
+  Node& n = nodes_[i];
+  n.prev = -1;
+  n.next = head_;
+  if (head_ >= 0) nodes_[head_].prev = i;
+  head_ = i;
+  if (tail_ < 0) tail_ = i;
+}
+
+} // namespace bro::sim

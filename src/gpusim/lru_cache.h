@@ -1,0 +1,61 @@
+// Fully-associative LRU cache over fixed-size lines, used to model both the
+// shared L2 and the per-SM texture / read-only caches.
+//
+// Implementation: hash map from line tag to an index in an intrusive doubly
+// linked list kept in a flat vector (no per-node allocation on the hot path
+// once warmed up).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace bro::sim {
+
+class LruCache {
+ public:
+  /// capacity_bytes / line_bytes lines; capacity 0 disables the cache
+  /// (every access misses).
+  LruCache(std::size_t capacity_bytes, int line_bytes);
+
+  int line_bytes() const { return line_bytes_; }
+  std::size_t capacity_lines() const { return capacity_lines_; }
+
+  /// Tag for an address (line-granular).
+  std::uint64_t tag_of(std::uint64_t addr) const {
+    return addr / static_cast<std::uint64_t>(line_bytes_);
+  }
+
+  /// Access the line containing `addr`; returns true on hit. On miss the
+  /// line is installed, evicting the least recently used line if full.
+  bool access(std::uint64_t addr);
+
+  /// Access by precomputed tag.
+  bool access_tag(std::uint64_t tag);
+
+  void clear();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Node {
+    std::uint64_t tag;
+    std::int32_t prev;
+    std::int32_t next;
+  };
+
+  void unlink(std::int32_t i);
+  void push_front(std::int32_t i);
+
+  std::size_t capacity_lines_;
+  int line_bytes_;
+  std::unordered_map<std::uint64_t, std::int32_t> map_;
+  std::vector<Node> nodes_;
+  std::int32_t head_ = -1;
+  std::int32_t tail_ = -1;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+} // namespace bro::sim

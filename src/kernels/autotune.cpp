@@ -1,0 +1,85 @@
+#include "kernels/autotune.h"
+
+#include <algorithm>
+
+#include "core/savings.h"
+#include "kernels/sim_spmv_ext.h"
+#include "sparse/convert.h"
+#include "util/rng.h"
+
+namespace bro::kernels {
+
+TuneResult autotune(const sparse::Csr& csr, const sim::DeviceSpec& dev,
+                    const TuneOptions& opts) {
+  // A deterministic probe vector; the access pattern, not the values,
+  // drives the simulated performance.
+  Rng rng(2013);
+  std::vector<value_t> x(static_cast<std::size_t>(csr.cols));
+  for (auto& v : x) v = rng.uniform() * 2 - 1;
+
+  const bool ell_viable =
+      csr.nnz() > 0 &&
+      static_cast<double>(csr.rows) * csr.max_row_length() <=
+          opts.max_ell_expand * static_cast<double>(csr.nnz());
+
+  TuneResult result;
+  const auto add = [&](core::Format f, double gflops, double eta) {
+    result.ranking.push_back({f, gflops, eta, true});
+  };
+
+  const sparse::Coo coo = sparse::csr_to_coo(csr);
+  add(core::Format::kCoo, sim_spmv_coo(dev, coo, x).time.gflops, 0.0);
+  {
+    const auto bro =
+        core::BroCoo::compress(coo, bro_coo_options_for(coo.nnz(), dev));
+    add(core::Format::kBroCoo, sim_spmv_bro_coo(dev, bro, x).time.gflops,
+        core::make_savings(bro.original_row_bytes(), bro.compressed_row_bytes())
+            .eta());
+  }
+
+  if (ell_viable) {
+    const sparse::Ell ell = sparse::csr_to_ell(csr);
+    add(core::Format::kEll, sim_spmv_ell(dev, ell, x).time.gflops, 0.0);
+    add(core::Format::kEllR,
+        sim_spmv_ellr(dev, sparse::csr_to_ellr(csr), x).time.gflops, 0.0);
+    const auto bro = core::BroEll::compress(ell);
+    add(core::Format::kBroEll, sim_spmv_bro_ell(dev, bro, x).time.gflops,
+        core::make_savings(bro.original_index_bytes(),
+                           bro.compressed_index_bytes())
+            .eta());
+  } else {
+    result.ranking.push_back({core::Format::kEll, 0, 0, false});
+    result.ranking.push_back({core::Format::kEllR, 0, 0, false});
+    result.ranking.push_back({core::Format::kBroEll, 0, 0, false});
+  }
+
+  {
+    const sparse::Hyb hyb = sparse::csr_to_hyb(csr);
+    add(core::Format::kHyb, sim_spmv_hyb(dev, hyb, x).time.gflops, 0.0);
+    core::BroHybOptions ho;
+    ho.width_override = hyb.ell.width;
+    ho.coo = bro_coo_options_for(hyb.coo.nnz(), dev);
+    const auto bro = core::BroHyb::compress(csr, ho);
+    add(core::Format::kBroHyb, sim_spmv_bro_hyb(dev, bro, x).time.gflops,
+        core::make_savings(bro.original_index_bytes(),
+                           bro.compressed_index_bytes())
+            .eta());
+  }
+
+  if (opts.include_extensions) {
+    const auto bro = core::BroCsr::compress(csr);
+    add(core::Format::kBroCsr, sim_spmv_bro_csr(dev, bro, x).time.gflops,
+        core::make_savings(bro.original_index_bytes(),
+                           bro.compressed_index_bytes())
+            .eta());
+  }
+
+  std::stable_sort(result.ranking.begin(), result.ranking.end(),
+                   [](const TuneEntry& a, const TuneEntry& b) {
+                     if (a.applicable != b.applicable) return a.applicable;
+                     return a.gflops > b.gflops;
+                   });
+  return result;
+}
+
+} // namespace bro::kernels

@@ -1,0 +1,234 @@
+#include "kernels/native_spmv.h"
+
+#include <algorithm>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "bits/bitwidth.h"
+#include "bits/delta.h"
+#include "util/error.h"
+
+namespace bro::kernels {
+
+void native_spmv_csr(const sparse::Csr& a, std::span<const value_t> x,
+                     std::span<value_t> y) {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+#pragma omp parallel for schedule(guided)
+  for (index_t r = 0; r < a.rows; ++r) {
+    value_t sum = 0;
+    for (index_t p = a.row_ptr[r]; p < a.row_ptr[r + 1]; ++p)
+      sum += a.vals[p] * x[static_cast<std::size_t>(a.col_idx[p])];
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+}
+
+void native_spmv_ell(const sparse::Ell& a, std::span<const value_t> x,
+                     std::span<value_t> y) {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+#pragma omp parallel for schedule(static)
+  for (index_t r = 0; r < a.rows; ++r) {
+    value_t sum = 0;
+    for (index_t j = 0; j < a.width; ++j) {
+      const index_t c = a.col_at(r, j);
+      if (c == sparse::kPad) break; // rows are left-packed
+      sum += a.val_at(r, j) * x[static_cast<std::size_t>(c)];
+    }
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+}
+
+void native_spmv_ellr(const sparse::EllR& a, std::span<const value_t> x,
+                      std::span<value_t> y) {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(a.ell.cols));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(a.ell.rows));
+#pragma omp parallel for schedule(static)
+  for (index_t r = 0; r < a.ell.rows; ++r) {
+    value_t sum = 0;
+    const index_t len = a.row_length[static_cast<std::size_t>(r)];
+    for (index_t j = 0; j < len; ++j)
+      sum += a.ell.val_at(r, j) *
+             x[static_cast<std::size_t>(a.ell.col_at(r, j))];
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+}
+
+void native_spmv_coo(const sparse::Coo& a, std::span<const value_t> x,
+                     std::span<value_t> y) {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+  std::fill(y.begin(), y.end(), value_t{0});
+  const std::size_t n = a.nnz();
+  if (n == 0) return;
+
+#pragma omp parallel
+  {
+#ifdef _OPENMP
+    const int tid = omp_get_thread_num();
+    const int threads = omp_get_num_threads();
+#else
+    const int tid = 0;
+    const int threads = 1;
+#endif
+    // Balanced entry split with boundaries snapped forward to row changes,
+    // so each thread owns complete rows and writes race-free.
+    auto snap = [&](std::size_t i) {
+      while (i > 0 && i < n && a.row_idx[i] == a.row_idx[i - 1]) ++i;
+      return std::min(i, n);
+    };
+    const std::size_t lo = snap(n * static_cast<std::size_t>(tid) /
+                                static_cast<std::size_t>(threads));
+    const std::size_t hi = snap(n * (static_cast<std::size_t>(tid) + 1) /
+                                static_cast<std::size_t>(threads));
+    for (std::size_t i = lo; i < hi; ++i)
+      y[static_cast<std::size_t>(a.row_idx[i])] +=
+          a.vals[i] * x[static_cast<std::size_t>(a.col_idx[i])];
+  }
+}
+
+void native_spmv_hyb(const sparse::Hyb& a, std::span<const value_t> x,
+                     std::span<value_t> y) {
+  native_spmv_ell(a.ell, x, y);
+  // Accumulate the COO overflow on top (sequential: the overflow is small
+  // by construction of the split heuristic).
+  for (std::size_t i = 0; i < a.coo.nnz(); ++i)
+    y[static_cast<std::size_t>(a.coo.row_idx[i])] +=
+        a.coo.vals[i] * x[static_cast<std::size_t>(a.coo.col_idx[i])];
+}
+
+void native_spmv_bro_ell(const core::BroEll& a, std::span<const value_t> x,
+                         std::span<value_t> y) {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols()));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(a.rows()));
+  const auto& slices = a.slices();
+  const int sym_len = a.options().sym_len;
+  const index_t m = a.rows();
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::size_t si = 0; si < slices.size(); ++si) {
+    const core::BroEllSlice& slice = slices[si];
+    for (index_t t = 0; t < slice.height; ++t) {
+      const index_t r = slice.first_row + t;
+      core::RowStreamDecoder dec(slice, t, sym_len);
+      index_t col = -1;
+      value_t sum = 0;
+      for (index_t c = 0; c < slice.num_col; ++c) {
+        const std::uint32_t d =
+            dec.next(slice.bit_alloc[static_cast<std::size_t>(c)]);
+        if (d != bits::kInvalidDelta) {
+          col += static_cast<index_t>(d);
+          sum += a.vals()[static_cast<std::size_t>(c) * m + r] *
+                 x[static_cast<std::size_t>(col)];
+        }
+      }
+      y[static_cast<std::size_t>(r)] = sum;
+    }
+  }
+}
+
+void native_spmv_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
+                         std::span<value_t> y) {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols()));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(a.rows()));
+  std::fill(y.begin(), y.end(), value_t{0});
+  const auto& intervals = a.intervals();
+  if (intervals.empty()) return;
+
+  const int w = a.options().warp_size;
+  const int cols = a.options().interval_cols;
+  const int sym_len = a.options().sym_len;
+  const std::size_t interval_size =
+      static_cast<std::size_t>(w) * static_cast<std::size_t>(cols);
+
+  // Interval-boundary rows may be shared with the neighbouring interval;
+  // their partial sums go into per-interval carries, merged sequentially.
+  struct Carry {
+    index_t first_row = 0, last_row = 0;
+    value_t first_sum = 0, last_sum = 0;
+  };
+  std::vector<Carry> carries(intervals.size());
+
+#pragma omp parallel for schedule(dynamic, 4)
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const auto& iv = intervals[i];
+    const std::size_t base = i * interval_size;
+    Carry carry;
+    carry.first_row = iv.start_row;
+
+    // Decode lanes and accumulate. Lane j covers entries base + c*w + j.
+    // Find the interval's last row first (lane w-1 ends the interval).
+    index_t last_row = iv.start_row;
+    for (int j = 0; j < w; ++j) {
+      std::uint64_t sym = 0;
+      int rb = 0;
+      index_t loads = 0;
+      index_t row = iv.start_row;
+      for (int c = 0; c < cols; ++c) {
+        std::uint64_t d;
+        if (iv.bits <= rb) {
+          d = (sym >> (rb - iv.bits)) & bits::max_value_for_bits(iv.bits);
+          rb -= iv.bits;
+        } else {
+          const int high = rb;
+          d = high > 0 ? (sym & bits::max_value_for_bits(high)) : 0;
+          sym = iv.stream.at(static_cast<std::size_t>(loads),
+                             static_cast<std::size_t>(j));
+          ++loads;
+          rb = sym_len;
+          const int low = iv.bits - high;
+          d = (d << low) |
+              ((sym >> (rb - low)) & bits::max_value_for_bits(low));
+          rb -= low;
+        }
+        row += static_cast<index_t>(d);
+        const std::size_t e = base + static_cast<std::size_t>(c) * w +
+                              static_cast<std::size_t>(j);
+        const value_t contrib =
+            a.vals()[e] * x[static_cast<std::size_t>(a.col_idx()[e])];
+        if (row == iv.start_row) {
+          carry.first_sum += contrib;
+        } else {
+          // Rows strictly inside the interval are exclusive to it; the
+          // interval's maximum row is carried (it may continue next door).
+          if (row > last_row) {
+            // Flush the previous candidate "last row" into y: it turned out
+            // not to be the final row of the interval.
+            if (last_row != iv.start_row)
+              y[static_cast<std::size_t>(last_row)] += carry.last_sum;
+            carry.last_sum = 0;
+            last_row = row;
+          }
+          if (row == last_row) {
+            carry.last_sum += contrib;
+          } else {
+            y[static_cast<std::size_t>(row)] += contrib;
+          }
+        }
+      }
+    }
+    carry.last_row = last_row;
+    carries[i] = carry;
+  }
+
+  // Sequential carry resolution (tiny: two sums per interval).
+  for (const Carry& c : carries) {
+    y[static_cast<std::size_t>(c.first_row)] += c.first_sum;
+    if (c.last_row != c.first_row)
+      y[static_cast<std::size_t>(c.last_row)] += c.last_sum;
+  }
+}
+
+void native_spmv_bro_hyb(const core::BroHyb& a, std::span<const value_t> x,
+                         std::span<value_t> y) {
+  native_spmv_bro_ell(a.ell_part(), x, y);
+  if (a.coo_part().nnz() > 0) {
+    std::vector<value_t> y_coo(y.size(), value_t{0});
+    native_spmv_bro_coo(a.coo_part(), x, y_coo);
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] += y_coo[i];
+  }
+}
+
+} // namespace bro::kernels

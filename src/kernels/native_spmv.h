@@ -1,0 +1,44 @@
+// OpenMP-parallel host SpMV kernels: the real wall-clock measurement path
+// used by the google-benchmark binaries (the simulator path models GPU
+// behaviour; this path demonstrates the library on actual hardware).
+#pragma once
+
+#include <span>
+
+#include "core/bro_coo.h"
+#include "core/bro_ell.h"
+#include "core/bro_hyb.h"
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+#include "sparse/ell.h"
+#include "sparse/hyb.h"
+
+namespace bro::kernels {
+
+void native_spmv_csr(const sparse::Csr& a, std::span<const value_t> x,
+                     std::span<value_t> y);
+
+void native_spmv_ell(const sparse::Ell& a, std::span<const value_t> x,
+                     std::span<value_t> y);
+
+void native_spmv_ellr(const sparse::EllR& a, std::span<const value_t> x,
+                      std::span<value_t> y);
+
+/// COO via per-thread row-range partitioning (entries are row-sorted, so a
+/// balanced split on entry count with boundary fix-up is race-free).
+void native_spmv_coo(const sparse::Coo& a, std::span<const value_t> x,
+                     std::span<value_t> y);
+
+void native_spmv_hyb(const sparse::Hyb& a, std::span<const value_t> x,
+                     std::span<value_t> y);
+
+void native_spmv_bro_ell(const core::BroEll& a, std::span<const value_t> x,
+                         std::span<value_t> y);
+
+void native_spmv_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
+                         std::span<value_t> y);
+
+void native_spmv_bro_hyb(const core::BroHyb& a, std::span<const value_t> x,
+                         std::span<value_t> y);
+
+} // namespace bro::kernels

@@ -1,0 +1,92 @@
+// GPU-simulator SpMV kernels for every storage format the paper evaluates.
+//
+// Each kernel walks the launch grid warp-by-warp exactly as the CUDA kernels
+// of Bell & Garland / the paper do, computes the real numerical result, and
+// reports its memory/instruction trace to a SimContext. The returned
+// TimeEstimate is what the benches plot as GFlop/s; the paper's GFlop/s are
+// 2*nnz / time (padding work does not count as useful flops).
+//
+// Instruction-cost constants below are the model's calibration knobs. They
+// set the relative weight of index arithmetic, Algorithm-1 decoding and the
+// COO segmented scan against FMA and load-issue work; the Fig. 3 breakeven
+// points (space savings needed before BRO-ELL beats ELLPACK) are the
+// observable they calibrate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/bro_coo.h"
+#include "core/bro_ell.h"
+#include "core/bro_hyb.h"
+#include "gpusim/sim.h"
+#include "sparse/coo.h"
+#include "sparse/ell.h"
+#include "sparse/hyb.h"
+
+namespace bro::kernels {
+
+// --- calibration constants (per thread, per inner-loop iteration) ---
+inline constexpr int kEllIterIntOps = 2;     // address calc + padding test
+inline constexpr int kEllRIterIntOps = 2;    // address calc + loop bound
+inline constexpr int kBroDecodeIntOps = 9;   // Algorithm 1 lines 5-18
+inline constexpr int kCooIterIntOps = 3;     // index calc + segment compare
+inline constexpr int kCooScanSteps = 5;      // log2(warp) segmented-scan steps
+inline constexpr int kBroCooDecodeIntOps = 6;
+
+struct SimResult {
+  sim::KernelStats stats;
+  sim::TimeEstimate time;
+  std::vector<value_t> y;
+  int launches = 1;
+};
+
+/// Sum of two sequential kernel launches (used by the HYB variants).
+SimResult combine(SimResult first, const SimResult& second);
+
+/// Device-matched BRO-COO compression options: pick the interval length so
+/// the warp count fills the device (the same sizing rule the COO kernel
+/// uses), clamped to [1, 64] iterations per lane.
+core::BroCooOptions bro_coo_options_for(std::size_t nnz,
+                                        const sim::DeviceSpec& dev);
+
+SimResult sim_spmv_ell(const sim::DeviceSpec& dev, const sparse::Ell& a,
+                       std::span<const value_t> x);
+
+SimResult sim_spmv_ellr(const sim::DeviceSpec& dev, const sparse::EllR& a,
+                        std::span<const value_t> x);
+
+SimResult sim_spmv_bro_ell(const sim::DeviceSpec& dev, const core::BroEll& a,
+                           std::span<const value_t> x);
+
+SimResult sim_spmv_coo(const sim::DeviceSpec& dev, const sparse::Coo& a,
+                       std::span<const value_t> x);
+
+/// CSR baselines from Bell & Garland (paper §2/§5 background): thread-per-row
+/// (poorly coalesced by construction) and warp-per-row variants.
+SimResult sim_spmv_csr_scalar(const sim::DeviceSpec& dev, const sparse::Csr& a,
+                              std::span<const value_t> x);
+SimResult sim_spmv_csr_vector(const sim::DeviceSpec& dev, const sparse::Csr& a,
+                              std::span<const value_t> x);
+
+SimResult sim_spmv_bro_coo(const sim::DeviceSpec& dev, const core::BroCoo& a,
+                           std::span<const value_t> x);
+
+SimResult sim_spmv_hyb(const sim::DeviceSpec& dev, const sparse::Hyb& a,
+                       std::span<const value_t> x);
+
+SimResult sim_spmv_bro_hyb(const sim::DeviceSpec& dev, const core::BroHyb& a,
+                           std::span<const value_t> x);
+
+// Internal entry points that accumulate into an existing y (the COO halves
+// of the HYB kernels). Exposed for the HYB implementations and tests.
+SimResult sim_spmv_coo_accumulate(const sim::DeviceSpec& dev,
+                                  const sparse::Coo& a,
+                                  std::span<const value_t> x,
+                                  std::span<value_t> y);
+SimResult sim_spmv_bro_coo_accumulate(const sim::DeviceSpec& dev,
+                                      const core::BroCoo& a,
+                                      std::span<const value_t> x,
+                                      std::span<value_t> y);
+
+} // namespace bro::kernels

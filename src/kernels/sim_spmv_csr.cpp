@@ -1,0 +1,183 @@
+// CSR simulator kernels (Bell & Garland's scalar and vector variants).
+//
+// These are background/related-work baselines (paper §2, §5): CSR-scalar
+// maps one thread per row — its col/val accesses stride by row length, so
+// the coalescer splinters each warp access into many transactions. The
+// vector variant maps a warp per row, restoring coalescing at the cost of a
+// per-row shuffle reduction. The classic result (scalar << vector <= ELL
+// for regular matrices) emerges from the transaction counts alone.
+#include <algorithm>
+#include <array>
+
+#include "kernels/sim_spmv.h"
+#include "util/error.h"
+
+namespace bro::kernels {
+
+namespace {
+
+constexpr int kWarp = 32;
+constexpr int kBlockSize = 256;
+
+using AddrArray = std::array<std::uint64_t, kWarp>;
+
+} // namespace
+
+SimResult sim_spmv_csr_scalar(const sim::DeviceSpec& dev, const sparse::Csr& a,
+                              std::span<const value_t> x) {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  const index_t m = a.rows;
+  const std::uint64_t blocks = std::max<std::uint64_t>(
+      1, (static_cast<std::uint64_t>(m) + kBlockSize - 1) / kBlockSize);
+  sim::SimContext sim(dev, {blocks, kBlockSize});
+  const auto ptr_arr = sim.alloc(static_cast<std::uint64_t>(m) + 1, sizeof(index_t));
+  const auto col_arr = sim.alloc(a.nnz(), sizeof(index_t));
+  const auto val_arr = sim.alloc(a.nnz(), sizeof(value_t));
+  const auto x_arr = sim.alloc(x.size(), sizeof(value_t));
+  const auto y_arr = sim.alloc(static_cast<std::uint64_t>(m), sizeof(value_t));
+
+  SimResult res;
+  res.y.assign(static_cast<std::size_t>(m), value_t{0});
+
+  AddrArray addrs{};
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    auto blk = sim.begin_block(b);
+    const index_t b0 = static_cast<index_t>(b) * kBlockSize;
+    const index_t block_rows = std::min<index_t>(kBlockSize, m - b0);
+    if (block_rows <= 0) break;
+
+    // row_ptr loads (coalesced, one pass per warp).
+    for (index_t t0 = 0; t0 < block_rows; t0 += kWarp) {
+      const int lanes = std::min<index_t>(kWarp, block_rows - t0);
+      for (int l = 0; l < kWarp; ++l)
+        addrs[static_cast<std::size_t>(l)] =
+            l < lanes ? ptr_arr.addr(static_cast<std::uint64_t>(b0 + t0 + l))
+                      : sim::kInactive;
+      blk.load_global(addrs, sizeof(index_t));
+    }
+
+    index_t longest = 0;
+    for (index_t t = 0; t < block_rows; ++t)
+      longest = std::max(longest, a.row_length(b0 + t));
+
+    // Iterations are simulated j-outer across all of the block's warps —
+    // the order the hardware scheduler interleaves them — so a warp's
+    // row-walk cannot monopolize the (shared) caches between iterations.
+    // Lane l reads its own row's j-th element: addresses stride by the row
+    // starts, so coalescing is poor by construction.
+    for (index_t j = 0; j < longest; ++j) {
+      for (index_t t0 = 0; t0 < block_rows; t0 += kWarp) {
+        const int lanes = std::min<index_t>(kWarp, block_rows - t0);
+        AddrArray caddrs{};
+        AddrArray vaddrs{};
+        AddrArray xaddrs{};
+        int active = 0;
+        for (int l = 0; l < kWarp; ++l) {
+          caddrs[static_cast<std::size_t>(l)] = sim::kInactive;
+          vaddrs[static_cast<std::size_t>(l)] = sim::kInactive;
+          xaddrs[static_cast<std::size_t>(l)] = sim::kInactive;
+          if (l >= lanes) continue;
+          const index_t r = b0 + t0 + l;
+          if (j >= a.row_length(r)) continue;
+          const std::uint64_t p =
+              static_cast<std::uint64_t>(a.row_ptr[r]) + static_cast<std::uint64_t>(j);
+          const index_t c = a.col_idx[p];
+          caddrs[static_cast<std::size_t>(l)] = col_arr.addr(p);
+          vaddrs[static_cast<std::size_t>(l)] = val_arr.addr(p);
+          xaddrs[static_cast<std::size_t>(l)] =
+              x_arr.addr(static_cast<std::uint64_t>(c));
+          res.y[static_cast<std::size_t>(r)] +=
+              a.vals[p] * x[static_cast<std::size_t>(c)];
+          ++active;
+        }
+        if (active > 0) {
+          blk.load_global(caddrs, sizeof(index_t));
+          blk.load_global(vaddrs, sizeof(value_t));
+          blk.load_texture(xaddrs, sizeof(value_t));
+          blk.add_dp_fma(static_cast<std::uint64_t>(active));
+          blk.add_int_ops(static_cast<std::uint64_t>(active) * kEllIterIntOps);
+        }
+      }
+    }
+
+    for (index_t t0 = 0; t0 < block_rows; t0 += kWarp) {
+      const int lanes = std::min<index_t>(kWarp, block_rows - t0);
+      for (int l = 0; l < kWarp; ++l)
+        addrs[static_cast<std::size_t>(l)] =
+            l < lanes ? y_arr.addr(static_cast<std::uint64_t>(b0 + t0 + l))
+                      : sim::kInactive;
+      blk.store_global(addrs, sizeof(value_t));
+    }
+  }
+
+  res.stats = sim.stats();
+  res.time = sim.estimate(2.0 * static_cast<double>(a.nnz()));
+  return res;
+}
+
+SimResult sim_spmv_csr_vector(const sim::DeviceSpec& dev, const sparse::Csr& a,
+                              std::span<const value_t> x) {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  const index_t m = a.rows;
+  // One warp per row.
+  const std::uint64_t warps = std::max<index_t>(1, m);
+  const std::uint64_t blocks =
+      (warps * kWarp + kBlockSize - 1) / kBlockSize;
+  sim::SimContext sim(dev, {blocks, kBlockSize});
+  const auto col_arr = sim.alloc(a.nnz(), sizeof(index_t));
+  const auto val_arr = sim.alloc(a.nnz(), sizeof(value_t));
+  const auto x_arr = sim.alloc(x.size(), sizeof(value_t));
+  const auto y_arr = sim.alloc(static_cast<std::uint64_t>(m), sizeof(value_t));
+
+  SimResult res;
+  res.y.assign(static_cast<std::size_t>(m), value_t{0});
+
+  AddrArray addrs{};
+  for (index_t r = 0; r < m; ++r) {
+    auto blk = sim.begin_block(static_cast<std::uint64_t>(r) * kWarp / kBlockSize);
+    const index_t begin = a.row_ptr[r];
+    const index_t end = a.row_ptr[r + 1];
+
+    for (index_t chunk = begin; chunk < end; chunk += kWarp) {
+      const int lanes = std::min<index_t>(kWarp, end - chunk);
+      for (int l = 0; l < kWarp; ++l)
+        addrs[static_cast<std::size_t>(l)] =
+            l < lanes ? col_arr.addr(static_cast<std::uint64_t>(chunk + l))
+                      : sim::kInactive;
+      blk.load_global(addrs, sizeof(index_t));
+      for (int l = 0; l < lanes; ++l)
+        addrs[static_cast<std::size_t>(l)] =
+            val_arr.addr(static_cast<std::uint64_t>(chunk + l));
+      blk.load_global(addrs, sizeof(value_t));
+
+      AddrArray xaddrs{};
+      for (int l = 0; l < kWarp; ++l)
+        xaddrs[static_cast<std::size_t>(l)] =
+            l < lanes ? x_arr.addr(static_cast<std::uint64_t>(
+                            a.col_idx[chunk + l]))
+                      : sim::kInactive;
+      blk.load_texture(xaddrs, sizeof(value_t));
+
+      blk.add_dp_fma(static_cast<std::uint64_t>(lanes));
+      blk.add_int_ops(static_cast<std::uint64_t>(lanes) * kEllIterIntOps);
+      for (int l = 0; l < lanes; ++l) {
+        const std::uint64_t p = static_cast<std::uint64_t>(chunk) +
+                                static_cast<std::uint64_t>(l);
+        res.y[static_cast<std::size_t>(r)] +=
+            a.vals[p] * x[static_cast<std::size_t>(a.col_idx[p])];
+      }
+    }
+    // Warp-level reduction of the 32 partials + single-lane store.
+    blk.add_shfl_ops(kWarp * 5);
+    blk.add_dp_fma(kWarp * 5);
+    for (int l = 0; l < kWarp; ++l) addrs[static_cast<std::size_t>(l)] = sim::kInactive;
+    addrs[0] = y_arr.addr(static_cast<std::uint64_t>(r));
+    blk.store_global(addrs, sizeof(value_t));
+  }
+
+  res.stats = sim.stats();
+  res.time = sim.estimate(2.0 * static_cast<double>(a.nnz()));
+  return res;
+}
+
+} // namespace bro::kernels

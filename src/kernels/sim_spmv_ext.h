@@ -1,0 +1,31 @@
+// Simulator kernels for the extension formats (DESIGN.md §5): Sliced-ELLPACK
+// (Monakov et al. baseline / BRO-ELL ablation), BRO-ELL-T (multiple threads
+// per row) and BRO-ELL-VC (value compression).
+#pragma once
+
+#include "core/bro_csr.h"
+#include "core/bro_ell_values.h"
+#include "core/bro_ell_vector.h"
+#include "core/sliced_ell.h"
+#include "kernels/sim_spmv.h"
+
+namespace bro::kernels {
+
+/// Warp-per-row BRO-CSR: lanes extract 32 consecutive deltas in parallel
+/// from the row's packed stream and rebuild columns with an inclusive scan.
+SimResult sim_spmv_bro_csr(const sim::DeviceSpec& dev, const core::BroCsr& a,
+                           std::span<const value_t> x);
+
+SimResult sim_spmv_sliced_ell(const sim::DeviceSpec& dev,
+                              const core::SlicedEll& a,
+                              std::span<const value_t> x);
+
+SimResult sim_spmv_bro_ell_vector(const sim::DeviceSpec& dev,
+                                  const core::BroEllVector& a,
+                                  std::span<const value_t> x);
+
+SimResult sim_spmv_bro_ell_values(const sim::DeviceSpec& dev,
+                                  const core::BroEllValues& a,
+                                  std::span<const value_t> x);
+
+} // namespace bro::kernels

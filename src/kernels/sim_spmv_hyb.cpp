@@ -1,0 +1,53 @@
+// Simulator kernels for HYB and BRO-HYB: an ELL-family launch followed by a
+// COO-family launch accumulating into the same output vector.
+#include "kernels/sim_spmv.h"
+
+namespace bro::kernels {
+
+namespace {
+
+/// Re-derive the headline numbers after merging launches: GFlop/s over the
+/// matrix's real nnz and EAI over the combined traffic.
+void finalize(SimResult& total, double useful_flops) {
+  total.time.gflops = useful_flops / total.time.seconds / 1e9;
+  total.time.eai =
+      total.stats.dram_bytes() > 0
+          ? useful_flops / static_cast<double>(total.stats.dram_bytes())
+          : 0.0;
+}
+
+} // namespace
+
+SimResult sim_spmv_hyb(const sim::DeviceSpec& dev, const sparse::Hyb& a,
+                       std::span<const value_t> x) {
+  SimResult ell = sim_spmv_ell(dev, a.ell, x);
+  const double useful = 2.0 * static_cast<double>(a.nnz());
+  if (a.coo.nnz() == 0) {
+    finalize(ell, useful);
+    return ell;
+  }
+  SimResult coo = sim_spmv_coo_accumulate(dev, a.coo, x, ell.y);
+  std::vector<value_t> y = std::move(coo.y);
+  SimResult total = combine(std::move(ell), coo);
+  total.y = std::move(y);
+  finalize(total, useful);
+  return total;
+}
+
+SimResult sim_spmv_bro_hyb(const sim::DeviceSpec& dev, const core::BroHyb& a,
+                           std::span<const value_t> x) {
+  SimResult ell = sim_spmv_bro_ell(dev, a.ell_part(), x);
+  const double useful = 2.0 * static_cast<double>(a.total_nnz());
+  if (a.coo_part().nnz() == 0) {
+    finalize(ell, useful);
+    return ell;
+  }
+  SimResult coo = sim_spmv_bro_coo_accumulate(dev, a.coo_part(), x, ell.y);
+  std::vector<value_t> y = std::move(coo.y);
+  SimResult total = combine(std::move(ell), coo);
+  total.y = std::move(y);
+  finalize(total, useful);
+  return total;
+}
+
+} // namespace bro::kernels

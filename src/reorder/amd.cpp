@@ -1,0 +1,147 @@
+#include "reorder/amd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "reorder/permutation.h"
+#include "util/error.h"
+
+namespace bro::reorder {
+
+namespace {
+
+struct Node {
+  std::vector<index_t> vars;  // adjacent uneliminated variables
+  std::vector<index_t> elems; // adjacent elements (by pivot id)
+  bool eliminated = false;
+};
+
+void sorted_unique(std::vector<index_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+} // namespace
+
+std::vector<index_t> amd_order(const sparse::Csr& csr) {
+  BRO_CHECK_MSG(csr.rows == csr.cols, "AMD requires a square matrix");
+  const index_t n = csr.rows;
+  const auto adj = symmetric_adjacency(csr);
+
+  std::vector<Node> nodes(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    nodes[static_cast<std::size_t>(i)].vars = adj[static_cast<std::size_t>(i)];
+
+  // Element member lists, keyed by the eliminated pivot.
+  std::vector<std::vector<index_t>> element(static_cast<std::size_t>(n));
+  std::vector<bool> element_alive(static_cast<std::size_t>(n), false);
+
+  // Approximate degrees in a lazy min-heap (stale entries skipped on pop).
+  using Entry = std::pair<std::int64_t, index_t>; // (degree, variable)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  std::vector<std::int64_t> degree(static_cast<std::size_t>(n));
+
+  const auto approx_degree = [&](index_t i) -> std::int64_t {
+    const Node& nd = nodes[static_cast<std::size_t>(i)];
+    std::int64_t d = static_cast<std::int64_t>(nd.vars.size());
+    for (const index_t e : nd.elems)
+      if (element_alive[static_cast<std::size_t>(e)])
+        d += static_cast<std::int64_t>(element[static_cast<std::size_t>(e)].size()) - 1;
+    return d;
+  };
+
+  for (index_t i = 0; i < n; ++i) {
+    degree[static_cast<std::size_t>(i)] = approx_degree(i);
+    heap.emplace(degree[static_cast<std::size_t>(i)], i);
+  }
+
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> mark(static_cast<std::size_t>(n), 0);
+
+  // Dense-variable deferral (as in production AMD): variables whose degree
+  // grows beyond ~c*sqrt(n) are ordered last without forming elements. This
+  // bounds quotient-graph memory on matrices whose elimination graph
+  // densifies (random/scattered structures).
+  const std::int64_t dense_cutoff = std::max<std::int64_t>(
+      32, 4 * static_cast<std::int64_t>(std::sqrt(static_cast<double>(n))));
+  std::vector<index_t> deferred;
+
+  while (order.size() + deferred.size() < static_cast<std::size_t>(n)) {
+    // Pop the minimum-degree variable, skipping stale heap entries.
+    index_t pivot = -1;
+    while (!heap.empty()) {
+      const auto [d, i] = heap.top();
+      heap.pop();
+      if (!nodes[static_cast<std::size_t>(i)].eliminated &&
+          d == degree[static_cast<std::size_t>(i)]) {
+        pivot = i;
+        break;
+      }
+    }
+    BRO_CHECK_MSG(pivot >= 0, "heap exhausted before all variables ordered");
+
+    Node& pv = nodes[static_cast<std::size_t>(pivot)];
+    if (degree[static_cast<std::size_t>(pivot)] > dense_cutoff) {
+      // Too dense: defer to the end of the ordering, drop its structure.
+      pv.eliminated = true;
+      pv.vars.clear();
+      pv.vars.shrink_to_fit();
+      deferred.push_back(pivot);
+      continue;
+    }
+    pv.eliminated = true;
+    order.push_back(pivot);
+
+    // Form the new element L_p: pivot's variables plus members of its
+    // adjacent elements (which are absorbed).
+    std::vector<index_t> lp;
+    for (const index_t v : pv.vars)
+      if (!nodes[static_cast<std::size_t>(v)].eliminated) lp.push_back(v);
+    for (const index_t e : pv.elems) {
+      if (!element_alive[static_cast<std::size_t>(e)]) continue;
+      for (const index_t v : element[static_cast<std::size_t>(e)])
+        if (!nodes[static_cast<std::size_t>(v)].eliminated) lp.push_back(v);
+      element_alive[static_cast<std::size_t>(e)] = false; // absorbed
+      element[static_cast<std::size_t>(e)].clear();
+    }
+    sorted_unique(lp);
+    element[static_cast<std::size_t>(pivot)] = lp;
+    element_alive[static_cast<std::size_t>(pivot)] = !lp.empty();
+
+    // Update each member of L_p: drop the pivot and any L_p-internal
+    // variable adjacency (now represented by the element), reference the
+    // new element, and refresh the approximate degree.
+    for (const index_t v : lp) mark[static_cast<std::size_t>(v)] = 1;
+    for (const index_t v : lp) {
+      Node& nv = nodes[static_cast<std::size_t>(v)];
+      auto& vars = nv.vars;
+      vars.erase(std::remove_if(vars.begin(), vars.end(),
+                                [&](index_t u) {
+                                  return u == pivot ||
+                                         nodes[static_cast<std::size_t>(u)]
+                                             .eliminated ||
+                                         mark[static_cast<std::size_t>(u)];
+                                }),
+                 vars.end());
+      auto& elems = nv.elems;
+      elems.erase(std::remove_if(elems.begin(), elems.end(),
+                                 [&](index_t e) {
+                                   return !element_alive[
+                                       static_cast<std::size_t>(e)];
+                                 }),
+                  elems.end());
+      elems.push_back(pivot);
+      degree[static_cast<std::size_t>(v)] = approx_degree(v);
+      heap.emplace(degree[static_cast<std::size_t>(v)], v);
+    }
+    for (const index_t v : lp) mark[static_cast<std::size_t>(v)] = 0;
+  }
+
+  order.insert(order.end(), deferred.begin(), deferred.end());
+  return order;
+}
+
+} // namespace bro::reorder

@@ -1,0 +1,23 @@
+// Approximate minimum degree ordering (Amestoy, Davis & Duff style).
+//
+// A quotient-graph minimum-degree elimination: variables are eliminated in
+// (approximate) minimum-degree order; each elimination creates an element
+// whose vertex set is the union of the pivot's variable and element
+// adjacency; absorbed elements are removed. Degrees are the standard AMD
+// upper bound d_i = |A_i| + Σ_e |L_e \ i| computed without supervariable
+// detection — a simplification that preserves the ordering's character
+// (fill-reducing, locality-agnostic) which is all the paper's comparison
+// needs (§4.2.4: AMD is a non-BRO-aware baseline).
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace bro::reorder {
+
+/// Compute the AMD elimination order of a square matrix's symmetrized
+/// pattern. Returns perm with perm[new] = old.
+std::vector<index_t> amd_order(const sparse::Csr& csr);
+
+} // namespace bro::reorder

@@ -1,0 +1,91 @@
+#include "reorder/permutation.h"
+
+#include <algorithm>
+
+#include "sparse/convert.h"
+#include "util/error.h"
+
+namespace bro::reorder {
+
+bool is_permutation(std::span<const index_t> perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (const index_t p : perm) {
+    if (p < 0 || static_cast<std::size_t>(p) >= perm.size()) return false;
+    if (seen[static_cast<std::size_t>(p)]) return false;
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  return true;
+}
+
+std::vector<index_t> invert(std::span<const index_t> perm) {
+  std::vector<index_t> inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    inv[static_cast<std::size_t>(perm[i])] = static_cast<index_t>(i);
+  return inv;
+}
+
+sparse::Csr permute_rows(const sparse::Csr& csr,
+                         std::span<const index_t> perm) {
+  BRO_CHECK(perm.size() == static_cast<std::size_t>(csr.rows));
+  sparse::Csr out;
+  out.rows = csr.rows;
+  out.cols = csr.cols;
+  out.row_ptr.resize(static_cast<std::size_t>(csr.rows) + 1);
+  out.col_idx.reserve(csr.nnz());
+  out.vals.reserve(csr.nnz());
+  out.row_ptr[0] = 0;
+  for (index_t nr = 0; nr < csr.rows; ++nr) {
+    const index_t r = perm[static_cast<std::size_t>(nr)];
+    for (index_t p = csr.row_ptr[r]; p < csr.row_ptr[r + 1]; ++p) {
+      out.col_idx.push_back(csr.col_idx[p]);
+      out.vals.push_back(csr.vals[p]);
+    }
+    out.row_ptr[nr + 1] = static_cast<index_t>(out.col_idx.size());
+  }
+  return out;
+}
+
+sparse::Csr permute_symmetric(const sparse::Csr& csr,
+                              std::span<const index_t> perm) {
+  BRO_CHECK(csr.rows == csr.cols);
+  BRO_CHECK(perm.size() == static_cast<std::size_t>(csr.rows));
+  const std::vector<index_t> inv = invert(perm);
+  sparse::Coo coo;
+  coo.rows = csr.rows;
+  coo.cols = csr.cols;
+  coo.reserve(csr.nnz());
+  for (index_t nr = 0; nr < csr.rows; ++nr) {
+    const index_t r = perm[static_cast<std::size_t>(nr)];
+    for (index_t p = csr.row_ptr[r]; p < csr.row_ptr[r + 1]; ++p)
+      coo.push(nr, inv[static_cast<std::size_t>(csr.col_idx[p])], csr.vals[p]);
+  }
+  return sparse::coo_to_csr(coo);
+}
+
+std::vector<std::vector<index_t>> symmetric_adjacency(const sparse::Csr& csr) {
+  BRO_CHECK(csr.rows == csr.cols);
+  std::vector<std::vector<index_t>> adj(static_cast<std::size_t>(csr.rows));
+  for (index_t r = 0; r < csr.rows; ++r) {
+    for (index_t p = csr.row_ptr[r]; p < csr.row_ptr[r + 1]; ++p) {
+      const index_t c = csr.col_idx[p];
+      if (c == r) continue;
+      adj[static_cast<std::size_t>(r)].push_back(c);
+      adj[static_cast<std::size_t>(c)].push_back(r);
+    }
+  }
+  for (auto& nbrs : adj) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return adj;
+}
+
+index_t bandwidth(const sparse::Csr& csr) {
+  index_t bw = 0;
+  for (index_t r = 0; r < csr.rows; ++r)
+    for (index_t p = csr.row_ptr[r]; p < csr.row_ptr[r + 1]; ++p)
+      bw = std::max(bw, std::abs(r - csr.col_idx[p]));
+  return bw;
+}
+
+} // namespace bro::reorder

@@ -1,0 +1,33 @@
+// Permutation utilities shared by BAR, RCM and AMD experiments.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace bro::reorder {
+
+/// True if perm is a bijection on [0, n).
+bool is_permutation(std::span<const index_t> perm);
+
+/// inverse[perm[i]] = i.
+std::vector<index_t> invert(std::span<const index_t> perm);
+
+/// Row permutation A' = P*A: row i of the result is row perm[i] of A.
+/// This is what BAR applies (y' = P*y, same x).
+sparse::Csr permute_rows(const sparse::Csr& csr, std::span<const index_t> perm);
+
+/// Symmetric permutation A' = P*A*P^T (rows and columns), the form RCM and
+/// AMD orderings are used in.
+sparse::Csr permute_symmetric(const sparse::Csr& csr,
+                              std::span<const index_t> perm);
+
+/// Symmetrized adjacency structure (pattern of A + A^T without the
+/// diagonal), as used by the graph-based ordering algorithms.
+std::vector<std::vector<index_t>> symmetric_adjacency(const sparse::Csr& csr);
+
+/// Bandwidth of a matrix: max |i - j| over non-zeros (RCM's target metric).
+index_t bandwidth(const sparse::Csr& csr);
+
+} // namespace bro::reorder

@@ -1,0 +1,103 @@
+#include "reorder/rcm.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "reorder/permutation.h"
+#include "util/error.h"
+
+namespace bro::reorder {
+
+namespace {
+
+/// Pseudo-peripheral vertex: repeated BFS from the farthest minimum-degree
+/// vertex of the last level (George-Liu heuristic).
+index_t pseudo_peripheral(const std::vector<std::vector<index_t>>& adj,
+                          index_t start, std::vector<index_t>& level_buf) {
+  index_t root = start;
+  index_t last_ecc = -1;
+  for (int iter = 0; iter < 8; ++iter) { // converges in a few rounds
+    // BFS recording levels.
+    std::fill(level_buf.begin(), level_buf.end(), -1);
+    std::queue<index_t> q;
+    q.push(root);
+    level_buf[static_cast<std::size_t>(root)] = 0;
+    index_t ecc = 0;
+    index_t far = root;
+    while (!q.empty()) {
+      const index_t u = q.front();
+      q.pop();
+      for (const index_t v : adj[static_cast<std::size_t>(u)]) {
+        if (level_buf[static_cast<std::size_t>(v)] >= 0) continue;
+        level_buf[static_cast<std::size_t>(v)] =
+            level_buf[static_cast<std::size_t>(u)] + 1;
+        q.push(v);
+        if (level_buf[static_cast<std::size_t>(v)] > ecc) {
+          ecc = level_buf[static_cast<std::size_t>(v)];
+          far = v;
+        }
+      }
+    }
+    // Among the deepest level, pick the minimum-degree vertex.
+    index_t best = far;
+    std::size_t best_deg = adj[static_cast<std::size_t>(far)].size();
+    for (index_t v = 0; v < static_cast<index_t>(adj.size()); ++v) {
+      if (level_buf[static_cast<std::size_t>(v)] == ecc &&
+          adj[static_cast<std::size_t>(v)].size() < best_deg) {
+        best = v;
+        best_deg = adj[static_cast<std::size_t>(v)].size();
+      }
+    }
+    if (ecc <= last_ecc) break;
+    last_ecc = ecc;
+    root = best;
+  }
+  return root;
+}
+
+} // namespace
+
+std::vector<index_t> rcm_order(const sparse::Csr& csr) {
+  BRO_CHECK_MSG(csr.rows == csr.cols, "RCM requires a square matrix");
+  const auto adj = symmetric_adjacency(csr);
+  const index_t n = csr.rows;
+
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::vector<index_t> level_buf(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> nbrs;
+
+  for (index_t seed = 0; seed < n; ++seed) {
+    if (visited[static_cast<std::size_t>(seed)]) continue;
+    const index_t root = pseudo_peripheral(adj, seed, level_buf);
+
+    // Cuthill-McKee BFS: neighbours visited in increasing-degree order.
+    std::queue<index_t> q;
+    q.push(root);
+    visited[static_cast<std::size_t>(root)] = true;
+    while (!q.empty()) {
+      const index_t u = q.front();
+      q.pop();
+      order.push_back(u);
+      nbrs.clear();
+      for (const index_t v : adj[static_cast<std::size_t>(u)])
+        if (!visited[static_cast<std::size_t>(v)]) nbrs.push_back(v);
+      std::sort(nbrs.begin(), nbrs.end(), [&](index_t a, index_t b) {
+        const auto da = adj[static_cast<std::size_t>(a)].size();
+        const auto db = adj[static_cast<std::size_t>(b)].size();
+        if (da != db) return da < db;
+        return a < b;
+      });
+      for (const index_t v : nbrs) {
+        visited[static_cast<std::size_t>(v)] = true;
+        q.push(v);
+      }
+    }
+  }
+
+  std::reverse(order.begin(), order.end()); // the "reverse" in RCM
+  return order;
+}
+
+} // namespace bro::reorder

@@ -1,0 +1,16 @@
+// Reverse Cuthill-McKee ordering (George & Liu), the classical
+// bandwidth-reducing reordering the paper compares BAR against (§4.2.4).
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace bro::reorder {
+
+/// Compute the RCM ordering of a square matrix's symmetrized pattern.
+/// Returns perm with perm[new] = old. Disconnected components are ordered
+/// one after another, each started from a pseudo-peripheral vertex.
+std::vector<index_t> rcm_order(const sparse::Csr& csr);
+
+} // namespace bro::reorder

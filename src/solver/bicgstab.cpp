@@ -1,0 +1,85 @@
+#include "solver/bicgstab.h"
+
+#include <cmath>
+#include <vector>
+
+#include "solver/blas1.h"
+#include "util/error.h"
+
+namespace bro::solver {
+
+SolveResult bicgstab(const Operator& a, std::span<const value_t> b,
+                     std::span<value_t> x, const SolveOptions& opts,
+                     const Preconditioner& precond) {
+  const std::size_t n = b.size();
+  BRO_CHECK(x.size() == n);
+
+  std::vector<value_t> r(n), r0(n), p(n), v(n), s(n), t(n), ph(n), sh(n);
+
+  a(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  r0.assign(r.begin(), r.end());
+
+  const double bnorm = norm2(b);
+  const double stop = opts.tolerance * (bnorm > 0 ? bnorm : 1.0);
+
+  SolveResult res;
+  res.residual_norm = norm2(r) / (bnorm > 0 ? bnorm : 1.0);
+  if (norm2(r) <= stop) {
+    res.converged = true;
+    return res;
+  }
+
+  double rho = 1, alpha = 1, omega = 1;
+  std::fill(p.begin(), p.end(), value_t{0});
+  std::fill(v.begin(), v.end(), value_t{0});
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    const double rho_new = dot(r0, r);
+    if (rho_new == 0.0) break; // breakdown
+    if (it == 0) {
+      p.assign(r.begin(), r.end());
+    } else {
+      const double beta = (rho_new / rho) * (alpha / omega);
+      for (std::size_t i = 0; i < n; ++i)
+        p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    }
+    rho = rho_new;
+
+    precond(p, ph);
+    a(ph, v);
+    const double r0v = dot(r0, v);
+    if (r0v == 0.0) break;
+    alpha = rho / r0v;
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    res.iterations = it + 1;
+
+    if (norm2(s) <= stop) {
+      axpy(alpha, ph, x);
+      res.residual_norm = norm2(s) / (bnorm > 0 ? bnorm : 1.0);
+      res.converged = true;
+      return res;
+    }
+
+    precond(s, sh);
+    a(sh, t);
+    const double tt = dot(t, t);
+    if (tt == 0.0) break;
+    omega = dot(t, s) / tt;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * ph[i] + omega * sh[i];
+      r[i] = s[i] - omega * t[i];
+    }
+
+    const double rnorm = norm2(r);
+    res.residual_norm = rnorm / (bnorm > 0 ? bnorm : 1.0);
+    if (rnorm <= stop) {
+      res.converged = true;
+      return res;
+    }
+    if (omega == 0.0) break;
+  }
+  return res;
+}
+
+} // namespace bro::solver

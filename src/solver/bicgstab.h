@@ -1,0 +1,14 @@
+// BiCGSTAB (van der Vorst) for general nonsymmetric systems.
+#pragma once
+
+#include "solver/operator.h"
+
+namespace bro::solver {
+
+/// Solve A*x = b for general (nonsymmetric) A. x holds the initial guess on
+/// entry and the solution on exit.
+SolveResult bicgstab(const Operator& a, std::span<const value_t> b,
+                     std::span<value_t> x, const SolveOptions& opts = {},
+                     const Preconditioner& precond = identity_preconditioner());
+
+} // namespace bro::solver

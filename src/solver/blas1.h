@@ -1,0 +1,33 @@
+// Tiny dense vector helpers shared by the Krylov solvers.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "util/types.h"
+
+namespace bro::solver {
+
+inline double dot(std::span<const value_t> a, std::span<const value_t> b) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+inline double norm2(std::span<const value_t> a) { return std::sqrt(dot(a, a)); }
+
+/// y = a*x + y
+inline void axpy(double a, std::span<const value_t> x, std::span<value_t> y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+/// y = x + b*y
+inline void xpby(std::span<const value_t> x, double b, std::span<value_t> y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + b * y[i];
+}
+
+inline void scale(double a, std::span<value_t> x) {
+  for (auto& v : x) v *= a;
+}
+
+} // namespace bro::solver

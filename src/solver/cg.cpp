@@ -1,0 +1,75 @@
+#include "solver/cg.h"
+
+#include <vector>
+
+#include "solver/blas1.h"
+#include "util/error.h"
+
+namespace bro::solver {
+
+SolveResult cg(const Operator& a, std::span<const value_t> b,
+               std::span<value_t> x, const SolveOptions& opts,
+               const Preconditioner& precond) {
+  const std::size_t n = b.size();
+  BRO_CHECK(x.size() == n);
+
+  std::vector<value_t> r(n), z(n), p(n), ap(n);
+
+  // r = b - A*x
+  a(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+
+  const double bnorm = norm2(b);
+  const double stop = opts.tolerance * (bnorm > 0 ? bnorm : 1.0);
+
+  SolveResult res;
+  res.residual_norm = norm2(r) / (bnorm > 0 ? bnorm : 1.0);
+  if (norm2(r) <= stop) {
+    res.converged = true;
+    return res;
+  }
+
+  precond(r, z);
+  p.assign(z.begin(), z.end());
+  double rz = dot(r, z);
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    a(p, ap);
+    const double pap = dot(p, ap);
+    if (pap == 0.0) break; // breakdown (A not SPD)
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    res.iterations = it + 1;
+
+    const double rnorm = norm2(r);
+    res.residual_norm = rnorm / (bnorm > 0 ? bnorm : 1.0);
+    if (rnorm <= stop) {
+      res.converged = true;
+      return res;
+    }
+
+    precond(r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    xpby(z, beta, p);
+  }
+  return res;
+}
+
+JacobiPreconditioner::JacobiPreconditioner(const sparse::Csr& csr) {
+  BRO_CHECK_MSG(csr.rows == csr.cols, "Jacobi requires a square matrix");
+  inv_diag_.assign(static_cast<std::size_t>(csr.rows), value_t{1});
+  for (index_t r = 0; r < csr.rows; ++r)
+    for (index_t p = csr.row_ptr[r]; p < csr.row_ptr[r + 1]; ++p)
+      if (csr.col_idx[p] == r && csr.vals[p] != value_t{0})
+        inv_diag_[static_cast<std::size_t>(r)] = value_t{1} / csr.vals[p];
+}
+
+void JacobiPreconditioner::operator()(std::span<const value_t> r,
+                                      std::span<value_t> z) const {
+  for (std::size_t i = 0; i < r.size(); ++i) z[i] = inv_diag_[i] * r[i];
+}
+
+} // namespace bro::solver

@@ -1,0 +1,36 @@
+// Preconditioned Conjugate Gradient for symmetric positive-definite systems
+// (Saad, "Iterative Methods for Sparse Linear Systems", Alg. 9.1) — the
+// iterative consumer the paper's introduction motivates SpMV with.
+#pragma once
+
+#include <vector>
+
+#include "solver/operator.h"
+#include "sparse/csr.h"
+
+namespace bro::solver {
+
+/// Solve A*x = b. x holds the initial guess on entry and the solution on
+/// exit. `precond` defaults to the identity.
+SolveResult cg(const Operator& a, std::span<const value_t> b,
+               std::span<value_t> x, const SolveOptions& opts = {},
+               const Preconditioner& precond = identity_preconditioner());
+
+/// Jacobi (diagonal) preconditioner built from a CSR matrix.
+class JacobiPreconditioner {
+ public:
+  explicit JacobiPreconditioner(const sparse::Csr& csr);
+
+  void operator()(std::span<const value_t> r, std::span<value_t> z) const;
+
+  Preconditioner as_preconditioner() const {
+    return [this](std::span<const value_t> r, std::span<value_t> z) {
+      (*this)(r, z);
+    };
+  }
+
+ private:
+  std::vector<value_t> inv_diag_;
+};
+
+} // namespace bro::solver

@@ -1,0 +1,131 @@
+#include "solver/gmres.h"
+
+#include <cmath>
+#include <vector>
+
+#include "solver/blas1.h"
+#include "util/error.h"
+
+namespace bro::solver {
+
+namespace {
+
+void apply_givens(double& dx, double& dy, double c, double s) {
+  const double t = c * dx + s * dy;
+  dy = -s * dx + c * dy;
+  dx = t;
+}
+
+} // namespace
+
+SolveResult gmres(const Operator& a, std::span<const value_t> b,
+                  std::span<value_t> x, const SolveOptions& opts,
+                  const Preconditioner& precond) {
+  const std::size_t n = b.size();
+  BRO_CHECK(x.size() == n);
+  const int m = std::max(1, opts.restart);
+
+  const double bnorm = norm2(b);
+  const double stop = opts.tolerance * (bnorm > 0 ? bnorm : 1.0);
+
+  SolveResult res;
+  std::vector<std::vector<value_t>> v(
+      static_cast<std::size_t>(m) + 1, std::vector<value_t>(n));
+  // Hessenberg matrix in column-major (h[j] holds column j, length j+2).
+  std::vector<std::vector<double>> h(static_cast<std::size_t>(m));
+  std::vector<double> cs(static_cast<std::size_t>(m)),
+      sn(static_cast<std::size_t>(m)), g(static_cast<std::size_t>(m) + 1);
+  std::vector<value_t> r(n), w(n), z(n);
+
+  int total_iters = 0;
+  while (total_iters < opts.max_iterations) {
+    // r = M^{-1} (b - A x)
+    a(x, r);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+    precond(r, z);
+    double beta = norm2(z);
+    res.residual_norm = norm2(r) / (bnorm > 0 ? bnorm : 1.0);
+    if (norm2(r) <= stop) {
+      res.converged = true;
+      return res;
+    }
+    if (beta == 0.0) break;
+
+    for (std::size_t i = 0; i < n; ++i) v[0][i] = z[i] / beta;
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    int k = 0; // inner iterations completed this cycle
+    for (int j = 0; j < m && total_iters < opts.max_iterations; ++j) {
+      a(v[static_cast<std::size_t>(j)], w);
+      precond(w, z);
+
+      // Modified Gram-Schmidt.
+      h[static_cast<std::size_t>(j)].assign(static_cast<std::size_t>(j) + 2, 0.0);
+      for (int i = 0; i <= j; ++i) {
+        const double hij = dot(z, v[static_cast<std::size_t>(i)]);
+        h[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = hij;
+        axpy(-hij, v[static_cast<std::size_t>(i)], z);
+      }
+      const double hlast = norm2(z);
+      h[static_cast<std::size_t>(j)][static_cast<std::size_t>(j) + 1] = hlast;
+      if (hlast != 0.0)
+        for (std::size_t i = 0; i < n; ++i)
+          v[static_cast<std::size_t>(j) + 1][i] = z[i] / hlast;
+
+      // Apply previous Givens rotations, then create the new one.
+      for (int i = 0; i < j; ++i)
+        apply_givens(h[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)],
+                     h[static_cast<std::size_t>(j)][static_cast<std::size_t>(i) + 1],
+                     cs[static_cast<std::size_t>(i)], sn[static_cast<std::size_t>(i)]);
+      const double hk = h[static_cast<std::size_t>(j)][static_cast<std::size_t>(j)];
+      const double hk1 = h[static_cast<std::size_t>(j)][static_cast<std::size_t>(j) + 1];
+      const double denom = std::hypot(hk, hk1);
+      if (denom == 0.0) {
+        cs[static_cast<std::size_t>(j)] = 1.0;
+        sn[static_cast<std::size_t>(j)] = 0.0;
+      } else {
+        cs[static_cast<std::size_t>(j)] = hk / denom;
+        sn[static_cast<std::size_t>(j)] = hk1 / denom;
+      }
+      apply_givens(h[static_cast<std::size_t>(j)][static_cast<std::size_t>(j)],
+                   h[static_cast<std::size_t>(j)][static_cast<std::size_t>(j) + 1],
+                   cs[static_cast<std::size_t>(j)], sn[static_cast<std::size_t>(j)]);
+      apply_givens(g[static_cast<std::size_t>(j)], g[static_cast<std::size_t>(j) + 1],
+                   cs[static_cast<std::size_t>(j)], sn[static_cast<std::size_t>(j)]);
+
+      ++total_iters;
+      ++k;
+      res.iterations = total_iters;
+      if (std::abs(g[static_cast<std::size_t>(j) + 1]) <= stop) break;
+      if (hlast == 0.0) break; // lucky breakdown: exact solution in span
+    }
+
+    // Back-substitute y from the triangularized Hessenberg system and
+    // update x += V_k * y.
+    std::vector<double> y(static_cast<std::size_t>(k), 0.0);
+    for (int i = k - 1; i >= 0; --i) {
+      double sum = g[static_cast<std::size_t>(i)];
+      for (int jj = i + 1; jj < k; ++jj)
+        sum -= h[static_cast<std::size_t>(jj)][static_cast<std::size_t>(i)] *
+               y[static_cast<std::size_t>(jj)];
+      const double hii =
+          h[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+      y[static_cast<std::size_t>(i)] = hii != 0.0 ? sum / hii : 0.0;
+    }
+    for (int i = 0; i < k; ++i)
+      axpy(y[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i)], x);
+
+    // Convergence check on the true residual.
+    a(x, r);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+    res.residual_norm = norm2(r) / (bnorm > 0 ? bnorm : 1.0);
+    if (norm2(r) <= stop) {
+      res.converged = true;
+      return res;
+    }
+  }
+  return res;
+}
+
+} // namespace bro::solver

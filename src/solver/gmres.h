@@ -1,0 +1,15 @@
+// Restarted GMRES(m) (Saad & Schultz) for general systems — the second
+// iterative method named in the paper's introduction.
+#pragma once
+
+#include "solver/operator.h"
+
+namespace bro::solver {
+
+/// Solve A*x = b with restarted GMRES. opts.restart is the Krylov dimension
+/// m; opts.max_iterations counts total inner iterations across restarts.
+SolveResult gmres(const Operator& a, std::span<const value_t> b,
+                  std::span<value_t> x, const SolveOptions& opts = {},
+                  const Preconditioner& precond = identity_preconditioner());
+
+} // namespace bro::solver

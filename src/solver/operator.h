@@ -1,0 +1,42 @@
+// Linear-operator abstraction: the iterative solvers only ever apply
+// y = A*x, so any SpMV implementation — CSR reference, BRO-ELL, the Matrix
+// facade, or a matrix-free functor — plugs in. This is the paper's framing:
+// SpMV is the kernel inside CG/GMRES (§1).
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <span>
+
+#include "util/types.h"
+
+namespace bro::solver {
+
+/// Applies y = A * x. x.size() == cols, y.size() == rows.
+using Operator =
+    std::function<void(std::span<const value_t>, std::span<value_t>)>;
+
+/// Optional preconditioner application z = M^{-1} * r.
+using Preconditioner =
+    std::function<void(std::span<const value_t>, std::span<value_t>)>;
+
+struct SolveOptions {
+  int max_iterations = 1000;
+  double tolerance = 1e-10; // relative residual ||r|| / ||b||
+  int restart = 30;         // GMRES(m) restart length
+};
+
+struct SolveResult {
+  bool converged = false;
+  int iterations = 0;
+  double residual_norm = 0; // final relative residual
+};
+
+/// Identity preconditioner helper.
+inline Preconditioner identity_preconditioner() {
+  return [](std::span<const value_t> r, std::span<value_t> z) {
+    std::copy(r.begin(), r.end(), z.begin());
+  };
+}
+
+} // namespace bro::solver

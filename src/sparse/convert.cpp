@@ -1,0 +1,125 @@
+#include "sparse/convert.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace bro::sparse {
+
+Csr coo_to_csr(const Coo& coo_in) {
+  BRO_CHECK_MSG(coo_in.is_valid(), "COO matrix is structurally invalid");
+  Coo coo = coo_in;
+  if (!coo.is_canonical()) coo.canonicalize();
+
+  Csr out;
+  out.rows = coo.rows;
+  out.cols = coo.cols;
+  out.row_ptr.assign(static_cast<std::size_t>(coo.rows) + 1, 0);
+  for (const index_t r : coo.row_idx) ++out.row_ptr[r + 1];
+  for (index_t r = 0; r < coo.rows; ++r) out.row_ptr[r + 1] += out.row_ptr[r];
+  out.col_idx = coo.col_idx;
+  out.vals = coo.vals;
+  return out;
+}
+
+Coo csr_to_coo(const Csr& csr) {
+  Coo out;
+  out.rows = csr.rows;
+  out.cols = csr.cols;
+  out.reserve(csr.nnz());
+  for (index_t r = 0; r < csr.rows; ++r)
+    for (index_t p = csr.row_ptr[r]; p < csr.row_ptr[r + 1]; ++p)
+      out.push(r, csr.col_idx[p], csr.vals[p]);
+  return out;
+}
+
+Ell csr_to_ell(const Csr& csr, double max_expand) {
+  const index_t k = csr.max_row_length();
+  const double padded =
+      static_cast<double>(csr.rows) * static_cast<double>(k);
+  BRO_CHECK_MSG(csr.nnz() == 0 ||
+                    padded <= max_expand * static_cast<double>(csr.nnz()),
+                "ELLPACK expansion " << padded / std::max<double>(1.0, double(csr.nnz()))
+                                     << "x exceeds limit; use HYB");
+
+  Ell out;
+  out.rows = csr.rows;
+  out.cols = csr.cols;
+  out.width = k;
+  out.col_idx.assign(static_cast<std::size_t>(csr.rows) * k, kPad);
+  out.vals.assign(static_cast<std::size_t>(csr.rows) * k, value_t{0});
+  for (index_t r = 0; r < csr.rows; ++r) {
+    index_t j = 0;
+    for (index_t p = csr.row_ptr[r]; p < csr.row_ptr[r + 1]; ++p, ++j) {
+      out.col_idx[static_cast<std::size_t>(j) * csr.rows + r] = csr.col_idx[p];
+      out.vals[static_cast<std::size_t>(j) * csr.rows + r] = csr.vals[p];
+    }
+  }
+  return out;
+}
+
+EllR csr_to_ellr(const Csr& csr) {
+  EllR out;
+  out.ell = csr_to_ell(csr);
+  out.row_length = row_lengths(csr);
+  return out;
+}
+
+Csr ell_to_csr(const Ell& ell) {
+  Coo coo;
+  coo.rows = ell.rows;
+  coo.cols = ell.cols;
+  for (index_t r = 0; r < ell.rows; ++r)
+    for (index_t j = 0; j < ell.width; ++j) {
+      const index_t c = ell.col_at(r, j);
+      if (c == kPad) break;
+      coo.push(r, c, ell.val_at(r, j));
+    }
+  return coo_to_csr(coo);
+}
+
+Hyb csr_to_hyb(const Csr& csr, index_t width_override) {
+  const std::vector<index_t> lens = row_lengths(csr);
+  const index_t k =
+      width_override >= 0 ? width_override : hyb_split_width(lens);
+
+  Hyb out;
+  out.ell.rows = csr.rows;
+  out.ell.cols = csr.cols;
+  out.ell.width = k;
+  out.ell.col_idx.assign(static_cast<std::size_t>(csr.rows) * k, kPad);
+  out.ell.vals.assign(static_cast<std::size_t>(csr.rows) * k, value_t{0});
+  out.coo.rows = csr.rows;
+  out.coo.cols = csr.cols;
+
+  for (index_t r = 0; r < csr.rows; ++r) {
+    index_t j = 0;
+    for (index_t p = csr.row_ptr[r]; p < csr.row_ptr[r + 1]; ++p, ++j) {
+      if (j < k) {
+        out.ell.col_idx[static_cast<std::size_t>(j) * csr.rows + r] =
+            csr.col_idx[p];
+        out.ell.vals[static_cast<std::size_t>(j) * csr.rows + r] = csr.vals[p];
+      } else {
+        out.coo.push(r, csr.col_idx[p], csr.vals[p]);
+      }
+    }
+  }
+  return out;
+}
+
+Csr hyb_to_csr(const Hyb& hyb) {
+  Coo coo = csr_to_coo(ell_to_csr(hyb.ell));
+  coo.rows = hyb.rows();
+  coo.cols = hyb.cols();
+  for (std::size_t i = 0; i < hyb.coo.nnz(); ++i)
+    coo.push(hyb.coo.row_idx[i], hyb.coo.col_idx[i], hyb.coo.vals[i]);
+  return coo_to_csr(coo);
+}
+
+std::vector<index_t> row_lengths(const Csr& csr) {
+  std::vector<index_t> lens(static_cast<std::size_t>(csr.rows));
+  for (index_t r = 0; r < csr.rows; ++r) lens[r] = csr.row_length(r);
+  return lens;
+}
+
+} // namespace bro::sparse

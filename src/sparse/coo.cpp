@@ -1,0 +1,71 @@
+#include "sparse/coo.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bro::sparse {
+
+void Coo::canonicalize(bool drop_zeros) {
+  const std::size_t n = nnz();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (row_idx[a] != row_idx[b]) return row_idx[a] < row_idx[b];
+    return col_idx[a] < col_idx[b];
+  });
+
+  std::vector<index_t> r2, c2;
+  std::vector<value_t> v2;
+  r2.reserve(n);
+  c2.reserve(n);
+  v2.reserve(n);
+  for (const std::size_t i : order) {
+    if (!r2.empty() && r2.back() == row_idx[i] && c2.back() == col_idx[i]) {
+      v2.back() += vals[i]; // merge duplicate coordinate
+    } else {
+      r2.push_back(row_idx[i]);
+      c2.push_back(col_idx[i]);
+      v2.push_back(vals[i]);
+    }
+  }
+
+  if (drop_zeros) {
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < v2.size(); ++i) {
+      if (v2[i] != value_t{0}) {
+        r2[w] = r2[i];
+        c2[w] = c2[i];
+        v2[w] = v2[i];
+        ++w;
+      }
+    }
+    r2.resize(w);
+    c2.resize(w);
+    v2.resize(w);
+  }
+
+  row_idx = std::move(r2);
+  col_idx = std::move(c2);
+  vals = std::move(v2);
+}
+
+bool Coo::is_canonical() const {
+  for (std::size_t i = 1; i < nnz(); ++i) {
+    if (row_idx[i] < row_idx[i - 1]) return false;
+    if (row_idx[i] == row_idx[i - 1] && col_idx[i] <= col_idx[i - 1])
+      return false;
+  }
+  return true;
+}
+
+bool Coo::is_valid() const {
+  if (row_idx.size() != vals.size() || col_idx.size() != vals.size())
+    return false;
+  for (std::size_t i = 0; i < nnz(); ++i) {
+    if (row_idx[i] < 0 || row_idx[i] >= rows) return false;
+    if (col_idx[i] < 0 || col_idx[i] >= cols) return false;
+  }
+  return true;
+}
+
+} // namespace bro::sparse

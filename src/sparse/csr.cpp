@@ -1,0 +1,42 @@
+#include "sparse/csr.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace bro::sparse {
+
+bool Csr::is_valid() const {
+  if (row_ptr.size() != static_cast<std::size_t>(rows) + 1) return false;
+  if (row_ptr.front() != 0) return false;
+  if (static_cast<std::size_t>(row_ptr.back()) != nnz()) return false;
+  if (col_idx.size() != vals.size()) return false;
+  for (index_t r = 0; r < rows; ++r) {
+    if (row_ptr[r + 1] < row_ptr[r]) return false;
+    for (index_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+      if (col_idx[p] < 0 || col_idx[p] >= cols) return false;
+      if (p > row_ptr[r] && col_idx[p] <= col_idx[p - 1]) return false;
+    }
+  }
+  return true;
+}
+
+index_t Csr::max_row_length() const {
+  index_t k = 0;
+  for (index_t r = 0; r < rows; ++r) k = std::max(k, row_length(r));
+  return k;
+}
+
+void spmv_csr_reference(const Csr& a, std::span<const value_t> x,
+                        std::span<value_t> y) {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+  for (index_t r = 0; r < a.rows; ++r) {
+    value_t sum = 0;
+    for (index_t p = a.row_ptr[r]; p < a.row_ptr[r + 1]; ++p)
+      sum += a.vals[p] * x[a.col_idx[p]];
+    y[r] = sum;
+  }
+}
+
+} // namespace bro::sparse

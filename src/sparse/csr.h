@@ -1,0 +1,43 @@
+// Compressed Sparse Row storage. CSR is the library's canonical in-memory
+// format: all conversions and the reference SpMV go through it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/types.h"
+
+namespace bro::sparse {
+
+struct Csr {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row_ptr; // length rows+1
+  std::vector<index_t> col_idx; // length nnz, sorted within each row
+  std::vector<value_t> vals;    // length nnz
+
+  std::size_t nnz() const { return vals.size(); }
+
+  index_t row_length(index_t r) const { return row_ptr[r + 1] - row_ptr[r]; }
+
+  std::span<const index_t> row_cols(index_t r) const {
+    return {col_idx.data() + row_ptr[r],
+            static_cast<std::size_t>(row_length(r))};
+  }
+
+  std::span<const value_t> row_vals(index_t r) const {
+    return {vals.data() + row_ptr[r], static_cast<std::size_t>(row_length(r))};
+  }
+
+  /// Structural validity: monotone row_ptr, in-range sorted column indices.
+  bool is_valid() const;
+
+  /// Maximum row length (the ELLPACK width k).
+  index_t max_row_length() const;
+};
+
+/// y = A * x (sequential reference used as ground truth by every test).
+void spmv_csr_reference(const Csr& a, std::span<const value_t> x,
+                        std::span<value_t> y);
+
+} // namespace bro::sparse

@@ -1,0 +1,38 @@
+#include "sparse/ell.h"
+
+namespace bro::sparse {
+
+bool Ell::is_valid() const {
+  const std::size_t expect =
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(width);
+  if (col_idx.size() != expect || vals.size() != expect) return false;
+  for (index_t r = 0; r < rows; ++r) {
+    index_t prev = -1;
+    bool in_pad = false;
+    for (index_t j = 0; j < width; ++j) {
+      const index_t c = col_at(r, j);
+      if (c == kPad) {
+        in_pad = true; // once padding starts it must continue to the end
+        continue;
+      }
+      if (in_pad) return false;             // data after padding
+      if (c < 0 || c >= cols) return false; // out of range
+      if (c <= prev) return false;          // not strictly increasing
+      prev = c;
+    }
+  }
+  return true;
+}
+
+bool EllR::is_valid() const {
+  if (!ell.is_valid()) return false;
+  if (row_length.size() != static_cast<std::size_t>(ell.rows)) return false;
+  for (index_t r = 0; r < ell.rows; ++r) {
+    index_t len = 0;
+    while (len < ell.width && ell.col_at(r, len) != kPad) ++len;
+    if (row_length[r] != len) return false;
+  }
+  return true;
+}
+
+} // namespace bro::sparse

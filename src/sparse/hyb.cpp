@@ -1,0 +1,41 @@
+#include "sparse/hyb.h"
+
+#include <algorithm>
+
+namespace bro::sparse {
+
+std::size_t Hyb::nnz() const {
+  std::size_t ell_nnz = 0;
+  for (index_t r = 0; r < ell.rows; ++r)
+    for (index_t j = 0; j < ell.width; ++j)
+      if (ell.col_at(r, j) != kPad) ++ell_nnz;
+  return ell_nnz + coo.nnz();
+}
+
+double Hyb::ell_fraction() const {
+  const std::size_t total = nnz();
+  if (total == 0) return 1.0;
+  return static_cast<double>(total - coo.nnz()) / static_cast<double>(total);
+}
+
+index_t hyb_split_width(std::span<const index_t> row_lengths) {
+  if (row_lengths.empty()) return 0;
+  const index_t rows = static_cast<index_t>(row_lengths.size());
+  index_t max_len = 0;
+  for (const index_t l : row_lengths) max_len = std::max(max_len, l);
+
+  // hist[k] = number of rows with length >= k, computed via a suffix sum.
+  std::vector<index_t> count(static_cast<std::size_t>(max_len) + 2, 0);
+  for (const index_t l : row_lengths) ++count[l];
+  std::vector<index_t> at_least(static_cast<std::size_t>(max_len) + 2, 0);
+  for (index_t k = max_len; k >= 0; --k)
+    at_least[k] = at_least[k + 1] + count[k];
+
+  const index_t threshold = std::max<index_t>(1, rows / 3);
+  index_t best = 0;
+  for (index_t k = 1; k <= max_len; ++k)
+    if (at_least[k] >= threshold) best = k;
+  return best;
+}
+
+} // namespace bro::sparse

@@ -1,0 +1,29 @@
+// Hybrid ELLPACK + COO storage (paper §2.1.3, Bell & Garland's HYB).
+#pragma once
+
+#include <span>
+
+#include "sparse/coo.h"
+#include "sparse/ell.h"
+
+namespace bro::sparse {
+
+struct Hyb {
+  Ell ell;      // the first `ell.width` entries of each row
+  Coo coo;      // the overflow entries (canonical order)
+
+  index_t rows() const { return ell.rows; }
+  index_t cols() const { return ell.cols; }
+  std::size_t nnz() const;
+
+  /// Fraction of non-zeros stored in the ELL part (Table 4's "% BRO-ELL").
+  double ell_fraction() const;
+};
+
+/// Bell & Garland's split heuristic: pick the largest ELLPACK width k such
+/// that at least max(1, rows/3) rows have >= k non-zeros (i.e. adding column
+/// k still benefits a third of the rows). Rows shorter than k are padded;
+/// entries beyond k spill into the COO part.
+index_t hyb_split_width(std::span<const index_t> row_lengths);
+
+} // namespace bro::sparse

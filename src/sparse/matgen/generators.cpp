@@ -1,0 +1,386 @@
+#include "sparse/matgen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace bro::sparse {
+
+namespace {
+
+index_t clamp_index(long v, index_t lo, index_t hi) {
+  return static_cast<index_t>(std::clamp<long>(v, lo, hi));
+}
+
+/// Map a standard-normal deviate through the requested length distribution.
+index_t length_from_z(const GenSpec& spec, double z) {
+  double len = spec.mu;
+  switch (spec.len_dist) {
+    case LenDist::kConstant:
+      len = spec.mu;
+      break;
+    case LenDist::kNormal:
+      // Truncated at +-2 sigma: real mesh degree distributions are bounded
+      // (e.g. cant's true maximum row is ~mu + sigma), and an unbounded tail
+      // would inflate the ELLPACK width k far beyond what the paper's
+      // matrices exhibit.
+      len = spec.mu + spec.sigma * std::clamp(z, -2.0, 2.0);
+      break;
+    case LenDist::kLogNormal: {
+      // Parameterize so the resulting lengths have roughly the requested
+      // mean and sigma: for lognormal, m = exp(a + s^2/2).
+      const double cv2 = (spec.sigma * spec.sigma) / (spec.mu * spec.mu);
+      const double s2 = std::log1p(cv2);
+      const double a = std::log(spec.mu) - 0.5 * s2;
+      len = std::exp(a + std::sqrt(s2) * z);
+      break;
+    }
+    case LenDist::kPareto: {
+      // Pareto with alpha chosen from mu/min_len; xm = min_len. The normal
+      // deviate is mapped through its CDF to a uniform first.
+      const double xm = std::max<double>(1.0, spec.min_len);
+      const double alpha =
+          spec.mu > xm ? spec.mu / (spec.mu - xm) : 10.0; // mean = a*xm/(a-1)
+      double u = 0.5 * (1.0 + std::erf(z / 1.4142135623730951));
+      u = std::clamp(u, 1e-12, 1.0 - 1e-12);
+      len = xm / std::pow(1.0 - u, 1.0 / std::max(1.01, alpha));
+      break;
+    }
+  }
+  return clamp_index(std::lround(len), spec.min_len, spec.cols);
+}
+
+/// Draw all row lengths. With len_corr > 0 a coarse standard-normal field is
+/// linearly interpolated (and re-standardized) so nearby rows get similar
+/// lengths, mirroring the smooth degree variation of real meshes.
+std::vector<index_t> draw_lengths(const GenSpec& spec, Rng& rng) {
+  std::vector<index_t> lengths(static_cast<std::size_t>(spec.rows));
+  if (spec.len_corr <= 1) {
+    for (auto& l : lengths) l = length_from_z(spec, rng.normal());
+    return lengths;
+  }
+  const index_t step = spec.len_corr;
+  const std::size_t knots = static_cast<std::size_t>(spec.rows / step) + 2;
+  std::vector<double> knot(knots);
+  for (auto& k : knot) k = rng.normal();
+  for (index_t r = 0; r < spec.rows; ++r) {
+    const std::size_t k0 = static_cast<std::size_t>(r / step);
+    const double t = static_cast<double>(r % step) / step;
+    // Interpolation shrinks the variance by (1-t)^2 + t^2; re-standardize so
+    // the marginal distribution keeps the requested sigma.
+    const double z = (knot[k0] * (1.0 - t) + knot[k0 + 1] * t) /
+                     std::sqrt((1.0 - t) * (1.0 - t) + t * t);
+    lengths[static_cast<std::size_t>(r)] = length_from_z(spec, z);
+  }
+  return lengths;
+}
+
+/// Aligned-block mode: a train of `run`-wide blocks spaced `gap` apart,
+/// centred on the row's diagonal position with mild jitter.
+void draw_columns_aligned(const GenSpec& spec, index_t row, index_t len,
+                          Rng& rng, std::vector<index_t>& out) {
+  out.clear();
+  if (len <= 0) return;
+  const int run = std::max(1, spec.run);
+  const index_t nb = std::max<index_t>(1, (len + run - 1) / run);
+  const double center =
+      spec.rows > 1
+          ? static_cast<double>(row) * (spec.cols - 1) / (spec.rows - 1)
+          : 0.0;
+  const double gap = std::max(2.0, spec.band_frac * spec.cols);
+  const double stride = run + gap;
+  const double start = center - 0.5 * (nb - 1) * stride;
+
+  std::unordered_set<index_t> seen;
+  seen.reserve(static_cast<std::size_t>(len) * 2);
+  for (index_t b = 0; b < nb; ++b) {
+    const double jitter = rng.normal() * gap * spec.block_jitter;
+    long s = std::lround(start + b * stride + jitter);
+    s -= s % run; // align run starts so slice columns line up across rows
+    for (int t = 0; t < run && static_cast<index_t>(seen.size()) < len; ++t)
+      seen.insert(clamp_index(s + t, 0, spec.cols - 1));
+  }
+  // Deterministic fill for collisions after clamping near the edges.
+  for (long c = std::lround(center);
+       static_cast<index_t>(seen.size()) < len && c >= 0; --c)
+    seen.insert(clamp_index(c, 0, spec.cols - 1));
+
+  out.assign(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+}
+
+/// Draw a row's column set: mixture of banded-local and uniform picks, each
+/// expanded into a run of consecutive columns.
+void draw_columns(const GenSpec& spec, index_t row, index_t len, Rng& rng,
+                  std::vector<index_t>& out) {
+  if (spec.aligned_blocks) {
+    draw_columns_aligned(spec, row, len, rng, out);
+    return;
+  }
+  out.clear();
+  if (len <= 0) return;
+  std::unordered_set<index_t> seen;
+  seen.reserve(static_cast<std::size_t>(len) * 2);
+
+  const double center =
+      spec.rows > 1
+          ? static_cast<double>(row) * (spec.cols - 1) / (spec.rows - 1)
+          : 0.0;
+  const double band = std::max(1.0, spec.band_frac * spec.cols);
+  const int run = std::max(1, spec.run);
+
+  // Cap attempts so adversarial parameters (len close to cols) terminate;
+  // any shortfall is filled deterministically afterwards.
+  long attempts = 16L * len + 64;
+  while (static_cast<index_t>(seen.size()) < len && attempts-- > 0) {
+    long base;
+    if (rng.uniform() < spec.local_prob) {
+      base = std::lround(center + rng.normal() * band);
+    } else {
+      base = static_cast<long>(rng.below(static_cast<std::uint64_t>(spec.cols)));
+    }
+    // Align run starts so repeated hits reinforce the same block pattern.
+    base -= base % run;
+    for (int t = 0; t < run && static_cast<index_t>(seen.size()) < len; ++t) {
+      const index_t c = clamp_index(base + t, 0, spec.cols - 1);
+      seen.insert(c);
+    }
+  }
+  // Deterministic fill for the (rare) shortfall.
+  for (index_t c = 0; static_cast<index_t>(seen.size()) < len && c < spec.cols;
+       ++c)
+    seen.insert(c);
+
+  out.assign(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+}
+
+} // namespace
+
+Csr generate(const GenSpec& spec) {
+  BRO_CHECK(spec.rows > 0 && spec.cols > 0);
+  Rng rng(spec.seed);
+
+  // Choose which rows carry spikes (deterministically spread out).
+  std::vector<index_t> lengths = draw_lengths(spec, rng);
+  if (spec.spike_rows > 0) {
+    const index_t stride = std::max<index_t>(1, spec.rows / spec.spike_rows);
+    for (index_t s = 0; s < spec.spike_rows; ++s) {
+      const index_t r = std::min<index_t>(spec.rows - 1, s * stride + stride / 2);
+      const double jitter = 0.5 + rng.uniform(); // 0.5x .. 1.5x
+      lengths[r] = clamp_index(std::lround(spec.spike_len * jitter), 1,
+                               spec.cols);
+    }
+  }
+
+  Csr out;
+  out.rows = spec.rows;
+  out.cols = spec.cols;
+  out.row_ptr.assign(static_cast<std::size_t>(spec.rows) + 1, 0);
+  std::size_t total = 0;
+  for (index_t r = 0; r < spec.rows; ++r) total += lengths[r];
+  out.col_idx.reserve(total);
+  out.vals.reserve(total);
+
+  std::vector<index_t> cols;
+  for (index_t r = 0; r < spec.rows; ++r) {
+    // Spiked rows scatter uniformly (dense rows touch everything).
+    GenSpec row_spec = spec;
+    if (spec.spike_rows > 0 && lengths[r] > 4 * spec.mu)
+      row_spec.local_prob = 0.0;
+    draw_columns(row_spec, r, lengths[r], rng, cols);
+    for (const index_t c : cols) {
+      out.col_idx.push_back(c);
+      out.vals.push_back(rng.uniform() * 2.0 - 1.0);
+    }
+    out.row_ptr[r + 1] = static_cast<index_t>(out.col_idx.size());
+  }
+  return out;
+}
+
+Csr generate_dense(index_t rows, index_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Csr out;
+  out.rows = rows;
+  out.cols = cols;
+  out.row_ptr.resize(static_cast<std::size_t>(rows) + 1);
+  out.col_idx.resize(static_cast<std::size_t>(rows) * cols);
+  out.vals.resize(static_cast<std::size_t>(rows) * cols);
+  for (index_t r = 0; r <= rows; ++r)
+    out.row_ptr[r] = r * cols;
+  for (index_t r = 0; r < rows; ++r)
+    for (index_t c = 0; c < cols; ++c) {
+      out.col_idx[static_cast<std::size_t>(r) * cols + c] = c;
+      out.vals[static_cast<std::size_t>(r) * cols + c] =
+          rng.uniform() * 2.0 - 1.0;
+    }
+  return out;
+}
+
+Csr generate_grid2d(index_t nx, index_t ny, std::uint64_t seed) {
+  Rng rng(seed);
+  const index_t n = nx * ny;
+  Csr out;
+  out.rows = n;
+  out.cols = n;
+  out.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t y = 0; y < ny; ++y)
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t i = y * nx + x;
+      index_t deg = 0;
+      if (y > 0) ++deg;
+      if (x > 0) ++deg;
+      if (x + 1 < nx) ++deg;
+      if (y + 1 < ny) ++deg;
+      out.row_ptr[i + 1] = deg;
+    }
+  for (index_t i = 0; i < n; ++i) out.row_ptr[i + 1] += out.row_ptr[i];
+  out.col_idx.resize(static_cast<std::size_t>(out.row_ptr[n]));
+  out.vals.resize(out.col_idx.size());
+  for (index_t y = 0; y < ny; ++y)
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t i = y * nx + x;
+      index_t p = out.row_ptr[i];
+      auto put = [&](index_t c) {
+        out.col_idx[p] = c;
+        out.vals[p] = rng.uniform() * 2.0 - 1.0;
+        ++p;
+      };
+      if (y > 0) put(i - nx);
+      if (x > 0) put(i - 1);
+      if (x + 1 < nx) put(i + 1);
+      if (y + 1 < ny) put(i + nx);
+    }
+  return out;
+}
+
+Csr generate_poisson2d(index_t nx, index_t ny) {
+  const index_t n = nx * ny;
+  Csr out;
+  out.rows = n;
+  out.cols = n;
+  out.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t y = 0; y < ny; ++y)
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t i = y * nx + x;
+      index_t deg = 1; // diagonal
+      if (y > 0) ++deg;
+      if (x > 0) ++deg;
+      if (x + 1 < nx) ++deg;
+      if (y + 1 < ny) ++deg;
+      out.row_ptr[i + 1] = deg;
+    }
+  for (index_t i = 0; i < n; ++i) out.row_ptr[i + 1] += out.row_ptr[i];
+  out.col_idx.resize(static_cast<std::size_t>(out.row_ptr[n]));
+  out.vals.resize(out.col_idx.size());
+  for (index_t y = 0; y < ny; ++y)
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t i = y * nx + x;
+      index_t p = out.row_ptr[i];
+      auto put = [&](index_t c, value_t v) {
+        out.col_idx[p] = c;
+        out.vals[p] = v;
+        ++p;
+      };
+      if (y > 0) put(i - nx, -1.0);
+      if (x > 0) put(i - 1, -1.0);
+      put(i, 4.0);
+      if (x + 1 < nx) put(i + 1, -1.0);
+      if (y + 1 < ny) put(i + nx, -1.0);
+    }
+  return out;
+}
+
+Csr generate_lattice4d(index_t side, index_t row_len, int run,
+                       std::uint64_t seed) {
+  BRO_CHECK(side >= 2 && run >= 1 && row_len >= 1);
+  Rng rng(seed);
+  const index_t n = side * side * side * side;
+  const index_t strides[4] = {1, side, side * side, side * side * side};
+
+  Csr out;
+  out.rows = n;
+  out.cols = n;
+  out.row_ptr.resize(static_cast<std::size_t>(n) + 1);
+  out.col_idx.reserve(static_cast<std::size_t>(n) * row_len);
+  out.vals.reserve(static_cast<std::size_t>(n) * row_len);
+  out.row_ptr[0] = 0;
+
+  std::vector<index_t> cols;
+  for (index_t i = 0; i < n; ++i) {
+    cols.clear();
+    std::unordered_set<index_t> seen;
+    // Fixed neighbour pattern: runs of `run` consecutive indices at the
+    // site itself and at +-stride in each lattice dimension (wrap-around),
+    // like the spin-colour blocks of a lattice QCD operator.
+    auto add_run = [&](long base) {
+      base -= base % run;
+      for (int t = 0;
+           t < run && static_cast<index_t>(seen.size()) < row_len; ++t) {
+        long c = base + t;
+        c = ((c % n) + n) % n; // periodic boundary
+        seen.insert(static_cast<index_t>(c));
+      }
+    };
+    add_run(i);
+    for (int d = 0; d < 4 && static_cast<index_t>(seen.size()) < row_len; ++d) {
+      add_run(static_cast<long>(i) + strides[d] * run);
+      add_run(static_cast<long>(i) - strides[d] * run);
+    }
+    // Top up with additional runs at growing offsets until row_len reached.
+    for (long off = 2; static_cast<index_t>(seen.size()) < row_len; ++off) {
+      add_run(static_cast<long>(i) + strides[off % 4] * run * off);
+    }
+    cols.assign(seen.begin(), seen.end());
+    std::sort(cols.begin(), cols.end());
+    for (const index_t c : cols) {
+      out.col_idx.push_back(c);
+      out.vals.push_back(rng.uniform() * 2.0 - 1.0);
+    }
+    out.row_ptr[i + 1] = static_cast<index_t>(out.col_idx.size());
+  }
+  return out;
+}
+
+void make_diag_dominant(Csr& csr, double margin) {
+  BRO_CHECK_MSG(csr.rows == csr.cols, "requires a square matrix");
+  // Ensure a diagonal entry exists in every row, then boost it above the
+  // absolute row sum.
+  Csr out;
+  out.rows = csr.rows;
+  out.cols = csr.cols;
+  out.row_ptr.assign(static_cast<std::size_t>(csr.rows) + 1, 0);
+  out.col_idx.reserve(csr.nnz() + csr.rows);
+  out.vals.reserve(csr.nnz() + csr.rows);
+  for (index_t r = 0; r < csr.rows; ++r) {
+    bool have_diag = false;
+    double row_abs = 0;
+    for (index_t p = csr.row_ptr[r]; p < csr.row_ptr[r + 1]; ++p) {
+      if (csr.col_idx[p] == r) have_diag = true;
+      else row_abs += std::abs(csr.vals[p]);
+    }
+    const double diag = row_abs + margin;
+    bool placed = false;
+    for (index_t p = csr.row_ptr[r]; p < csr.row_ptr[r + 1]; ++p) {
+      if (!placed && !have_diag && csr.col_idx[p] > r) {
+        out.col_idx.push_back(r);
+        out.vals.push_back(diag);
+        placed = true;
+      }
+      out.col_idx.push_back(csr.col_idx[p]);
+      out.vals.push_back(csr.col_idx[p] == r ? diag : csr.vals[p]);
+    }
+    if (!have_diag && !placed) {
+      out.col_idx.push_back(r);
+      out.vals.push_back(diag);
+    }
+    out.row_ptr[r + 1] = static_cast<index_t>(out.col_idx.size());
+  }
+  csr = std::move(out);
+}
+
+} // namespace bro::sparse

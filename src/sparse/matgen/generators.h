@@ -1,0 +1,92 @@
+// Synthetic sparse matrix generators.
+//
+// The paper benchmarks 30 University of Florida matrices (Table 2); the
+// collection is not available offline, so each matrix is substituted by a
+// generator matched on dimensions, nnz, row-length mean/σ, and structure
+// class. Structure matters because BRO compressibility is governed by the
+// delta-encoded column gaps: FEM matrices have short runs of consecutive
+// columns (tiny deltas), grids have a few large fixed offsets, web graphs
+// have near-random columns.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.h"
+
+namespace bro::sparse {
+
+/// Row-length distribution families.
+enum class LenDist {
+  kConstant,  // every row has round(mu) entries
+  kNormal,    // clipped normal(mu, sigma)
+  kLogNormal, // heavy-ish tail, parameterized by mean/sigma of lengths
+  kPareto,    // heavy tail (web graphs, rail)
+};
+
+/// Declarative description of a synthetic matrix.
+struct GenSpec {
+  index_t rows = 0;
+  index_t cols = 0;
+
+  LenDist len_dist = LenDist::kNormal;
+  double mu = 8.0;    // target mean row length
+  double sigma = 2.0; // target row-length standard deviation
+  index_t min_len = 1;
+  // Spatial correlation length of row lengths, in rows. Real meshes have
+  // smoothly varying vertex degrees, so consecutive rows have similar
+  // lengths; 0 draws lengths i.i.d. The marginal distribution (mu/sigma)
+  // is preserved either way.
+  index_t len_corr = 32;
+
+  // Column structure ------------------------------------------------------
+  // A pick is "local" with probability local_prob: the base column is drawn
+  // from a normal centred on the row's diagonal position with stddev
+  // band_frac * cols. Otherwise the base is uniform over all columns. Each
+  // base contributes `run` consecutive columns (FEM dof blocks).
+  double local_prob = 0.9;
+  double band_frac = 0.02;
+  int run = 1;
+
+  // Aligned-block mode (FEM matrices): instead of random picks, each row is
+  // a train of `run`-wide blocks evenly spaced around the diagonal with
+  // small jitter. Rows of a slice then share their column structure, which
+  // keeps the per-column delta maxima small — the property that gives real
+  // FEM matrices their high BRO-ELL compression ratios.
+  bool aligned_blocks = false;
+  // Relative jitter of each block's position (fraction of the inter-block
+  // gap). Larger jitter widens the per-column delta range across a slice,
+  // lowering the compression ratio toward what irregular meshes show.
+  double block_jitter = 0.5;
+
+  // Heavy-row spikes (rajat30 / gupta2-style): `spike_rows` rows get
+  // approximately `spike_len` entries spread uniformly.
+  index_t spike_rows = 0;
+  index_t spike_len = 0;
+
+  std::uint64_t seed = 1;
+};
+
+/// Generate a CSR matrix from a GenSpec. Values are uniform in [-1, 1].
+Csr generate(const GenSpec& spec);
+
+/// Dense m-by-n matrix in CSR form (used by the Fig. 3 scaling experiment).
+Csr generate_dense(index_t rows, index_t cols, std::uint64_t seed = 1);
+
+/// 2-D grid transition structure: each site connects to its 4 lattice
+/// neighbours (mc2depi-style, μ ≈ 4, σ ≈ 0).
+Csr generate_grid2d(index_t nx, index_t ny, std::uint64_t seed = 1);
+
+/// 5-point Poisson stencil on an nx-by-ny grid (SPD; used by solver
+/// examples and tests).
+Csr generate_poisson2d(index_t nx, index_t ny);
+
+/// 4-D lattice with fixed per-row pattern of `runs` consecutive blocks
+/// (qcd5_4-style: exactly `row_len` non-zeros in every row).
+Csr generate_lattice4d(index_t side, index_t row_len, int run,
+                       std::uint64_t seed = 1);
+
+/// Make the matrix strictly diagonally dominant (adds/boosts the diagonal);
+/// keeps the sparsity pattern otherwise. Requires a square matrix.
+void make_diag_dominant(Csr& csr, double margin = 1.0);
+
+} // namespace bro::sparse

@@ -1,0 +1,235 @@
+#include "sparse/matgen/suite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/matgen/generators.h"
+#include "util/error.h"
+
+namespace bro::sparse {
+
+namespace {
+
+// Structure class controls the column pattern of the generator; it encodes
+// what is known about each UF matrix's origin (FEM, grid, circuit, web...).
+struct Recipe {
+  SuiteEntry entry;
+  LenDist dist = LenDist::kNormal;
+  double local_prob = 0.9;
+  double band_frac = 0.02;
+  int run = 1;
+  index_t spike_rows = 0;
+  index_t spike_len = 0;
+  // Special cases built by dedicated generators.
+  enum class Special { kNone, kGrid2d, kLattice4d } special = Special::kNone;
+  bool aligned_blocks = false; // FEM structure (see GenSpec::aligned_blocks)
+  // Bulk row-length overrides for spike-dominated matrices: the paper's
+  // mu/sigma include the spikes, so the non-spike bulk needs its own
+  // distribution parameters (<= 0 means "use the paper values").
+  double bulk_mu = -1;
+  double bulk_sigma = -1;
+};
+
+std::vector<Recipe> build_recipes() {
+  std::vector<Recipe> r;
+  auto add = [&](SuiteEntry e, LenDist dist, double local, double band,
+                 int run, index_t spike_rows = 0, index_t spike_len = 0,
+                 Recipe::Special special = Recipe::Special::kNone) {
+    Recipe rec;
+    rec.entry = std::move(e);
+    rec.dist = dist;
+    rec.local_prob = local;
+    rec.band_frac = band;
+    rec.run = run;
+    rec.spike_rows = spike_rows;
+    rec.spike_len = spike_len;
+    rec.special = special;
+    r.push_back(std::move(rec));
+  };
+
+  // --- Test Set 1 (Table 2 top half; Table 3 / Table 5 columns attached) ---
+  // name, set, rows, cols, nnz, mu, sigma, eta_broell, eta_bar
+  add({"cage12", 1, 130228, 130228, 2032536, 15.6, 4.7, 0.780, 0.811, -1, -1},
+      LenDist::kNormal, 0.92, 0.008, 2);
+  add({"cant", 1, 62451, 62451, 4007383, 64.2, 14.1, 0.859, 0.927, -1, -1},
+      LenDist::kNormal, 0.97, 0.002, 3);
+  add({"consph", 1, 83334, 83334, 6010480, 72.1, 19.1, 0.853, 0.917, -1, -1},
+      LenDist::kNormal, 0.97, 0.0025, 3);
+  add({"e40r5000", 1, 17281, 17281, 553956, 32.1, 15.5, 0.925, 0.954, -1, -1},
+      LenDist::kNormal, 0.98, 0.0015, 8);
+  add({"epb3", 1, 84617, 84617, 463625, 5.5, 0.5, 0.832, 0.832, -1, -1},
+      LenDist::kNormal, 0.99, 0.0005, 5);
+  add({"lhr71", 1, 70304, 70304, 1528092, 21.7, 26.3, 0.921, 0.957, -1, -1},
+      LenDist::kLogNormal, 0.95, 0.01, 1);
+  add({"mc2depi", 1, 525825, 525825, 2100225, 4.0, 0.1, 0.507, 0.507, -1, -1},
+      LenDist::kConstant, 1.0, 0.0, 1, 0, 0, Recipe::Special::kGrid2d);
+  add({"pdb1HYS", 1, 36417, 36417, 4344765, 119.3, 31.9, 0.892, 0.908, -1, -1},
+      LenDist::kNormal, 0.96, 0.002, 4);
+  add({"qcd5_4", 1, 49152, 49152, 1916928, 39.0, 0.0, 0.877, 0.889, -1, -1},
+      LenDist::kConstant, 1.0, 0.0, 5, 0, 0, Recipe::Special::kLattice4d);
+  add({"rim", 1, 22560, 22560, 1014951, 45.0, 26.6, 0.927, 0.960, -1, -1},
+      LenDist::kNormal, 0.97, 0.0015, 8);
+  add({"rma10", 1, 46835, 46835, 2374001, 50.7, 27.8, 0.908, 0.949, -1, -1},
+      LenDist::kNormal, 0.96, 0.002, 6);
+  add({"shipsec1", 1, 140874, 140874, 7813404, 55.5, 11.1, 0.929, 0.948, -1, -1},
+      LenDist::kNormal, 0.98, 0.001, 12);
+  add({"stomach", 1, 213360, 213360, 3021648, 14.2, 5.9, 0.707, 0.823, -1, -1},
+      LenDist::kNormal, 0.87, 0.015, 2);
+  add({"torso3", 1, 259156, 259156, 4429042, 17.1, 4.4, 0.759, 0.836, -1, -1},
+      LenDist::kNormal, 0.92, 0.008, 2);
+  add({"venkat01", 1, 62424, 62424, 1717792, 27.5, 2.3, 0.902, 0.923, -1, -1},
+      LenDist::kNormal, 0.98, 0.001, 6);
+  add({"xenon2", 1, 157464, 157464, 3866688, 24.6, 4.1, 0.740, 0.873, -1, -1},
+      LenDist::kNormal, 0.92, 0.008, 2);
+
+  // --- Test Set 2 (Table 2 bottom half; Table 4 columns attached) ---
+  // name, set, rows, cols, nnz, mu, sigma, -, -, ell_frac, eta_brohyb
+  add({"bcsstk32", 2, 44609, 44609, 2014701, 45.2, 15.5, -1, -1, 0.966, 0.604},
+      LenDist::kNormal, 0.97, 0.02, 3);
+  add({"cop20k_A", 2, 121192, 121192, 2624331, 21.7, 13.8, -1, -1, 0.823, 0.467},
+      LenDist::kLogNormal, 0.85, 0.02, 1);
+  add({"ct20stif", 2, 52329, 52329, 2698463, 51.6, 17.0, -1, -1, 0.907, 0.559},
+      LenDist::kNormal, 0.96, 0.035, 2);
+  add({"gupta2", 2, 62064, 62064, 4248286, 68.5, 356.0, -1, -1, 0.500, 0.438},
+      LenDist::kNormal, 0.5, 0.03, 1, 120, 17500);
+  add({"hvdc2", 2, 189860, 189860, 1347273, 7.1, 3.8, -1, -1, 0.869, 0.455},
+      LenDist::kLogNormal, 0.9, 0.01, 1);
+  add({"mac_econ", 2, 206500, 206500, 1273389, 6.2, 4.4, -1, -1, 0.811, 0.516},
+      LenDist::kLogNormal, 0.99, 0.004, 1);
+  add({"ohne2", 2, 181343, 181343, 11063545, 61.0, 21.1, -1, -1, 0.965, 0.495},
+      LenDist::kNormal, 0.95, 0.04, 2);
+  add({"pwtk", 2, 217918, 217918, 11634424, 53.4, 4.7, -1, -1, 0.994, 0.787},
+      LenDist::kNormal, 0.98, 0.003, 6);
+  add({"rail4284", 2, 4284, 109000, 11279748, 2633.0, 4209.0, -1, -1, 0.0085,
+       0.452},
+      LenDist::kNormal, 0.2, 0.1, 2, 643, 17000);
+  add({"rajat30", 2, 643994, 643994, 6175377, 9.6, 785.0, -1, -1, 0.681, 0.345},
+      LenDist::kNormal, 0.5, 0.01, 1, 40, 310000);
+  add({"scircuit", 2, 170998, 170998, 958936, 5.6, 4.4, -1, -1, 0.782, 0.366},
+      LenDist::kLogNormal, 0.3, 0.1, 1);
+  add({"sme3Da", 2, 12504, 12504, 874887, 70.0, 34.9, -1, -1, 0.836, 0.556},
+      LenDist::kNormal, 0.95, 0.05, 2);
+  add({"twotone", 2, 120750, 120750, 1224224, 10.1, 15.0, -1, -1, 0.618, 0.488},
+      LenDist::kLogNormal, 0.8, 0.02, 1);
+  add({"webbase-1M", 2, 1000005, 1000005, 3105536, 3.1, 25.3, -1, -1, 0.642,
+       0.134},
+      LenDist::kPareto, 0.15, 0.05, 1, 40, 4000);
+
+  // Spike-dominated matrices: bulk distributions excluding the spikes.
+  for (auto& rec : r) {
+    if (rec.entry.name == "rajat30") { rec.bulk_mu = 9.2; rec.bulk_sigma = 2.0; }
+    if (rec.entry.name == "gupta2") { rec.bulk_mu = 30.0; rec.bulk_sigma = 22.0; }
+    if (rec.entry.name == "webbase-1M") { rec.bulk_mu = 3.0; }
+    if (rec.entry.name == "rail4284") { rec.bulk_mu = 20.0; rec.bulk_sigma = 10.0; }
+  }
+
+  // FEM-class matrices use the aligned-block column structure.
+  for (auto& rec : r) {
+    for (const char* nm : {"cage12", "cant", "consph", "e40r5000", "epb3", "pdb1HYS", "rim", "rma10", "shipsec1", "venkat01", "xenon2", "torso3", "pwtk"}) {
+      if (rec.entry.name == nm) rec.aligned_blocks = true;
+    }
+  }
+
+  return r;
+}
+
+const std::vector<Recipe>& recipes() {
+  static const std::vector<Recipe> r = build_recipes();
+  return r;
+}
+
+std::uint64_t name_seed(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ull; // FNV-1a
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Csr generate_from_recipe(const Recipe& rec, double scale) {
+  BRO_CHECK_MSG(scale > 0, "scale must be positive");
+  const auto& e = rec.entry;
+  const auto scaled = [&](index_t v) {
+    return std::max<index_t>(64, static_cast<index_t>(std::lround(v * scale)));
+  };
+
+  switch (rec.special) {
+    case Recipe::Special::kGrid2d: {
+      // Square-ish grid sized so nx*ny ~= scaled rows.
+      const index_t n = scaled(e.paper_rows);
+      const index_t nx = std::max<index_t>(
+          8, static_cast<index_t>(std::lround(std::sqrt(double(n)))));
+      return generate_grid2d(nx, n / nx, name_seed(e.name));
+    }
+    case Recipe::Special::kLattice4d: {
+      const index_t n = scaled(e.paper_rows);
+      const index_t side = std::max<index_t>(
+          4, static_cast<index_t>(std::lround(std::pow(double(n), 0.25))));
+      return generate_lattice4d(side, static_cast<index_t>(e.paper_mu),
+                                rec.run, name_seed(e.name));
+    }
+    case Recipe::Special::kNone:
+      break;
+  }
+
+  GenSpec spec;
+  spec.rows = scaled(e.paper_rows);
+  spec.cols = scaled(e.paper_cols);
+  spec.len_dist = rec.dist;
+  spec.mu = rec.bulk_mu > 0 ? rec.bulk_mu : e.paper_mu;
+  spec.sigma = rec.bulk_sigma > 0 ? rec.bulk_sigma : e.paper_sigma;
+  // Heavy-tailed rectangular matrices (rail4284) have a substantial
+  // minimum row length; small-mu Pareto matrices keep min 1.
+  spec.min_len =
+      rec.dist == LenDist::kPareto && e.paper_mu > 100
+          ? std::max<index_t>(1, static_cast<index_t>(e.paper_mu / 60))
+          : 1;
+  spec.local_prob = rec.local_prob;
+  spec.band_frac = rec.band_frac;
+  spec.run = rec.run;
+  spec.aligned_blocks = rec.aligned_blocks;
+  // Spike magnitudes scale with the matrix so σ stays proportionally huge.
+  spec.spike_rows = rec.spike_rows == 0
+                        ? 0
+                        : std::max<index_t>(1, static_cast<index_t>(std::lround(
+                                                   rec.spike_rows * scale)));
+  spec.spike_len = rec.spike_len == 0
+                       ? 0
+                       : std::max<index_t>(8, static_cast<index_t>(std::lround(
+                                                  rec.spike_len * scale)));
+  spec.seed = name_seed(e.name);
+  return generate(spec);
+}
+
+} // namespace
+
+const std::vector<SuiteEntry>& suite_entries() {
+  static const std::vector<SuiteEntry> entries = [] {
+    std::vector<SuiteEntry> out;
+    for (const auto& r : recipes()) out.push_back(r.entry);
+    return out;
+  }();
+  return entries;
+}
+
+std::vector<SuiteEntry> suite_test_set(int set) {
+  std::vector<SuiteEntry> out;
+  for (const auto& e : suite_entries())
+    if (e.test_set == set) out.push_back(e);
+  return out;
+}
+
+std::optional<SuiteEntry> find_suite_entry(const std::string& name) {
+  for (const auto& e : suite_entries())
+    if (e.name == name) return e;
+  return std::nullopt;
+}
+
+Csr generate_suite_matrix(const SuiteEntry& entry, double scale) {
+  for (const auto& r : recipes())
+    if (r.entry.name == entry.name) return generate_from_recipe(r, scale);
+  ::bro::detail::fail("known suite matrix", __FILE__, __LINE__, entry.name);
+}
+
+} // namespace bro::sparse

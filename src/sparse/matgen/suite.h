@@ -1,0 +1,46 @@
+// The benchmark suite: one named generator per University of Florida matrix
+// in Table 2 of the paper, with the paper's published statistics attached so
+// benches can print paper-vs-measured side by side.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace bro::sparse {
+
+struct SuiteEntry {
+  std::string name;
+  int test_set = 1; // 1 = BRO-ELL-representable, 2 = needs BRO-HYB
+
+  // Published Table 2 statistics (full-scale matrix).
+  index_t paper_rows = 0;
+  index_t paper_cols = 0;
+  std::size_t paper_nnz = 0;
+  double paper_mu = 0;
+  double paper_sigma = 0;
+
+  // Published per-matrix results where the paper reports them.
+  double paper_eta_broell = -1; // Table 3 space savings (Test Set 1)
+  double paper_eta_bar = -1;    // Table 5 space savings after BAR
+  double paper_ell_frac = -1;   // Table 4 %BRO-ELL (Test Set 2)
+  double paper_eta_brohyb = -1; // Table 4 space savings (Test Set 2)
+};
+
+/// All 30 entries in Table 2 order (Test Set 1 then Test Set 2).
+const std::vector<SuiteEntry>& suite_entries();
+
+/// Entries filtered by test set (1 or 2).
+std::vector<SuiteEntry> suite_test_set(int set);
+
+/// Look up an entry by name; nullopt if unknown.
+std::optional<SuiteEntry> find_suite_entry(const std::string& name);
+
+/// Generate the stand-in matrix for `entry` at a linear size scale factor
+/// (rows and cols multiplied by `scale`; row-length structure preserved).
+/// scale = 1 reproduces the paper-size matrix.
+Csr generate_suite_matrix(const SuiteEntry& entry, double scale = 1.0);
+
+} // namespace bro::sparse

@@ -1,0 +1,112 @@
+#include "sparse/mmio.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace bro::sparse {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+} // namespace
+
+Coo read_matrix_market(std::istream& in) {
+  std::string line;
+  long line_no = 0;
+
+  // Header: "%%MatrixMarket matrix coordinate <field> <symmetry>"
+  BRO_CHECK_MSG(std::getline(in, line), "empty Matrix Market stream");
+  ++line_no;
+  std::istringstream hdr(line);
+  std::string banner, object, fmt, field, symmetry;
+  hdr >> banner >> object >> fmt >> field >> symmetry;
+  BRO_CHECK_MSG(lower(banner) == "%%matrixmarket",
+                "line 1: missing %%MatrixMarket banner");
+  BRO_CHECK_MSG(lower(object) == "matrix", "line 1: only 'matrix' supported");
+  BRO_CHECK_MSG(lower(fmt) == "coordinate",
+                "line 1: only 'coordinate' format supported");
+  field = lower(field);
+  symmetry = lower(symmetry);
+  const bool pattern = field == "pattern";
+  BRO_CHECK_MSG(field == "real" || field == "integer" || pattern,
+                "line 1: unsupported field '" << field << '\'');
+  const bool symmetric = symmetry == "symmetric";
+  const bool skew = symmetry == "skew-symmetric";
+  BRO_CHECK_MSG(symmetric || skew || symmetry == "general",
+                "line 1: unsupported symmetry '" << symmetry << '\'');
+
+  // Skip comments, read the size line.
+  long rows = -1, cols = -1, entries = -1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line[0] == '%') continue;
+    if (line.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+    std::istringstream sz(line);
+    BRO_CHECK_MSG(sz >> rows >> cols >> entries,
+                  "line " << line_no << ": malformed size line");
+    break;
+  }
+  BRO_CHECK_MSG(rows >= 0 && cols >= 0 && entries >= 0,
+                "missing size line (truncated file?)");
+
+  Coo coo;
+  coo.rows = static_cast<index_t>(rows);
+  coo.cols = static_cast<index_t>(cols);
+  coo.reserve(static_cast<std::size_t>(entries) * (symmetric || skew ? 2 : 1));
+
+  long seen = 0;
+  while (seen < entries && std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '%') continue;
+    if (line.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+    std::istringstream es(line);
+    long r = 0, c = 0;
+    double v = 1.0;
+    BRO_CHECK_MSG(es >> r >> c, "line " << line_no << ": malformed entry");
+    if (!pattern)
+      BRO_CHECK_MSG(es >> v, "line " << line_no << ": missing value");
+    BRO_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                  "line " << line_no << ": index out of range");
+    const index_t ri = static_cast<index_t>(r - 1);
+    const index_t ci = static_cast<index_t>(c - 1);
+    coo.push(ri, ci, v);
+    if ((symmetric || skew) && ri != ci) coo.push(ci, ri, skew ? -v : v);
+    ++seen;
+  }
+  BRO_CHECK_MSG(seen == entries, "truncated file: expected " << entries
+                                     << " entries, found " << seen);
+  coo.canonicalize();
+  return coo;
+}
+
+Coo read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  BRO_CHECK_MSG(in.good(), "cannot open '" << path << '\'');
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Coo& coo) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << coo.rows << ' ' << coo.cols << ' ' << coo.nnz() << '\n';
+  out.precision(17);
+  for (std::size_t i = 0; i < coo.nnz(); ++i)
+    out << coo.row_idx[i] + 1 << ' ' << coo.col_idx[i] + 1 << ' '
+        << coo.vals[i] << '\n';
+}
+
+void write_matrix_market_file(const std::string& path, const Coo& coo) {
+  std::ofstream out(path);
+  BRO_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  write_matrix_market(out, coo);
+}
+
+} // namespace bro::sparse

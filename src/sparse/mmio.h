@@ -1,0 +1,27 @@
+// Matrix Market (.mtx) reader/writer.
+//
+// Supports the coordinate format with real / integer / pattern fields and
+// general / symmetric / skew-symmetric symmetry, which covers the University
+// of Florida collection the paper draws its matrices from. Malformed input
+// throws std::runtime_error with a line-numbered message.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.h"
+
+namespace bro::sparse {
+
+/// Parse a Matrix Market stream into COO (canonicalized).
+Coo read_matrix_market(std::istream& in);
+
+/// Convenience overload reading from a file path.
+Coo read_matrix_market_file(const std::string& path);
+
+/// Write COO as a general real coordinate Matrix Market body.
+void write_matrix_market(std::ostream& out, const Coo& coo);
+
+void write_matrix_market_file(const std::string& path, const Coo& coo);
+
+} // namespace bro::sparse

@@ -1,0 +1,48 @@
+#include "sparse/spmv.h"
+
+#include "util/error.h"
+
+namespace bro::sparse {
+
+void spmv_coo_accumulate(const Coo& a, std::span<const value_t> x,
+                         std::span<value_t> y) {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+  for (std::size_t i = 0; i < a.nnz(); ++i)
+    y[static_cast<std::size_t>(a.row_idx[i])] +=
+        a.vals[i] * x[static_cast<std::size_t>(a.col_idx[i])];
+}
+
+void spmv_ell(const Ell& a, std::span<const value_t> x, std::span<value_t> y) {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+  for (index_t r = 0; r < a.rows; ++r) {
+    value_t sum = 0;
+    for (index_t j = 0; j < a.width; ++j) {
+      const index_t c = a.col_at(r, j);
+      if (c != kPad) sum += a.val_at(r, j) * x[static_cast<std::size_t>(c)];
+    }
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+}
+
+void spmv_ellr(const EllR& a, std::span<const value_t> x,
+               std::span<value_t> y) {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(a.ell.cols));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(a.ell.rows));
+  for (index_t r = 0; r < a.ell.rows; ++r) {
+    value_t sum = 0;
+    const index_t len = a.row_length[static_cast<std::size_t>(r)];
+    for (index_t j = 0; j < len; ++j)
+      sum += a.ell.val_at(r, j) *
+             x[static_cast<std::size_t>(a.ell.col_at(r, j))];
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+}
+
+void spmv_hyb(const Hyb& a, std::span<const value_t> x, std::span<value_t> y) {
+  spmv_ell(a.ell, x, y);
+  spmv_coo_accumulate(a.coo, x, y);
+}
+
+} // namespace bro::sparse

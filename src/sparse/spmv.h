@@ -1,0 +1,29 @@
+// Sequential SpMV for each classical storage format. These are the
+// functional definitions; the OpenMP-parallel native benchmark kernels and
+// the GPU-simulator kernels live in src/kernels/.
+#pragma once
+
+#include <span>
+
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+#include "sparse/ell.h"
+#include "sparse/hyb.h"
+
+namespace bro::sparse {
+
+/// y += A * x over COO triples (callers zero y for a plain product).
+void spmv_coo_accumulate(const Coo& a, std::span<const value_t> x,
+                         std::span<value_t> y);
+
+/// y = A * x over ELLPACK (iterates all k columns, skipping padding).
+void spmv_ell(const Ell& a, std::span<const value_t> x, std::span<value_t> y);
+
+/// y = A * x over ELLPACK-R (loops row_length[r] per row).
+void spmv_ellr(const EllR& a, std::span<const value_t> x,
+               std::span<value_t> y);
+
+/// y = A * x over HYB (ELL pass then COO accumulation).
+void spmv_hyb(const Hyb& a, std::span<const value_t> x, std::span<value_t> y);
+
+} // namespace bro::sparse

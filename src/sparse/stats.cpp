@@ -1,0 +1,54 @@
+#include "sparse/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace bro::sparse {
+
+MatrixStats compute_stats(const Csr& csr) {
+  MatrixStats s;
+  s.rows = csr.rows;
+  s.cols = csr.cols;
+  s.nnz = csr.nnz();
+  if (csr.rows == 0) return s;
+
+  s.min_row_length = csr.row_length(0);
+  double sum = 0;
+  for (index_t r = 0; r < csr.rows; ++r) {
+    const index_t l = csr.row_length(r);
+    sum += l;
+    s.max_row_length = std::max(s.max_row_length, l);
+    s.min_row_length = std::min(s.min_row_length, l);
+  }
+  s.mean_row_length = sum / csr.rows;
+
+  double sq = 0;
+  for (index_t r = 0; r < csr.rows; ++r) {
+    const double d = csr.row_length(r) - s.mean_row_length;
+    sq += d * d;
+  }
+  s.stddev_row_length = std::sqrt(sq / csr.rows);
+  s.density = static_cast<double>(s.nnz) /
+              (static_cast<double>(csr.rows) * static_cast<double>(csr.cols));
+  return s;
+}
+
+std::string dims_string(index_t rows, index_t cols) {
+  auto one = [](index_t v) {
+    std::ostringstream os;
+    if (v >= 1000000) {
+      const double m = v / 1000000.0;
+      const double rounded = std::round(m * 10.0) / 10.0;
+      os << rounded << 'M';
+    } else if (v >= 1000) {
+      os << (v + 500) / 1000 << 'k';
+    } else {
+      os << v;
+    }
+    return os.str();
+  };
+  return one(rows) + " x " + one(cols);
+}
+
+} // namespace bro::sparse

@@ -1,0 +1,26 @@
+// Row-length statistics (the μ and σ columns of Table 2).
+#pragma once
+
+#include <string>
+
+#include "sparse/csr.h"
+
+namespace bro::sparse {
+
+struct MatrixStats {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::size_t nnz = 0;
+  double mean_row_length = 0;   // μ
+  double stddev_row_length = 0; // σ (population standard deviation)
+  index_t max_row_length = 0;   // k
+  index_t min_row_length = 0;
+  double density = 0; // nnz / (rows * cols)
+};
+
+MatrixStats compute_stats(const Csr& csr);
+
+/// "130k x 130k"-style rendering used by the Table 2 bench.
+std::string dims_string(index_t rows, index_t cols);
+
+} // namespace bro::sparse

@@ -1,0 +1,33 @@
+// Minimal command-line argument parser for the CLI tool and examples:
+// positional arguments plus --key=value / --key value / --flag options.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bro {
+
+class Args {
+ public:
+  /// Parse argv (argv[0] is skipped). Unknown options are kept; validation
+  /// is the caller's job via `allow_only`.
+  Args(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& key) const { return options_.count(key) > 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  long get_long(const std::string& key, long fallback) const;
+
+  /// Throws std::runtime_error if any option key is not in `keys`.
+  void allow_only(const std::vector<std::string>& keys) const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_; // flag => "" if no value
+};
+
+} // namespace bro

@@ -1,0 +1,25 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace bro {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return end == v ? fallback : parsed;
+}
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return end == v ? fallback : parsed;
+}
+
+double bench_scale() { return env_double("BRO_SCALE", 0.25); }
+
+} // namespace bro

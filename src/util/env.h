@@ -1,0 +1,20 @@
+// Environment-variable knobs shared by the bench harness.
+#pragma once
+
+#include <string>
+
+namespace bro {
+
+/// Read a double from the environment, falling back to `fallback` when the
+/// variable is unset or unparsable.
+double env_double(const char* name, double fallback);
+
+/// Read an integer from the environment with a fallback.
+long env_long(const char* name, long fallback);
+
+/// Global matrix scale factor for benches (BRO_SCALE, default 0.25).
+/// Matrix dimensions are multiplied by this factor so the full suite runs in
+/// minutes on a small host; set BRO_SCALE=1 to reproduce paper-size matrices.
+double bench_scale();
+
+} // namespace bro

@@ -1,0 +1,34 @@
+// Lightweight runtime-check macros. Used for API-contract violations and
+// malformed external inputs (e.g. truncated Matrix Market files); they throw
+// std::runtime_error so failure injection is testable.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bro::detail {
+
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed (" << expr << ')';
+  if (!msg.empty()) os << ": " << msg;
+  throw std::runtime_error(os.str());
+}
+
+} // namespace bro::detail
+
+#define BRO_CHECK(expr)                                                    \
+  do {                                                                     \
+    if (!(expr)) ::bro::detail::fail(#expr, __FILE__, __LINE__, "");       \
+  } while (0)
+
+#define BRO_CHECK_MSG(expr, msg)                                           \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << msg;                                                          \
+      ::bro::detail::fail(#expr, __FILE__, __LINE__, os_.str());           \
+    }                                                                      \
+  } while (0)

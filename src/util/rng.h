@@ -1,0 +1,45 @@
+// Deterministic, fast pseudo-random number generation (splitmix64 +
+// xoshiro256**). All matrix generators take an explicit seed so every
+// experiment is reproducible bit-for-bit across runs and machines.
+#pragma once
+
+#include <cstdint>
+
+namespace bro {
+
+/// xoshiro256** PRNG seeded via splitmix64. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Standard normal via Box-Muller (no cached spare; simple and stateless).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+} // namespace bro

@@ -1,0 +1,32 @@
+// Minimal fixed-width table printer used by the bench harness to emit
+// paper-style tables (Table 1-5) and figure series on stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bro {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Formatting helpers for cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace bro

@@ -1,0 +1,19 @@
+// Common scalar and index types used across the BRO-SpMV library.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace bro {
+
+/// Row/column index type. Matrices up to ~2^31 rows/cols are supported,
+/// matching the 32-bit index arrays the paper compresses.
+using index_t = std::int32_t;
+
+/// Matrix value type. The paper evaluates double precision.
+using value_t = double;
+
+/// Unsigned type used for bit-packed symbol streams.
+using symbol_t = std::uint64_t;
+
+} // namespace bro

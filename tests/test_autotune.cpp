@@ -1,0 +1,110 @@
+// Autotuner tests: the ranking must be complete, consistent with direct
+// simulation, and pick sensible winners for characteristic matrix shapes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kernels/autotune.h"
+#include "sparse/matgen/generators.h"
+#include "sparse/matgen/suite.h"
+
+namespace bk = bro::kernels;
+namespace bc = bro::core;
+namespace bs = bro::sparse;
+namespace gs = bro::sim;
+using bro::index_t;
+
+TEST(Autotune, RankingIsSortedAndComplete) {
+  const bs::Csr csr = bs::generate_poisson2d(60, 60);
+  const auto res = bk::autotune(csr, gs::tesla_k20());
+  ASSERT_GE(res.ranking.size(), 7u);
+  for (std::size_t i = 1; i < res.ranking.size(); ++i) {
+    if (res.ranking[i].applicable)
+      EXPECT_LE(res.ranking[i].gflops, res.ranking[i - 1].gflops);
+  }
+  // Every format appears exactly once.
+  std::set<bc::Format> seen;
+  for (const auto& e : res.ranking) EXPECT_TRUE(seen.insert(e.format).second);
+}
+
+TEST(Autotune, RegularMatrixPrefersCompressedFormat) {
+  const auto entry = bs::find_suite_entry("cant");
+  const bs::Csr csr = bs::generate_suite_matrix(*entry, 1.0 / 16.0);
+  const auto res = bk::autotune(csr, gs::tesla_k20());
+  // At this (small) launch size either BRO-ELL or the warp-per-row BRO-CSR
+  // extension wins; both are compressed formats. BRO-ELL must beat plain
+  // ELLPACK regardless.
+  EXPECT_TRUE(res.best() == bc::Format::kBroEll ||
+              res.best() == bc::Format::kBroCsr)
+      << bc::format_name(res.best());
+  double g_ell = 0, g_bro = 0;
+  for (const auto& e : res.ranking) {
+    if (e.format == bc::Format::kEll) g_ell = e.gflops;
+    if (e.format == bc::Format::kBroEll) g_bro = e.gflops;
+  }
+  EXPECT_GT(g_bro, g_ell);
+}
+
+TEST(Autotune, SpikedMatrixExcludesEllFamily) {
+  bs::GenSpec spec;
+  spec.rows = 1500;
+  spec.cols = 1500;
+  spec.mu = 5;
+  spec.sigma = 2;
+  spec.spike_rows = 3;
+  spec.spike_len = 1200;
+  spec.seed = 6;
+  const bs::Csr csr = bs::generate(spec);
+  const auto res = bk::autotune(csr, gs::tesla_k20());
+  for (const auto& e : res.ranking) {
+    if (e.format == bc::Format::kEll || e.format == bc::Format::kEllR ||
+        e.format == bc::Format::kBroEll)
+      EXPECT_FALSE(e.applicable);
+    else
+      EXPECT_TRUE(e.applicable);
+  }
+  // The winner must be an applicable format.
+  EXPECT_TRUE(res.ranking.front().applicable);
+}
+
+TEST(Autotune, CompressedFormatsReportSavings) {
+  const bs::Csr csr = bs::generate_poisson2d(50, 50);
+  const auto res = bk::autotune(csr, gs::tesla_c2070());
+  for (const auto& e : res.ranking) {
+    switch (e.format) {
+      case bc::Format::kBroEll:
+      case bc::Format::kBroHyb:
+      case bc::Format::kBroCsr:
+        if (e.applicable) EXPECT_GT(e.eta, 0.0) << bc::format_name(e.format);
+        break;
+      case bc::Format::kBroCoo:
+        // BRO-COO pads the nnz stream to whole intervals, which can exceed
+        // the bit savings on tiny matrices; the accounting must still be
+        // sane (bounded, not wildly negative).
+        EXPECT_GT(e.eta, -0.5);
+        break;
+      default:
+        EXPECT_DOUBLE_EQ(e.eta, 0.0);
+    }
+  }
+}
+
+TEST(Autotune, ExtensionsCanBeExcluded) {
+  const bs::Csr csr = bs::generate_poisson2d(30, 30);
+  bk::TuneOptions opts;
+  opts.include_extensions = false;
+  const auto res = bk::autotune(csr, gs::tesla_k20(), opts);
+  for (const auto& e : res.ranking)
+    EXPECT_NE(e.format, bc::Format::kBroCsr);
+}
+
+TEST(Autotune, DeterministicAcrossCalls) {
+  const bs::Csr csr = bs::generate_poisson2d(40, 40);
+  const auto a = bk::autotune(csr, gs::gtx680());
+  const auto b = bk::autotune(csr, gs::gtx680());
+  ASSERT_EQ(a.ranking.size(), b.ranking.size());
+  for (std::size_t i = 0; i < a.ranking.size(); ++i) {
+    EXPECT_EQ(a.ranking[i].format, b.ranking[i].format);
+    EXPECT_DOUBLE_EQ(a.ranking[i].gflops, b.ranking[i].gflops);
+  }
+}

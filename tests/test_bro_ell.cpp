@@ -1,0 +1,246 @@
+// BRO-ELL tests: the Fig. 1 pipeline on the paper's example matrix,
+// compress/decompress round-trips, SpMV agreement with the CSR reference,
+// and parameterized sweeps over slice height / sym_len / structure.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/bro_ell.h"
+#include "sparse/convert.h"
+#include "sparse/matgen/generators.h"
+#include "util/rng.h"
+
+namespace bc = bro::core;
+namespace bs = bro::sparse;
+using bro::index_t;
+using bro::value_t;
+
+namespace {
+
+bs::Csr paper_matrix_csr() {
+  bs::Coo coo;
+  coo.rows = 4;
+  coo.cols = 5;
+  const index_t r[] = {0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 3, 3};
+  const index_t c[] = {0, 2, 0, 1, 2, 3, 4, 1, 2, 4, 3, 4};
+  const value_t v[] = {3, 2, 2, 6, 5, 4, 1, 1, 9, 7, 8, 3};
+  for (int i = 0; i < 12; ++i) coo.push(r[i], c[i], v[i]);
+  return bs::coo_to_csr(coo);
+}
+
+std::vector<value_t> random_vector(std::size_t n, std::uint64_t seed) {
+  bro::Rng rng(seed);
+  std::vector<value_t> x(n);
+  for (auto& v : x) v = rng.uniform() * 2 - 1;
+  return x;
+}
+
+void expect_spmv_matches(const bs::Csr& csr, const bc::BroEll& bro,
+                         std::uint64_t seed = 99) {
+  const auto x = random_vector(static_cast<std::size_t>(csr.cols), seed);
+  std::vector<value_t> y_ref(static_cast<std::size_t>(csr.rows));
+  std::vector<value_t> y_bro(static_cast<std::size_t>(csr.rows));
+  bs::spmv_csr_reference(csr, x, y_ref);
+  bro.spmv(x, y_bro);
+  for (index_t r = 0; r < csr.rows; ++r)
+    EXPECT_NEAR(y_bro[static_cast<std::size_t>(r)],
+                y_ref[static_cast<std::size_t>(r)],
+                1e-12 * (1.0 + std::abs(y_ref[static_cast<std::size_t>(r)])))
+        << "row " << r;
+}
+
+} // namespace
+
+TEST(BroEll, PaperExampleSliceStructure) {
+  // h = 2 as in Fig. 1: two slices of two rows each.
+  const bs::Ell ell = bs::csr_to_ell(paper_matrix_csr());
+  bc::BroEllOptions opts;
+  opts.slice_height = 2;
+  const bc::BroEll bro = bc::BroEll::compress(ell, opts);
+
+  ASSERT_EQ(bro.slices().size(), 2u);
+  const auto& s0 = bro.slices()[0];
+  const auto& s1 = bro.slices()[1];
+  // Slice 0 holds rows {0,1}: lengths 2 and 5 -> num_col = 5.
+  EXPECT_EQ(s0.num_col, 5);
+  // Slice 1 holds rows {2,3}: lengths 3 and 2 -> num_col = 3.
+  EXPECT_EQ(s1.num_col, 3);
+
+  // Fig. 1 delta table for slice 0 (1-based gaps): row0 = [1,2,0,0,0],
+  // row1 = [1,1,1,1,1] -> per-column max bit widths [1,2,1,1,1].
+  EXPECT_EQ(s0.bit_alloc,
+            (std::vector<std::uint8_t>{1, 2, 1, 1, 1}));
+  // Slice 1: row2 = [2,1,2], row3 = [4,1,0] -> widths [3,1,2].
+  EXPECT_EQ(s1.bit_alloc, (std::vector<std::uint8_t>{3, 1, 2}));
+}
+
+TEST(BroEll, PaperExampleRoundTrip) {
+  const bs::Csr csr = paper_matrix_csr();
+  const bs::Ell ell = bs::csr_to_ell(csr);
+  for (const int h : {1, 2, 3, 4, 256}) {
+    bc::BroEllOptions opts;
+    opts.slice_height = h;
+    const bc::BroEll bro = bc::BroEll::compress(ell, opts);
+    const bs::Ell back = bro.decompress();
+    EXPECT_EQ(back.col_idx, ell.col_idx) << "h=" << h;
+    EXPECT_EQ(back.vals, ell.vals) << "h=" << h;
+  }
+}
+
+TEST(BroEll, PaperExampleSpmv) {
+  const bs::Csr csr = paper_matrix_csr();
+  bc::BroEllOptions opts;
+  opts.slice_height = 2;
+  const bc::BroEll bro = bc::BroEll::compress(bs::csr_to_ell(csr), opts);
+  const std::vector<value_t> x = {1, 2, 3, 4, 5};
+  std::vector<value_t> y(4);
+  bro.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 9);
+  EXPECT_DOUBLE_EQ(y[1], 50);
+  EXPECT_DOUBLE_EQ(y[2], 64);
+  EXPECT_DOUBLE_EQ(y[3], 47);
+}
+
+TEST(BroEll, DecodeRowMatchesEll) {
+  const bs::Csr csr = bs::generate_poisson2d(13, 17);
+  const bs::Ell ell = bs::csr_to_ell(csr);
+  const bc::BroEll bro = bc::BroEll::compress(ell);
+  for (index_t r = 0; r < csr.rows; ++r) {
+    const auto cols = bro.decode_row(r);
+    ASSERT_EQ(static_cast<index_t>(cols.size()), csr.row_length(r));
+    const auto expect = csr.row_cols(r);
+    for (std::size_t j = 0; j < cols.size(); ++j) EXPECT_EQ(cols[j], expect[j]);
+  }
+}
+
+TEST(BroEll, CompressionShrinksIndexData) {
+  const bs::Csr csr = bs::generate_poisson2d(64, 64);
+  const bc::BroEll bro = bc::BroEll::compress(bs::csr_to_ell(csr));
+  EXPECT_LT(bro.compressed_index_bytes(), bro.original_index_bytes() / 2);
+}
+
+TEST(BroEll, LastColumnBitWidthCanUseFullRange) {
+  // A delta of nearly 2^31 must survive the packer (32-bit width values).
+  bs::Coo coo;
+  coo.rows = 1;
+  coo.cols = 2'000'000'000;
+  coo.push(0, 0, 1.0);
+  coo.push(0, 1'999'999'999, 2.0);
+  const bs::Ell ell = bs::csr_to_ell(bs::coo_to_csr(coo));
+  const bc::BroEll bro = bc::BroEll::compress(ell);
+  EXPECT_EQ(bro.decode_row(0), (std::vector<index_t>{0, 1'999'999'999}));
+}
+
+TEST(BroEll, EmptyMatrix) {
+  bs::Ell ell;
+  ell.rows = 0;
+  ell.cols = 0;
+  ell.width = 0;
+  const bc::BroEll bro = bc::BroEll::compress(ell);
+  EXPECT_TRUE(bro.slices().empty());
+  EXPECT_EQ(bro.compressed_index_bytes(), 0u);
+}
+
+TEST(BroEll, MatrixWithEmptyRows) {
+  bs::Coo coo;
+  coo.rows = 600; // spans three slices of 256 with many all-zero rows
+  coo.cols = 600;
+  for (index_t r = 0; r < 600; r += 7) coo.push(r, r, 1.0);
+  const bs::Csr csr = bs::coo_to_csr(coo);
+  const bc::BroEll bro = bc::BroEll::compress(bs::csr_to_ell(csr));
+  expect_spmv_matches(csr, bro);
+}
+
+TEST(BroEll, EmptySliceAtTail) {
+  // Rows 256..511 have no entries at all: slice 1 has num_col = 0.
+  bs::Coo coo;
+  coo.rows = 512;
+  coo.cols = 512;
+  for (index_t r = 0; r < 256; ++r) coo.push(r, r, 1.0);
+  const bs::Csr csr = bs::coo_to_csr(coo);
+  const bc::BroEll bro = bc::BroEll::compress(bs::csr_to_ell(csr));
+  ASSERT_EQ(bro.slices().size(), 2u);
+  EXPECT_EQ(bro.slices()[1].num_col, 0);
+  expect_spmv_matches(csr, bro);
+}
+
+TEST(BroEll, RejectsBadOptions) {
+  const bs::Ell ell = bs::csr_to_ell(paper_matrix_csr());
+  bc::BroEllOptions opts;
+  opts.sym_len = 16;
+  EXPECT_THROW(bc::BroEll::compress(ell, opts), std::runtime_error);
+  opts.sym_len = 32;
+  opts.slice_height = 0;
+  EXPECT_THROW(bc::BroEll::compress(ell, opts), std::runtime_error);
+}
+
+// ---- parameterized property sweep: (slice_height, sym_len, matrix kind) ----
+
+class BroEllProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BroEllProperty, RoundTripAndSpmv) {
+  const auto [h, sym_len, kind] = GetParam();
+
+  bs::Csr csr;
+  switch (kind) {
+    case 0: csr = bs::generate_poisson2d(20, 21); break;
+    case 1: {
+      bs::GenSpec spec;
+      spec.rows = 777;
+      spec.cols = 900;
+      spec.mu = 12;
+      spec.sigma = 6;
+      spec.local_prob = 0.5;
+      spec.seed = 5;
+      csr = bs::generate(spec);
+      break;
+    }
+    case 2: {
+      bs::GenSpec spec;
+      spec.rows = 300;
+      spec.cols = 64;
+      spec.mu = 30;
+      spec.sigma = 15;
+      spec.local_prob = 0.0; // dense-ish rows, wild deltas
+      spec.seed = 6;
+      csr = bs::generate(spec);
+      break;
+    }
+    case 3: csr = bs::generate_dense(65, 33); break;
+    default: FAIL();
+  }
+
+  const bs::Ell ell = bs::csr_to_ell(csr);
+  bc::BroEllOptions opts;
+  opts.slice_height = h;
+  opts.sym_len = sym_len;
+  const bc::BroEll bro = bc::BroEll::compress(ell, opts);
+
+  // Round trip is exact.
+  const bs::Ell back = bro.decompress();
+  EXPECT_EQ(back.col_idx, ell.col_idx);
+
+  // SpMV agrees with the reference.
+  expect_spmv_matches(csr, bro, 17);
+
+  // Accounting invariant: compressed stream bits match the bit allocation.
+  for (const auto& s : bro.slices()) {
+    std::size_t row_bits = 0;
+    for (const auto b : s.bit_alloc) row_bits += b;
+    row_bits += static_cast<std::size_t>(s.pad_bits);
+    if (s.num_col > 0) {
+      EXPECT_EQ(row_bits % static_cast<std::size_t>(sym_len), 0u);
+      EXPECT_EQ(s.stream.symbols_per_row(),
+                row_bits / static_cast<std::size_t>(sym_len));
+      EXPECT_EQ(s.stream.height(), static_cast<std::size_t>(s.height));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BroEllProperty,
+    ::testing::Combine(::testing::Values(1, 32, 256, 1000), // slice height
+                       ::testing::Values(32, 64),           // sym_len
+                       ::testing::Values(0, 1, 2, 3)));     // matrix kind

@@ -1,0 +1,116 @@
+// Cross-format equivalence battery: every representation of the same matrix
+// must agree exactly on structure and numerically on SpMV, across a
+// randomized sweep of shapes and densities.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "core/bro_csr.h"
+#include "core/matrix.h"
+#include "core/sliced_ell.h"
+#include "core/savings.h"
+#include "sparse/convert.h"
+#include "sparse/mmio.h"
+#include "sparse/matgen/generators.h"
+#include "util/rng.h"
+
+namespace bc = bro::core;
+namespace bs = bro::sparse;
+using bro::index_t;
+using bro::value_t;
+
+namespace {
+
+bs::Csr random_matrix(index_t rows, index_t cols, double mu, double local,
+                      std::uint64_t seed) {
+  bs::GenSpec spec;
+  spec.rows = rows;
+  spec.cols = cols;
+  spec.mu = mu;
+  spec.sigma = mu / 3.0;
+  spec.local_prob = local;
+  spec.seed = seed;
+  return bs::generate(spec);
+}
+
+} // namespace
+
+class CrossFormat
+    : public ::testing::TestWithParam<std::tuple<int, int, double, double>> {};
+
+TEST_P(CrossFormat, StructureAndSpmvAgree) {
+  const auto [rows, cols, mu, local] = GetParam();
+  const bs::Csr csr = random_matrix(rows, cols, mu, local,
+                                    static_cast<std::uint64_t>(rows * 31 + cols));
+
+  // Structure equivalence through every conversion cycle.
+  EXPECT_EQ(bs::coo_to_csr(bs::csr_to_coo(csr)).col_idx, csr.col_idx);
+  EXPECT_EQ(bs::ell_to_csr(bs::csr_to_ell(csr)).col_idx, csr.col_idx);
+  EXPECT_EQ(bs::hyb_to_csr(bs::csr_to_hyb(csr)).col_idx, csr.col_idx);
+  EXPECT_EQ(bc::BroEll::compress(bs::csr_to_ell(csr)).decompress().col_idx,
+            bs::csr_to_ell(csr).col_idx);
+  EXPECT_EQ(bc::BroCsr::compress(csr).decompress().col_idx, csr.col_idx);
+
+  // Numerical equivalence across every public SpMV path.
+  bro::Rng rng(99);
+  std::vector<value_t> x(static_cast<std::size_t>(csr.cols));
+  for (auto& v : x) v = rng.uniform() * 2 - 1;
+  std::vector<value_t> y_ref(static_cast<std::size_t>(csr.rows));
+  bs::spmv_csr_reference(csr, x, y_ref);
+
+  const auto m = bc::Matrix::from_csr(csr);
+  for (const auto f : {bc::Format::kCoo, bc::Format::kEll, bc::Format::kEllR,
+                       bc::Format::kHyb, bc::Format::kBroEll,
+                       bc::Format::kBroCoo, bc::Format::kBroHyb,
+                       bc::Format::kBroCsr}) {
+    std::vector<value_t> y(y_ref.size(), -123.0);
+    m.spmv(x, y, f);
+    for (std::size_t r = 0; r < y.size(); ++r)
+      ASSERT_NEAR(y[r], y_ref[r], 1e-11 * (1.0 + std::abs(y_ref[r])))
+          << bc::format_name(f) << " row " << r;
+  }
+
+  // SlicedEll too (not in the facade's Format enum).
+  {
+    std::vector<value_t> y(y_ref.size());
+    bc::SlicedEll::build(bs::csr_to_ell(csr)).spmv(x, y);
+    for (std::size_t r = 0; r < y.size(); ++r)
+      ASSERT_NEAR(y[r], y_ref[r], 1e-11 * (1.0 + std::abs(y_ref[r])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrossFormat,
+    ::testing::Values(std::tuple{257, 257, 6.0, 0.9},   // just over one slice
+                      std::tuple{256, 256, 6.0, 0.9},   // exactly one slice
+                      std::tuple{255, 511, 4.0, 0.2},   // rectangular, scattered
+                      std::tuple{1030, 1030, 20.0, 0.95}, // several slices
+                      std::tuple{64, 2048, 30.0, 0.5},  // wide
+                      std::tuple{2048, 64, 9.0, 0.5})); // tall
+
+TEST(CrossFormat, SavingsAccountingIsConsistent) {
+  // eta and kappa must be mutually consistent and byte counts physical.
+  const bs::Csr csr = random_matrix(900, 900, 12, 0.9, 3);
+  const auto bro = bc::BroEll::compress(bs::csr_to_ell(csr));
+  const auto s = bc::make_savings(bro.original_index_bytes(),
+                                  bro.compressed_index_bytes());
+  EXPECT_NEAR(s.kappa(), 1.0 / (1.0 - s.eta()), 1e-9); // kappa = 1/(1-eta)
+  // Physical recount of the stream bytes.
+  std::size_t streams = 0;
+  for (const auto& sl : bro.slices())
+    streams += sl.stream.byte_size() + sl.bit_alloc.size() + sizeof(index_t);
+  EXPECT_EQ(streams, bro.compressed_index_bytes());
+}
+
+TEST(CrossFormat, MatrixMarketRoundTripThroughBro) {
+  // mtx -> Matrix -> BRO-HYB -> spmv == direct reference (end-to-end path).
+  const bs::Csr csr = random_matrix(300, 280, 5, 0.4, 8);
+  std::ostringstream buf;
+  bs::write_matrix_market(buf, bs::csr_to_coo(csr));
+  std::istringstream in(buf.str());
+  const bs::Csr back = bs::coo_to_csr(bs::read_matrix_market(in));
+  EXPECT_EQ(back.col_idx, csr.col_idx);
+  EXPECT_EQ(back.vals, csr.vals);
+}

@@ -1,0 +1,126 @@
+// Simulator kernels for the extension formats must agree with the CSR
+// reference and exhibit the expected performance relations.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/sim_spmv_ext.h"
+#include "sparse/convert.h"
+#include "sparse/matgen/generators.h"
+#include "util/rng.h"
+
+namespace bk = bro::kernels;
+namespace bc = bro::core;
+namespace bs = bro::sparse;
+namespace gs = bro::sim;
+using bro::index_t;
+using bro::value_t;
+
+namespace {
+
+std::vector<value_t> random_x(index_t n, std::uint64_t seed = 23) {
+  bro::Rng rng(seed);
+  std::vector<value_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform() * 2 - 1;
+  return x;
+}
+
+void expect_matches(const bs::Csr& csr, const std::vector<value_t>& y,
+                    const std::vector<value_t>& x) {
+  std::vector<value_t> y_ref(static_cast<std::size_t>(csr.rows));
+  bs::spmv_csr_reference(csr, x, y_ref);
+  for (std::size_t r = 0; r < y.size(); ++r)
+    ASSERT_NEAR(y[r], y_ref[r], 1e-11 * (1.0 + std::abs(y_ref[r]))) << r;
+}
+
+bs::Csr varied_matrix(std::uint64_t seed) {
+  bs::GenSpec spec;
+  spec.rows = 2200;
+  spec.cols = 2200;
+  spec.mu = 24;
+  spec.sigma = 10;
+  spec.run = 2;
+  spec.len_corr = 128;
+  spec.seed = seed;
+  return bs::generate(spec);
+}
+
+} // namespace
+
+TEST(ExtKernels, SlicedEllMatchesReference) {
+  const bs::Csr csr = varied_matrix(1);
+  const auto x = random_x(csr.cols);
+  const auto res = bk::sim_spmv_sliced_ell(
+      gs::tesla_k20(), bc::SlicedEll::build(bs::csr_to_ell(csr)), x);
+  expect_matches(csr, res.y, x);
+}
+
+TEST(ExtKernels, SlicedEllBetweenEllAndBroEll) {
+  // The ablation ordering: ELLPACK <= Sliced-ELLPACK <= BRO-ELL in traffic.
+  const bs::Csr csr = varied_matrix(2);
+  const auto x = random_x(csr.cols);
+  const bs::Ell ell = bs::csr_to_ell(csr);
+  const auto dev = gs::tesla_k20();
+  const auto r_ell = bk::sim_spmv_ell(dev, ell, x);
+  const auto r_sliced =
+      bk::sim_spmv_sliced_ell(dev, bc::SlicedEll::build(ell), x);
+  const auto r_bro = bk::sim_spmv_bro_ell(dev, bc::BroEll::compress(ell), x);
+  EXPECT_LE(r_sliced.stats.dram_bytes(), r_ell.stats.dram_bytes());
+  EXPECT_LE(r_bro.stats.dram_bytes(), r_sliced.stats.dram_bytes());
+}
+
+TEST(ExtKernels, BroEllVectorMatchesReference) {
+  const bs::Csr csr = varied_matrix(3);
+  const auto x = random_x(csr.cols);
+  for (const int t : {1, 2, 4}) {
+    const auto vec = bc::BroEllVector::compress(bs::csr_to_ell(csr), t);
+    const auto res = bk::sim_spmv_bro_ell_vector(gs::tesla_c2070(), vec, x);
+    expect_matches(csr, res.y, x);
+  }
+}
+
+TEST(ExtKernels, BroEllVectorChargesReduction) {
+  const bs::Csr csr = varied_matrix(4);
+  const auto x = random_x(csr.cols);
+  const auto dev = gs::tesla_k20();
+  const auto r1 = bk::sim_spmv_bro_ell_vector(
+      dev, bc::BroEllVector::compress(bs::csr_to_ell(csr), 1), x);
+  const auto r4 = bk::sim_spmv_bro_ell_vector(
+      dev, bc::BroEllVector::compress(bs::csr_to_ell(csr), 4), x);
+  EXPECT_GT(r4.stats.shfl_ops, r1.stats.shfl_ops);
+}
+
+TEST(ExtKernels, BroEllValuesMatchesReference) {
+  const bs::Csr csr = bs::generate_poisson2d(45, 41);
+  const auto x = random_x(csr.cols);
+  const auto vc = bc::BroEllValues::compress(bs::csr_to_ell(csr));
+  const auto res = bk::sim_spmv_bro_ell_values(gs::tesla_k20(), vc, x);
+  expect_matches(csr, res.y, x);
+}
+
+TEST(ExtKernels, ValueCompressionCutsTrafficOnStencil) {
+  const bs::Csr csr = bs::generate_poisson2d(120, 120);
+  const auto x = random_x(csr.cols);
+  const bs::Ell ell = bs::csr_to_ell(csr);
+  const auto dev = gs::tesla_k20();
+  const auto plain = bk::sim_spmv_bro_ell(dev, bc::BroEll::compress(ell), x);
+  const auto vc =
+      bk::sim_spmv_bro_ell_values(dev, bc::BroEllValues::compress(ell), x);
+  EXPECT_LT(vc.stats.dram_bytes(), plain.stats.dram_bytes());
+  EXPECT_GT(vc.time.gflops, plain.time.gflops);
+}
+
+TEST(ExtKernels, ValueCompressionRawFallbackCostsNothingExtra) {
+  const bs::Csr csr = varied_matrix(5); // random values: raw fallback
+  const auto x = random_x(csr.cols);
+  const bs::Ell ell = bs::csr_to_ell(csr);
+  const auto dev = gs::tesla_k20();
+  const auto plain = bk::sim_spmv_bro_ell(dev, bc::BroEll::compress(ell), x);
+  bc::BroEllValuesOptions opts;
+  opts.max_dict = 16;
+  const auto vc = bk::sim_spmv_bro_ell_values(
+      dev, bc::BroEllValues::compress(ell, opts), x);
+  EXPECT_NEAR(static_cast<double>(vc.stats.dram_bytes()),
+              static_cast<double>(plain.stats.dram_bytes()),
+              0.02 * static_cast<double>(plain.stats.dram_bytes()));
+}

@@ -1,0 +1,205 @@
+// Tests for the extension formats: Sliced-ELLPACK (related-work baseline /
+// BRO-ELL ablation), BRO-ELL-T (multi-thread-per-row) and BRO-ELL-VC
+// (value compression) — the paper's §6 future-work items.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/bro_ell_values.h"
+#include "core/bro_ell_vector.h"
+#include "core/sliced_ell.h"
+#include "sparse/convert.h"
+#include "sparse/matgen/generators.h"
+#include "util/rng.h"
+
+namespace bc = bro::core;
+namespace bs = bro::sparse;
+using bro::index_t;
+using bro::value_t;
+
+namespace {
+
+std::vector<value_t> random_x(index_t n, std::uint64_t seed = 19) {
+  bro::Rng rng(seed);
+  std::vector<value_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform() * 2 - 1;
+  return x;
+}
+
+void expect_matches(const bs::Csr& csr, const std::vector<value_t>& y,
+                    const std::vector<value_t>& x) {
+  std::vector<value_t> y_ref(static_cast<std::size_t>(csr.rows));
+  bs::spmv_csr_reference(csr, x, y_ref);
+  for (std::size_t r = 0; r < y.size(); ++r)
+    ASSERT_NEAR(y[r], y_ref[r], 1e-11 * (1.0 + std::abs(y_ref[r]))) << r;
+}
+
+bs::Csr fem_like(index_t rows, std::uint64_t seed) {
+  bs::GenSpec spec;
+  spec.rows = rows;
+  spec.cols = rows;
+  spec.mu = 40;
+  spec.sigma = 9;
+  spec.run = 4;
+  spec.aligned_blocks = true;
+  spec.band_frac = 0.01;
+  spec.seed = seed;
+  return bs::generate(spec);
+}
+
+} // namespace
+
+// ---------- Sliced-ELLPACK ----------
+
+TEST(SlicedEll, SpmvMatchesReference) {
+  const bs::Csr csr = fem_like(1500, 1);
+  const auto x = random_x(csr.cols);
+  const auto sliced = bc::SlicedEll::build(bs::csr_to_ell(csr), 128);
+  std::vector<value_t> y(static_cast<std::size_t>(csr.rows));
+  sliced.spmv(x, y);
+  expect_matches(csr, y, x);
+}
+
+TEST(SlicedEll, StoresLessThanEllOnVariedRows) {
+  bs::GenSpec spec;
+  spec.rows = 4096;
+  spec.cols = 4096;
+  spec.mu = 12;
+  spec.sigma = 8;
+  spec.len_corr = 256; // row lengths vary smoothly -> slices adapt
+  spec.seed = 3;
+  const bs::Csr csr = bs::generate(spec);
+  const bs::Ell ell = bs::csr_to_ell(csr);
+  const auto sliced = bc::SlicedEll::build(ell, 256);
+  EXPECT_LT(sliced.index_bytes(), ell.index_bytes());
+}
+
+TEST(SlicedEll, SliceWidthsAreLocalMaxima) {
+  const bs::Csr csr = fem_like(700, 2);
+  const auto sliced = bc::SlicedEll::build(bs::csr_to_ell(csr), 100);
+  ASSERT_EQ(sliced.slices().size(), 7u);
+  for (const auto& s : sliced.slices()) {
+    index_t max_len = 0;
+    for (index_t t = 0; t < s.height; ++t)
+      max_len = std::max(max_len, csr.row_length(s.first_row + t));
+    EXPECT_EQ(s.num_col, max_len);
+  }
+}
+
+TEST(SlicedEll, EmptyMatrix) {
+  bs::Ell ell;
+  const auto sliced = bc::SlicedEll::build(ell);
+  EXPECT_TRUE(sliced.slices().empty());
+  EXPECT_EQ(sliced.index_bytes(), 0u);
+}
+
+// ---------- BRO-ELL-T (multiple threads per row) ----------
+
+class BroEllVectorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BroEllVectorProperty, SpmvMatchesReference) {
+  const int t = GetParam();
+  const bs::Csr csr = fem_like(900, 4);
+  const auto x = random_x(csr.cols);
+  const auto vec = bc::BroEllVector::compress(bs::csr_to_ell(csr), t);
+  EXPECT_EQ(vec.threads_per_row(), t);
+  std::vector<value_t> y(static_cast<std::size_t>(csr.rows));
+  vec.spmv(x, y);
+  expect_matches(csr, y, x);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadsPerRow, BroEllVectorProperty,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(BroEllVector, RejectsBadThreadCounts) {
+  const bs::Ell ell = bs::csr_to_ell(fem_like(100, 5));
+  EXPECT_THROW(bc::BroEllVector::compress(ell, 3), std::runtime_error);
+  EXPECT_THROW(bc::BroEllVector::compress(ell, 0), std::runtime_error);
+  EXPECT_THROW(bc::BroEllVector::compress(ell, 64), std::runtime_error);
+}
+
+TEST(BroEllVector, OneThreadEqualsPlainBroEll) {
+  const bs::Ell ell = bs::csr_to_ell(fem_like(600, 6));
+  const auto plain = bc::BroEll::compress(ell);
+  const auto vec = bc::BroEllVector::compress(ell, 1);
+  EXPECT_EQ(vec.compressed_index_bytes(), plain.compressed_index_bytes());
+}
+
+TEST(BroEllVector, SplittingCostsCompression) {
+  // Stride-T gaps are larger than stride-1 gaps: compression must not
+  // improve when rows are split.
+  const bs::Ell ell = bs::csr_to_ell(fem_like(600, 7));
+  const auto t1 = bc::BroEllVector::compress(ell, 1);
+  const auto t8 = bc::BroEllVector::compress(ell, 8);
+  EXPECT_GE(t8.compressed_index_bytes(), t1.compressed_index_bytes());
+}
+
+// ---------- BRO-ELL-VC (value compression) ----------
+
+TEST(BroEllValues, StencilValuesCompress) {
+  // Poisson stencil: only two distinct values (4 and -1).
+  const bs::Csr csr = bs::generate_poisson2d(40, 40);
+  const auto vc = bc::BroEllValues::compress(bs::csr_to_ell(csr));
+  EXPECT_DOUBLE_EQ(vc.dict_slice_fraction(), 1.0);
+  EXPECT_LT(vc.compressed_value_bytes(), vc.original_value_bytes() / 4);
+
+  const auto x = random_x(csr.cols);
+  std::vector<value_t> y(static_cast<std::size_t>(csr.rows));
+  vc.spmv(x, y);
+  expect_matches(csr, y, x);
+}
+
+TEST(BroEllValues, RandomValuesFallBackToRaw) {
+  bc::BroEllValuesOptions opts;
+  opts.max_dict = 64;
+  const bs::Csr csr = fem_like(600, 8); // values are uniform random
+  const auto vc = bc::BroEllValues::compress(bs::csr_to_ell(csr), opts);
+  EXPECT_DOUBLE_EQ(vc.dict_slice_fraction(), 0.0);
+
+  const auto x = random_x(csr.cols);
+  std::vector<value_t> y(static_cast<std::size_t>(csr.rows));
+  vc.spmv(x, y);
+  expect_matches(csr, y, x);
+}
+
+TEST(BroEllValues, MixedSlices) {
+  // First 256 rows carry constant values, the rest random: one dict slice,
+  // one raw slice.
+  bs::Coo coo;
+  coo.rows = 512;
+  coo.cols = 512;
+  bro::Rng rng(10);
+  for (index_t r = 0; r < 512; ++r)
+    for (index_t j = 0; j < 6; ++j) {
+      const index_t c = (r + j * 7) % 512;
+      coo.push(r, c, r < 256 ? 1.5 : rng.uniform());
+    }
+  coo.canonicalize();
+  const bs::Csr csr = bs::coo_to_csr(coo);
+  bc::BroEllValuesOptions opts;
+  opts.max_dict = 16;
+  const auto vc = bc::BroEllValues::compress(bs::csr_to_ell(csr), opts);
+  ASSERT_EQ(vc.value_slices().size(), 2u);
+  EXPECT_FALSE(vc.value_slices()[0].dict.empty());
+  EXPECT_TRUE(vc.value_slices()[1].dict.empty());
+
+  const auto x = random_x(csr.cols);
+  std::vector<value_t> y(static_cast<std::size_t>(csr.rows));
+  vc.spmv(x, y);
+  expect_matches(csr, y, x);
+}
+
+TEST(BroEllValues, CombinedSavingsBeatIndexOnly) {
+  const bs::Csr csr = bs::generate_poisson2d(50, 50);
+  const bs::Ell ell = bs::csr_to_ell(csr);
+  const auto plain = bc::BroEll::compress(ell);
+  const auto vc = bc::BroEllValues::compress(ell);
+  const double eta_index =
+      1.0 - double(plain.compressed_index_bytes() +
+                   plain.original_index_bytes() * 2) / // + raw vals (8B vs 4B idx)
+                double(plain.original_index_bytes() * 3);
+  const double eta_total = 1.0 - double(vc.compressed_total_bytes()) /
+                                     double(vc.original_total_bytes());
+  EXPECT_GT(eta_total, eta_index);
+}

@@ -1,0 +1,212 @@
+// Tests for the analytic GPU simulator: device presets, LRU cache,
+// coalescing, texture path and the roofline time estimate.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gpusim/lru_cache.h"
+#include "gpusim/sim.h"
+
+namespace gs = bro::sim;
+
+TEST(Device, Table1Presets) {
+  const auto& devs = gs::all_devices();
+  ASSERT_EQ(devs.size(), 3u);
+  EXPECT_EQ(devs[0].name, "Tesla C2070");
+  EXPECT_EQ(devs[0].sm_count * devs[0].cores_per_sm, 448);
+  EXPECT_EQ(devs[1].sm_count * devs[1].cores_per_sm, 1536);
+  EXPECT_EQ(devs[2].sm_count * devs[2].cores_per_sm, 2496);
+  EXPECT_DOUBLE_EQ(devs[0].peak_bw_gbps, 144.0);
+  EXPECT_DOUBLE_EQ(devs[1].peak_bw_gbps, 192.3);
+  EXPECT_DOUBLE_EQ(devs[2].peak_bw_gbps, 208.0);
+  EXPECT_DOUBLE_EQ(devs[2].dp_gflops, 1170.0);
+}
+
+TEST(Device, DpFmaRateConsistent) {
+  const auto k20 = gs::tesla_k20();
+  // dp_gflops = 2 * fma_rate * clock * sm_count must hold by construction.
+  EXPECT_NEAR(k20.dp_fma_per_cycle_sm() * 2 * k20.clock_ghz * k20.sm_count,
+              k20.dp_gflops, 1e-9);
+}
+
+TEST(LruCache, HitsAndEvictions) {
+  gs::LruCache c(4 * 128, 128); // 4 lines
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(128));
+  EXPECT_FALSE(c.access(256));
+  EXPECT_FALSE(c.access(384));
+  EXPECT_TRUE(c.access(0));   // hit, now MRU
+  EXPECT_FALSE(c.access(512)); // evicts line 128 (LRU)
+  EXPECT_FALSE(c.access(128)); // miss proves eviction
+  EXPECT_TRUE(c.access(0));    // survived both fills
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 6u);
+}
+
+TEST(LruCache, SameLineDifferentOffsets) {
+  gs::LruCache c(1024, 128);
+  EXPECT_FALSE(c.access(5));
+  EXPECT_TRUE(c.access(100)); // same 128B line
+  EXPECT_FALSE(c.access(130)); // next line
+}
+
+TEST(LruCache, ZeroCapacityAlwaysMisses) {
+  gs::LruCache c(0, 128);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(0));
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+namespace {
+
+std::vector<std::uint64_t> warp_addrs(const gs::VirtualArray& arr,
+                                      std::uint64_t start, int stride = 1) {
+  std::vector<std::uint64_t> a(32);
+  for (int i = 0; i < 32; ++i)
+    a[static_cast<std::size_t>(i)] =
+        arr.addr(start + static_cast<std::uint64_t>(i) * stride);
+  return a;
+}
+
+} // namespace
+
+TEST(Sim, CoalescedLoadIsOneLinePerWarpQuantum) {
+  gs::SimContext sim(gs::tesla_c2070(), {1, 256});
+  auto arr = sim.alloc(1 << 16, 4);
+  auto blk = sim.begin_block(0);
+  // 32 consecutive 4-byte loads = 128 bytes = exactly one line.
+  blk.load_global(warp_addrs(arr, 0), 4);
+  EXPECT_EQ(sim.stats().mem_transactions, 1u);
+  EXPECT_EQ(sim.stats().dram_read_bytes, 128u);
+  // Repeat hits in L2: no extra DRAM traffic.
+  blk.load_global(warp_addrs(arr, 0), 4);
+  EXPECT_EQ(sim.stats().dram_read_bytes, 128u);
+  EXPECT_EQ(sim.stats().l2_hits, 1u);
+}
+
+TEST(Sim, StridedLoadExplodesTransactions) {
+  gs::SimContext sim(gs::tesla_c2070(), {1, 256});
+  auto arr = sim.alloc(1 << 20, 4);
+  auto blk = sim.begin_block(0);
+  // Stride of 32 elements = 128 bytes: every lane touches its own line.
+  blk.load_global(warp_addrs(arr, 0, 32), 4);
+  EXPECT_EQ(sim.stats().mem_transactions, 32u);
+  EXPECT_EQ(sim.stats().dram_read_bytes, 32u * 128u);
+}
+
+TEST(Sim, InactiveLanesIgnored) {
+  gs::SimContext sim(gs::tesla_c2070(), {1, 256});
+  auto arr = sim.alloc(1 << 16, 8);
+  auto addrs = warp_addrs(arr, 0);
+  for (int i = 8; i < 32; ++i) addrs[static_cast<std::size_t>(i)] = gs::kInactive;
+  auto blk = sim.begin_block(0);
+  blk.load_global(addrs, 8);
+  // 8 lanes x 8B = 64B -> still one 128B line.
+  EXPECT_EQ(sim.stats().mem_transactions, 1u);
+}
+
+TEST(Sim, TextureCacheCapturesReuse) {
+  gs::SimContext sim(gs::tesla_k20(), {1, 256});
+  auto x = sim.alloc(1 << 16, 8);
+  auto blk = sim.begin_block(0);
+  blk.load_texture(warp_addrs(x, 0), 8);
+  const auto miss_bytes = sim.stats().dram_read_bytes;
+  EXPECT_GT(miss_bytes, 0u);
+  blk.load_texture(warp_addrs(x, 0), 8);
+  EXPECT_EQ(sim.stats().dram_read_bytes, miss_bytes); // served from tex$
+  EXPECT_GT(sim.stats().tex_hits, 0u);
+}
+
+TEST(Sim, DistinctAllocationsDoNotAlias) {
+  gs::SimContext sim(gs::tesla_c2070(), {1, 256});
+  auto a = sim.alloc(16, 4);
+  auto b = sim.alloc(16, 4);
+  auto blk = sim.begin_block(0);
+  blk.load_global(warp_addrs(a, 0), 4);
+  blk.load_global(warp_addrs(b, 0), 4);
+  // Two separate lines: no false L2 hit between arrays.
+  EXPECT_EQ(sim.stats().l2_hits, 0u);
+  EXPECT_EQ(sim.stats().mem_transactions, 2u);
+}
+
+TEST(Sim, EstimateMemoryBoundKernel) {
+  gs::SimContext sim(gs::tesla_k20(), {4096, 256});
+  auto arr = sim.alloc(1 << 24, 8);
+  // Stream 64 MiB with almost no compute.
+  for (std::uint64_t b = 0; b < 4096; ++b) {
+    auto blk = sim.begin_block(b);
+    for (int w = 0; w < 8; ++w) {
+      const std::uint64_t base = (b * 8 + static_cast<std::uint64_t>(w)) * 32;
+      blk.load_global(warp_addrs(arr, base % (1 << 24)), 8);
+    }
+    blk.add_dp_fma(256);
+  }
+  const auto t = sim.estimate(2.0 * 4096 * 256);
+  EXPECT_TRUE(t.memory_bound);
+  EXPECT_GT(t.seconds, 0.0);
+  // Effective bandwidth is capped by the measured (not peak) bandwidth.
+  EXPECT_LE(t.effective_bw_gbps, gs::tesla_k20().measured_bw_gbps + 1e-9);
+}
+
+TEST(Sim, EstimateComputeBoundKernel) {
+  gs::SimContext sim(gs::tesla_c2070(), {64, 256});
+  for (std::uint64_t b = 0; b < 64; ++b) {
+    auto blk = sim.begin_block(b);
+    blk.add_dp_fma(10'000'000); // heavy FP, no memory
+  }
+  const auto t = sim.estimate(2.0 * 64 * 10'000'000);
+  EXPECT_FALSE(t.memory_bound);
+  // GFlop/s cannot exceed the device peak.
+  EXPECT_LE(t.gflops, gs::tesla_c2070().dp_gflops * 1.001);
+  EXPECT_GT(t.gflops, gs::tesla_c2070().dp_gflops * 0.5);
+}
+
+TEST(Sim, LittlesLawLimitsSmallLaunches) {
+  const auto k20 = gs::tesla_k20();
+  gs::SimContext tiny(k20, {2, 256});
+  gs::SimContext big(k20, {4096, 256});
+  EXPECT_LT(tiny.littles_law_bw_gbps(), big.littles_law_bw_gbps());
+  EXPECT_LT(tiny.littles_law_bw_gbps(), k20.measured_bw_gbps);
+}
+
+TEST(Sim, LaunchOverheadFloor) {
+  gs::SimContext sim(gs::tesla_c2070(), {1, 256});
+  const auto t = sim.estimate(0.0);
+  EXPECT_GE(t.seconds, gs::tesla_c2070().kernel_launch_us * 1e-6);
+}
+
+TEST(Sim, ResidentBlockConcurrencyScalesCaches) {
+  const auto dev = gs::tesla_k20();
+  // One block: full caches. Huge grid: per-block share shrinks, so a
+  // working set that fits the full L2 starts missing.
+  gs::SimContext small(dev, {1, 256});
+  gs::SimContext big(dev, {100000, 256});
+  EXPECT_EQ(small.resident_blocks(), 1u);
+  EXPECT_GT(big.resident_blocks(), 50u);
+
+  const auto touch = [](gs::SimContext& sim, int lines) {
+    auto arr = sim.alloc(1 << 22, 8);
+    auto blk = sim.begin_block(0);
+    std::vector<std::uint64_t> addrs(32);
+    for (int rep = 0; rep < 2; ++rep)
+      for (int i = 0; i < lines; ++i) {
+        for (int l = 0; l < 32; ++l)
+          addrs[static_cast<std::size_t>(l)] =
+              arr.addr(static_cast<std::uint64_t>(i) * 16 + static_cast<std::uint64_t>(l) / 2);
+        blk.load_global(addrs, 8);
+      }
+    return sim.stats().l2_hits;
+  };
+  // 2000 lines x 128B = 256 KiB: fits the whole 1.25 MB L2 but not a
+  // 1/208th share of it.
+  EXPECT_GT(touch(small, 2000), touch(big, 2000));
+}
+
+TEST(Sim, ResidentBlocksBoundedByWarpSlots) {
+  const auto dev = gs::tesla_c2070(); // 48 warps/SM, 8 blocks/SM
+  // 512-thread blocks = 16 warps: only 3 fit per SM by warp count.
+  gs::SimContext sim(dev, {1000, 512});
+  EXPECT_EQ(sim.resident_blocks(),
+            static_cast<std::uint64_t>(dev.sm_count) * 3u);
+}

@@ -1,0 +1,164 @@
+// Tests for the synthetic matrix generators and the Table 2 stand-in suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/matgen/generators.h"
+#include "sparse/matgen/suite.h"
+#include "sparse/stats.h"
+
+namespace bs = bro::sparse;
+using bro::index_t;
+
+TEST(Generators, DenseMatrix) {
+  const bs::Csr d = bs::generate_dense(10, 12);
+  EXPECT_TRUE(d.is_valid());
+  EXPECT_EQ(d.nnz(), 120u);
+  EXPECT_EQ(d.max_row_length(), 12);
+}
+
+TEST(Generators, Grid2dDegrees) {
+  const bs::Csr g = bs::generate_grid2d(10, 10);
+  EXPECT_TRUE(g.is_valid());
+  const bs::MatrixStats s = bs::compute_stats(g);
+  // Interior sites have 4 neighbours; boundary fewer.
+  EXPECT_EQ(s.max_row_length, 4);
+  EXPECT_EQ(s.min_row_length, 2);
+  EXPECT_NEAR(s.mean_row_length, 3.6, 0.01); // 2*(10*9)*2 / 100
+}
+
+TEST(Generators, Poisson2dSymmetricDiagonallyDominant) {
+  const bs::Csr p = bs::generate_poisson2d(8, 8);
+  EXPECT_TRUE(p.is_valid());
+  for (index_t r = 0; r < p.rows; ++r) {
+    double diag = 0, off = 0;
+    for (index_t q = p.row_ptr[r]; q < p.row_ptr[r + 1]; ++q) {
+      if (p.col_idx[q] == r) diag = p.vals[q];
+      else off += std::abs(p.vals[q]);
+    }
+    EXPECT_GE(diag, off);
+  }
+}
+
+TEST(Generators, Lattice4dConstantRows) {
+  const bs::Csr q = bs::generate_lattice4d(4, 39, 13);
+  EXPECT_TRUE(q.is_valid());
+  const bs::MatrixStats s = bs::compute_stats(q);
+  EXPECT_EQ(q.rows, 256);
+  EXPECT_EQ(s.max_row_length, 39);
+  EXPECT_EQ(s.min_row_length, 39);
+  EXPECT_NEAR(s.stddev_row_length, 0.0, 1e-12);
+}
+
+TEST(Generators, GenSpecHitsTargetDistribution) {
+  bs::GenSpec spec;
+  spec.rows = 4000;
+  spec.cols = 4000;
+  spec.mu = 30;
+  spec.sigma = 6;
+  spec.run = 3;
+  spec.len_corr = 1; // i.i.d. lengths: the marginal distribution is exact
+  const bs::Csr m = bs::generate(spec);
+  EXPECT_TRUE(m.is_valid());
+  const bs::MatrixStats s = bs::compute_stats(m);
+  EXPECT_NEAR(s.mean_row_length, 30, 2.0);
+  EXPECT_NEAR(s.stddev_row_length, 6, 2.0);
+}
+
+TEST(Generators, RowLengthsAreSpatiallyCorrelated) {
+  bs::GenSpec spec;
+  spec.rows = 8000;
+  spec.cols = 8000;
+  spec.mu = 20;
+  spec.sigma = 8;
+  spec.len_corr = 512;
+  const bs::Csr m = bs::generate(spec);
+  // Mean absolute difference between adjacent rows must be far below the
+  // i.i.d. expectation (~sigma).
+  double adj = 0;
+  for (index_t r = 1; r < m.rows; ++r)
+    adj += std::abs(double(m.row_length(r)) - double(m.row_length(r - 1)));
+  adj /= (m.rows - 1);
+  EXPECT_LT(adj, 4.0);
+}
+
+TEST(Generators, SpikesInflateSigma) {
+  bs::GenSpec spec;
+  spec.rows = 2000;
+  spec.cols = 2000;
+  spec.mu = 8;
+  spec.sigma = 2;
+  spec.spike_rows = 5;
+  spec.spike_len = 1500;
+  const bs::Csr m = bs::generate(spec);
+  const bs::MatrixStats s = bs::compute_stats(m);
+  EXPECT_GT(s.stddev_row_length, 20.0);
+  EXPECT_GT(s.max_row_length, 700);
+}
+
+TEST(Generators, DiagDominantFixup) {
+  bs::GenSpec spec;
+  spec.rows = 300;
+  spec.cols = 300;
+  spec.mu = 6;
+  spec.sigma = 2;
+  bs::Csr m = bs::generate(spec);
+  bs::make_diag_dominant(m);
+  EXPECT_TRUE(m.is_valid());
+  for (index_t r = 0; r < m.rows; ++r) {
+    double diag = 0, off = 0;
+    bool has_diag = false;
+    for (index_t q = m.row_ptr[r]; q < m.row_ptr[r + 1]; ++q) {
+      if (m.col_idx[q] == r) {
+        diag = m.vals[q];
+        has_diag = true;
+      } else {
+        off += std::abs(m.vals[q]);
+      }
+    }
+    EXPECT_TRUE(has_diag);
+    EXPECT_GT(diag, off);
+  }
+}
+
+TEST(Suite, HasAllThirtyMatrices) {
+  EXPECT_EQ(bs::suite_entries().size(), 30u);
+  EXPECT_EQ(bs::suite_test_set(1).size(), 16u);
+  EXPECT_EQ(bs::suite_test_set(2).size(), 14u);
+}
+
+TEST(Suite, LookupByName) {
+  EXPECT_TRUE(bs::find_suite_entry("cant").has_value());
+  EXPECT_TRUE(bs::find_suite_entry("webbase-1M").has_value());
+  EXPECT_FALSE(bs::find_suite_entry("not-a-matrix").has_value());
+  EXPECT_EQ(bs::find_suite_entry("qcd5_4")->paper_mu, 39.0);
+}
+
+TEST(Suite, GeneratedStatsTrackPaper) {
+  // At 1/16 scale, mean row length should still track the paper's μ within
+  // a loose tolerance for several representative structure classes.
+  for (const char* name : {"cant", "epb3", "stomach", "scircuit"}) {
+    const auto entry = bs::find_suite_entry(name);
+    ASSERT_TRUE(entry.has_value());
+    const bs::Csr m = bs::generate_suite_matrix(*entry, 1.0 / 16.0);
+    EXPECT_TRUE(m.is_valid()) << name;
+    const bs::MatrixStats s = bs::compute_stats(m);
+    EXPECT_NEAR(s.mean_row_length, entry->paper_mu, entry->paper_mu * 0.3)
+        << name;
+  }
+}
+
+TEST(Suite, ConstantRowMatrices) {
+  const auto qcd = bs::find_suite_entry("qcd5_4");
+  const bs::Csr m = bs::generate_suite_matrix(*qcd, 1.0 / 16.0);
+  const bs::MatrixStats s = bs::compute_stats(m);
+  EXPECT_NEAR(s.stddev_row_length, 0.0, 1e-9);
+  EXPECT_EQ(s.max_row_length, 39);
+}
+
+TEST(Suite, RectangularRail) {
+  const auto rail = bs::find_suite_entry("rail4284");
+  const bs::Csr m = bs::generate_suite_matrix(*rail, 1.0 / 16.0);
+  EXPECT_TRUE(m.is_valid());
+  EXPECT_LT(m.rows, m.cols / 4); // strongly rectangular, like the original
+}

@@ -1,0 +1,133 @@
+// Matrix Market reader/writer tests, including failure injection on
+// malformed inputs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/convert.h"
+#include "sparse/mmio.h"
+
+namespace bs = bro::sparse;
+
+TEST(Mmio, ReadGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 3\n"
+      "1 1 1.5\n"
+      "2 3 -2.0\n"
+      "3 4 7\n");
+  const bs::Coo coo = bs::read_matrix_market(in);
+  EXPECT_EQ(coo.rows, 3);
+  EXPECT_EQ(coo.cols, 4);
+  ASSERT_EQ(coo.nnz(), 3u);
+  EXPECT_EQ(coo.row_idx[0], 0);
+  EXPECT_EQ(coo.col_idx[0], 0);
+  EXPECT_DOUBLE_EQ(coo.vals[1], -2.0);
+}
+
+TEST(Mmio, ReadSymmetricExpandsMirror) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 2.0\n"
+      "2 1 5.0\n"
+      "3 2 6.0\n");
+  const bs::Coo coo = bs::read_matrix_market(in);
+  EXPECT_EQ(coo.nnz(), 5u); // diagonal entry not mirrored
+  const bs::Csr csr = bs::coo_to_csr(coo);
+  EXPECT_EQ(csr.row_length(0), 2); // (0,0) and the mirrored (0,1)
+  EXPECT_EQ(csr.row_length(1), 2); // (1,0) and the mirrored (1,2)
+}
+
+TEST(Mmio, ReadSkewSymmetricNegatesMirror) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  const bs::Coo coo = bs::read_matrix_market(in);
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(coo.vals[0], -3.0); // (0,1) mirrored with sign flip
+  EXPECT_DOUBLE_EQ(coo.vals[1], 3.0);
+}
+
+TEST(Mmio, ReadPatternDefaultsToOne) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const bs::Coo coo = bs::read_matrix_market(in);
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(coo.vals[0], 1.0);
+}
+
+TEST(Mmio, WriteReadRoundTrip) {
+  bs::Coo coo;
+  coo.rows = 3;
+  coo.cols = 3;
+  coo.push(0, 0, 1.25);
+  coo.push(1, 2, -0.5);
+  coo.push(2, 1, 1e-17);
+  std::ostringstream out;
+  bs::write_matrix_market(out, coo);
+  std::istringstream in(out.str());
+  const bs::Coo back = bs::read_matrix_market(in);
+  EXPECT_EQ(back.row_idx, coo.row_idx);
+  EXPECT_EQ(back.col_idx, coo.col_idx);
+  EXPECT_EQ(back.vals, coo.vals);
+}
+
+// ---- failure injection ----
+
+TEST(MmioFailure, EmptyStream) {
+  std::istringstream in("");
+  EXPECT_THROW(bs::read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MmioFailure, MissingBanner) {
+  std::istringstream in("3 3 1\n1 1 1.0\n");
+  EXPECT_THROW(bs::read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MmioFailure, UnsupportedField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate complex general\n"
+      "1 1 1\n1 1 1.0 0.0\n");
+  EXPECT_THROW(bs::read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MmioFailure, TruncatedEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 5\n"
+      "1 1 1.0\n"
+      "2 2 2.0\n");
+  EXPECT_THROW(bs::read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MmioFailure, IndexOutOfRange) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(bs::read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MmioFailure, MissingValue) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1\n");
+  EXPECT_THROW(bs::read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MmioFailure, MissingSizeLine) {
+  std::istringstream in("%%MatrixMarket matrix coordinate real general\n");
+  EXPECT_THROW(bs::read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MmioFailure, NonexistentFile) {
+  EXPECT_THROW(bs::read_matrix_market_file("/nonexistent/path.mtx"),
+               std::runtime_error);
+}

@@ -1,0 +1,161 @@
+// Serialization round-trips for every BRO format, plus failure injection on
+// corrupted streams.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/serialize.h"
+#include "sparse/convert.h"
+#include "sparse/matgen/generators.h"
+#include "util/rng.h"
+
+namespace bc = bro::core;
+namespace bs = bro::sparse;
+using bro::index_t;
+using bro::value_t;
+
+namespace {
+
+bs::Csr test_matrix(std::uint64_t seed) {
+  bs::GenSpec spec;
+  spec.rows = 700;
+  spec.cols = 700;
+  spec.mu = 10;
+  spec.sigma = 4;
+  spec.run = 2;
+  spec.seed = seed;
+  return bs::generate(spec);
+}
+
+std::vector<value_t> random_x(index_t n) {
+  bro::Rng rng(41);
+  std::vector<value_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform() * 2 - 1;
+  return x;
+}
+
+template <typename Format>
+void expect_same_spmv(const Format& a, const Format& b, index_t cols,
+                      index_t rows) {
+  const auto x = random_x(cols);
+  std::vector<value_t> ya(static_cast<std::size_t>(rows));
+  std::vector<value_t> yb(static_cast<std::size_t>(rows));
+  a.spmv(x, ya);
+  b.spmv(x, yb);
+  EXPECT_EQ(ya, yb); // bitwise: same stream, same arithmetic order
+}
+
+} // namespace
+
+TEST(Serialize, BroEllRoundTrip) {
+  const bs::Csr csr = test_matrix(1);
+  const auto orig = bc::BroEll::compress(bs::csr_to_ell(csr));
+  std::stringstream buf;
+  bc::write_bro_ell(buf, orig);
+  const auto back = bc::read_bro_ell(buf);
+  EXPECT_EQ(back.rows(), orig.rows());
+  EXPECT_EQ(back.width(), orig.width());
+  EXPECT_EQ(back.compressed_index_bytes(), orig.compressed_index_bytes());
+  EXPECT_EQ(back.decompress().col_idx, orig.decompress().col_idx);
+  expect_same_spmv(orig, back, csr.cols, csr.rows);
+}
+
+TEST(Serialize, BroCooRoundTrip) {
+  const bs::Csr csr = test_matrix(2);
+  const auto orig = bc::BroCoo::compress(bs::csr_to_coo(csr));
+  std::stringstream buf;
+  bc::write_bro_coo(buf, orig);
+  const auto back = bc::read_bro_coo(buf);
+  EXPECT_EQ(back.nnz(), orig.nnz());
+  EXPECT_EQ(back.decode_rows(), orig.decode_rows());
+  EXPECT_EQ(back.col_idx(), orig.col_idx());
+}
+
+TEST(Serialize, BroHybRoundTrip) {
+  bs::GenSpec spec;
+  spec.rows = 800;
+  spec.cols = 800;
+  spec.mu = 6;
+  spec.sigma = 2;
+  spec.spike_rows = 3;
+  spec.spike_len = 300;
+  spec.seed = 3;
+  const bs::Csr csr = bs::generate(spec);
+  const auto orig = bc::BroHyb::compress(csr);
+  std::stringstream buf;
+  bc::write_bro_hyb(buf, orig);
+  const auto back = bc::read_bro_hyb(buf);
+  EXPECT_EQ(back.split_width(), orig.split_width());
+  EXPECT_EQ(back.total_nnz(), orig.total_nnz());
+  EXPECT_DOUBLE_EQ(back.ell_fraction(), orig.ell_fraction());
+  expect_same_spmv(orig, back, csr.cols, csr.rows);
+}
+
+TEST(Serialize, BroCsrRoundTrip) {
+  const bs::Csr csr = test_matrix(4);
+  const auto orig = bc::BroCsr::compress(csr);
+  std::stringstream buf;
+  bc::write_bro_csr(buf, orig);
+  const auto back = bc::read_bro_csr(buf);
+  EXPECT_EQ(back.nnz(), orig.nnz());
+  EXPECT_EQ(back.bits_per_row(), orig.bits_per_row());
+  EXPECT_EQ(back.decompress().col_idx, csr.col_idx);
+  expect_same_spmv(orig, back, csr.cols, csr.rows);
+}
+
+TEST(Serialize, FileHelpers) {
+  const std::string path = ::testing::TempDir() + "/bro_serialize_test.bro";
+  const bs::Csr csr = test_matrix(5);
+  const auto orig = bc::BroEll::compress(bs::csr_to_ell(csr));
+  bc::save_bro_ell(path, orig);
+  const auto back = bc::load_bro_ell(path);
+  EXPECT_EQ(back.decompress().col_idx, orig.decompress().col_idx);
+  std::remove(path.c_str());
+}
+
+// ---- failure injection ----
+
+TEST(SerializeFailure, BadMagic) {
+  std::stringstream buf;
+  buf << "this is not a bro file at all, not even close";
+  EXPECT_THROW(bc::read_bro_ell(buf), std::runtime_error);
+}
+
+TEST(SerializeFailure, WrongTag) {
+  const bs::Csr csr = test_matrix(6);
+  std::stringstream buf;
+  bc::write_bro_ell(buf, bc::BroEll::compress(bs::csr_to_ell(csr)));
+  EXPECT_THROW(bc::read_bro_coo(buf), std::runtime_error);
+}
+
+TEST(SerializeFailure, Truncated) {
+  const bs::Csr csr = test_matrix(7);
+  std::stringstream buf;
+  bc::write_bro_ell(buf, bc::BroEll::compress(bs::csr_to_ell(csr)));
+  const std::string full = buf.str();
+  for (const double frac : {0.3, 0.7, 0.95}) {
+    std::stringstream cut(full.substr(0, static_cast<std::size_t>(
+                                             full.size() * frac)));
+    EXPECT_THROW(bc::read_bro_ell(cut), std::runtime_error) << frac;
+  }
+}
+
+TEST(SerializeFailure, CorruptedSizeField) {
+  const bs::Csr csr = test_matrix(8);
+  std::stringstream buf;
+  bc::write_bro_ell(buf, bc::BroEll::compress(bs::csr_to_ell(csr)));
+  std::string bytes = buf.str();
+  // Stomp the slice count (offset: magic 4 + version 4 + tag 1 + rows/cols/
+  // width 12 + options 8 = 29) with an absurd value.
+  for (int i = 0; i < 8; ++i) bytes[29 + i] = '\xff';
+  std::stringstream bad(bytes);
+  EXPECT_THROW(bc::read_bro_ell(bad), std::runtime_error);
+}
+
+TEST(SerializeFailure, MissingFile) {
+  EXPECT_THROW(bc::load_bro_ell("/nonexistent/x.bro"), std::runtime_error);
+  EXPECT_THROW(bc::load_bro_hyb("/nonexistent/x.bro"), std::runtime_error);
+}

@@ -1,0 +1,192 @@
+// Simulator-kernel tests: every format's sim kernel must produce the exact
+// CSR-reference result, and the performance model must reproduce the paper's
+// first-order orderings (compression -> less traffic -> more GFlop/s).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/sim_spmv.h"
+#include "sparse/convert.h"
+#include "sparse/matgen/generators.h"
+#include "sparse/matgen/suite.h"
+#include "util/rng.h"
+
+namespace bk = bro::kernels;
+namespace bs = bro::sparse;
+namespace bc = bro::core;
+namespace gs = bro::sim;
+using bro::index_t;
+using bro::value_t;
+
+namespace {
+
+std::vector<value_t> random_x(index_t n, std::uint64_t seed = 77) {
+  bro::Rng rng(seed);
+  std::vector<value_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform() * 2 - 1;
+  return x;
+}
+
+void expect_matches_reference(const bs::Csr& csr,
+                              const std::vector<value_t>& y,
+                              const std::vector<value_t>& x) {
+  std::vector<value_t> y_ref(static_cast<std::size_t>(csr.rows));
+  bs::spmv_csr_reference(csr, x, y_ref);
+  ASSERT_EQ(y.size(), y_ref.size());
+  for (std::size_t r = 0; r < y.size(); ++r)
+    EXPECT_NEAR(y[r], y_ref[r], 1e-11 * (1.0 + std::abs(y_ref[r]))) << "row " << r;
+}
+
+bs::Csr test_matrix() {
+  bs::GenSpec spec;
+  spec.rows = 2000;
+  spec.cols = 2000;
+  spec.mu = 14;
+  spec.sigma = 5;
+  spec.run = 2;
+  spec.seed = 3;
+  return bs::generate(spec);
+}
+
+} // namespace
+
+TEST(SimKernels, EllMatchesReference) {
+  const bs::Csr csr = test_matrix();
+  const auto x = random_x(csr.cols);
+  const auto res = bk::sim_spmv_ell(gs::tesla_k20(), bs::csr_to_ell(csr), x);
+  expect_matches_reference(csr, res.y, x);
+  EXPECT_GT(res.time.gflops, 0.0);
+}
+
+TEST(SimKernels, EllRMatchesReference) {
+  const bs::Csr csr = test_matrix();
+  const auto x = random_x(csr.cols);
+  const auto res = bk::sim_spmv_ellr(gs::tesla_k20(), bs::csr_to_ellr(csr), x);
+  expect_matches_reference(csr, res.y, x);
+}
+
+TEST(SimKernels, BroEllMatchesReference) {
+  const bs::Csr csr = test_matrix();
+  const auto x = random_x(csr.cols);
+  const auto bro = bc::BroEll::compress(bs::csr_to_ell(csr));
+  const auto res = bk::sim_spmv_bro_ell(gs::tesla_k20(), bro, x);
+  expect_matches_reference(csr, res.y, x);
+}
+
+TEST(SimKernels, CooMatchesReference) {
+  const bs::Csr csr = test_matrix();
+  const auto x = random_x(csr.cols);
+  const auto res = bk::sim_spmv_coo(gs::tesla_c2070(), bs::csr_to_coo(csr), x);
+  expect_matches_reference(csr, res.y, x);
+  EXPECT_EQ(res.launches, 2); // main + carry reduction
+}
+
+TEST(SimKernels, BroCooMatchesReference) {
+  const bs::Csr csr = test_matrix();
+  const auto x = random_x(csr.cols);
+  const auto bro = bc::BroCoo::compress(bs::csr_to_coo(csr));
+  const auto res = bk::sim_spmv_bro_coo(gs::tesla_k20(), bro, x);
+  expect_matches_reference(csr, res.y, x);
+}
+
+TEST(SimKernels, HybMatchesReference) {
+  bs::GenSpec spec;
+  spec.rows = 1500;
+  spec.cols = 1500;
+  spec.mu = 7;
+  spec.sigma = 3;
+  spec.spike_rows = 6;
+  spec.spike_len = 400;
+  spec.seed = 8;
+  const bs::Csr csr = bs::generate(spec);
+  const auto x = random_x(csr.cols);
+  const auto res = bk::sim_spmv_hyb(gs::gtx680(), bs::csr_to_hyb(csr), x);
+  expect_matches_reference(csr, res.y, x);
+  EXPECT_GE(res.launches, 2);
+}
+
+TEST(SimKernels, BroHybMatchesReference) {
+  bs::GenSpec spec;
+  spec.rows = 1500;
+  spec.cols = 1500;
+  spec.mu = 7;
+  spec.sigma = 3;
+  spec.spike_rows = 6;
+  spec.spike_len = 400;
+  spec.seed = 9;
+  const bs::Csr csr = bs::generate(spec);
+  const auto x = random_x(csr.cols);
+  const auto res = bk::sim_spmv_bro_hyb(gs::tesla_k20(),
+                                        bc::BroHyb::compress(csr), x);
+  expect_matches_reference(csr, res.y, x);
+}
+
+// ---- performance-model shape checks (the paper's headline effects) ----
+
+TEST(SimKernels, BroEllMovesFewerBytesThanEll) {
+  const bs::Csr csr = test_matrix();
+  const auto x = random_x(csr.cols);
+  const auto ell = bk::sim_spmv_ell(gs::tesla_k20(), bs::csr_to_ell(csr), x);
+  const auto bro = bk::sim_spmv_bro_ell(
+      gs::tesla_k20(), bc::BroEll::compress(bs::csr_to_ell(csr)), x);
+  EXPECT_LT(bro.stats.dram_bytes(), ell.stats.dram_bytes());
+  // And therefore higher effective arithmetic intensity (Fig. 5).
+  EXPECT_GT(bro.time.eai, ell.time.eai);
+}
+
+TEST(SimKernels, BroEllFasterOnCompressibleMatrix) {
+  // A banded FEM-like matrix compresses well -> BRO-ELL wins (Fig. 4).
+  bs::GenSpec spec;
+  spec.rows = 20000;
+  spec.cols = 20000;
+  spec.mu = 40;
+  spec.sigma = 8;
+  spec.run = 4;
+  spec.local_prob = 0.97;
+  spec.band_frac = 0.004;
+  spec.seed = 10;
+  const bs::Csr csr = bs::generate(spec);
+  const auto x = random_x(csr.cols);
+  for (const auto& dev : gs::all_devices()) {
+    const auto ell = bk::sim_spmv_ell(dev, bs::csr_to_ell(csr), x);
+    const auto bro = bk::sim_spmv_bro_ell(
+        dev, bc::BroEll::compress(bs::csr_to_ell(csr)), x);
+    EXPECT_GT(bro.time.gflops, ell.time.gflops) << dev.name;
+  }
+}
+
+TEST(SimKernels, K20OutperformsC2070OnMemoryBoundSpmv) {
+  // Fig. 3/4: the K20's higher bandwidth dominates for large matrices.
+  const bs::Csr csr = bs::generate_poisson2d(300, 300);
+  const auto x = random_x(csr.cols);
+  const auto ell = bs::csr_to_ell(csr);
+  const auto slow = bk::sim_spmv_ell(gs::tesla_c2070(), ell, x);
+  const auto fast = bk::sim_spmv_ell(gs::tesla_k20(), ell, x);
+  EXPECT_GT(fast.time.gflops, slow.time.gflops);
+}
+
+TEST(SimKernels, SmallMatrixUnderutilizesWideGpu) {
+  // The e40r5000 effect (Fig. 6): too few rows to fill the device lowers
+  // achieved bandwidth utilization vs a large matrix on the same GPU.
+  const auto entry_small = bs::generate_poisson2d(40, 40);   // 1.6k rows
+  const auto entry_large = bs::generate_poisson2d(400, 400); // 160k rows
+  const auto dev = gs::tesla_k20();
+  const auto small =
+      bk::sim_spmv_ell(dev, bs::csr_to_ell(entry_small), random_x(entry_small.cols));
+  const auto large =
+      bk::sim_spmv_ell(dev, bs::csr_to_ell(entry_large), random_x(entry_large.cols));
+  EXPECT_LT(small.time.bw_utilization, large.time.bw_utilization);
+}
+
+TEST(SimKernels, CombineAddsTimesAndTraffic) {
+  const bs::Csr csr = bs::generate_poisson2d(30, 30);
+  const auto x = random_x(csr.cols);
+  auto a = bk::sim_spmv_ell(gs::tesla_k20(), bs::csr_to_ell(csr), x);
+  const auto b = bk::sim_spmv_ell(gs::tesla_k20(), bs::csr_to_ell(csr), x);
+  const double t_a = a.time.seconds;
+  const auto c = bk::combine(std::move(a), b);
+  EXPECT_NEAR(c.time.seconds, t_a + b.time.seconds, 1e-15);
+  EXPECT_EQ(c.stats.dram_bytes(),
+            2 * b.stats.dram_bytes());
+  EXPECT_EQ(c.launches, 2);
+}

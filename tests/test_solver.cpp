@@ -1,0 +1,177 @@
+// Iterative-solver tests: CG / BiCGSTAB / GMRES on SPD and nonsymmetric
+// systems, through both the CSR reference operator and the BRO formats.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "solver/bicgstab.h"
+#include "solver/cg.h"
+#include "solver/gmres.h"
+#include "sparse/matgen/generators.h"
+#include "util/rng.h"
+
+namespace bc = bro::core;
+namespace bs = bro::sparse;
+namespace sv = bro::solver;
+using bro::index_t;
+using bro::value_t;
+
+namespace {
+
+sv::Operator csr_operator(const bs::Csr& csr) {
+  return [&csr](std::span<const value_t> x, std::span<value_t> y) {
+    bs::spmv_csr_reference(csr, x, y);
+  };
+}
+
+std::vector<value_t> make_rhs(const bs::Csr& csr,
+                              const std::vector<value_t>& x_true) {
+  std::vector<value_t> b(static_cast<std::size_t>(csr.rows));
+  bs::spmv_csr_reference(csr, x_true, b);
+  return b;
+}
+
+std::vector<value_t> ones(std::size_t n) { return std::vector<value_t>(n, 1.0); }
+
+void expect_solution(const std::vector<value_t>& x,
+                     const std::vector<value_t>& x_true, double tol) {
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(x[i], x_true[i], tol) << "component " << i;
+}
+
+} // namespace
+
+TEST(SolverCg, PoissonConverges) {
+  const bs::Csr a = bs::generate_poisson2d(24, 24);
+  const auto x_true = ones(static_cast<std::size_t>(a.rows));
+  const auto b = make_rhs(a, x_true);
+  std::vector<value_t> x(b.size(), 0.0);
+  const auto res = sv::cg(csr_operator(a), b, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.residual_norm, 1e-9);
+  expect_solution(x, x_true, 1e-6);
+}
+
+TEST(SolverCg, JacobiPreconditionerReducesIterations) {
+  bs::GenSpec spec;
+  spec.rows = 800;
+  spec.cols = 800;
+  spec.mu = 6;
+  spec.sigma = 2;
+  spec.seed = 33;
+  bs::Csr a = bs::generate(spec);
+  bs::make_diag_dominant(a, 5.0);
+  // Symmetrize: A := (A + A^T)/2 through COO.
+  bs::Coo coo = bs::csr_to_coo(a);
+  const std::size_t n0 = coo.nnz();
+  for (std::size_t i = 0; i < n0; ++i)
+    coo.push(coo.col_idx[i], coo.row_idx[i], coo.vals[i]);
+  for (auto& v : coo.vals) v *= 0.5;
+  coo.canonicalize();
+  a = bs::coo_to_csr(coo);
+  bs::make_diag_dominant(a, 5.0);
+
+  const auto x_true = ones(static_cast<std::size_t>(a.rows));
+  const auto b = make_rhs(a, x_true);
+
+  std::vector<value_t> x0(b.size(), 0.0), x1(b.size(), 0.0);
+  const auto plain = sv::cg(csr_operator(a), b, x0);
+  const sv::JacobiPreconditioner jacobi(a);
+  const auto pre = sv::cg(csr_operator(a), b, x1, {}, jacobi.as_preconditioner());
+  EXPECT_TRUE(plain.converged);
+  EXPECT_TRUE(pre.converged);
+  EXPECT_LE(pre.iterations, plain.iterations);
+}
+
+TEST(SolverCg, ZeroRhsReturnsImmediately) {
+  const bs::Csr a = bs::generate_poisson2d(8, 8);
+  std::vector<value_t> b(static_cast<std::size_t>(a.rows), 0.0);
+  std::vector<value_t> x(b.size(), 0.0);
+  const auto res = sv::cg(csr_operator(a), b, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(SolverBicgstab, NonsymmetricConverges) {
+  bs::GenSpec spec;
+  spec.rows = 600;
+  spec.cols = 600;
+  spec.mu = 7;
+  spec.sigma = 2;
+  spec.seed = 44;
+  bs::Csr a = bs::generate(spec);
+  bs::make_diag_dominant(a, 2.0);
+  const auto x_true = ones(static_cast<std::size_t>(a.rows));
+  const auto b = make_rhs(a, x_true);
+  std::vector<value_t> x(b.size(), 0.0);
+  const auto res = sv::bicgstab(csr_operator(a), b, x);
+  EXPECT_TRUE(res.converged);
+  expect_solution(x, x_true, 1e-6);
+}
+
+TEST(SolverGmres, NonsymmetricConverges) {
+  bs::GenSpec spec;
+  spec.rows = 500;
+  spec.cols = 500;
+  spec.mu = 6;
+  spec.sigma = 3;
+  spec.seed = 45;
+  bs::Csr a = bs::generate(spec);
+  bs::make_diag_dominant(a, 2.0);
+  const auto x_true = ones(static_cast<std::size_t>(a.rows));
+  const auto b = make_rhs(a, x_true);
+  std::vector<value_t> x(b.size(), 0.0);
+  sv::SolveOptions opts;
+  opts.restart = 25;
+  opts.max_iterations = 2000;
+  const auto res = sv::gmres(csr_operator(a), b, x, opts);
+  EXPECT_TRUE(res.converged) << "residual " << res.residual_norm;
+  expect_solution(x, x_true, 1e-6);
+}
+
+TEST(SolverGmres, RestartSmallerThanProblemStillConverges) {
+  const bs::Csr a = bs::generate_poisson2d(12, 12);
+  const auto x_true = ones(static_cast<std::size_t>(a.rows));
+  const auto b = make_rhs(a, x_true);
+  std::vector<value_t> x(b.size(), 0.0);
+  sv::SolveOptions opts;
+  opts.restart = 5;
+  opts.max_iterations = 5000;
+  const auto res = sv::gmres(csr_operator(a), b, x, opts);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(SolverCg, WorksThroughBroEllOperator) {
+  // The paper's use case: the SpMV inside CG served by the compressed format.
+  const bs::Csr a = bs::generate_poisson2d(20, 20);
+  const auto m = bc::Matrix::from_csr(a);
+  ASSERT_EQ(m.auto_format(), bc::Format::kBroEll);
+  const sv::Operator op = [&m](std::span<const value_t> x,
+                               std::span<value_t> y) { m.spmv(x, y); };
+  const auto x_true = ones(static_cast<std::size_t>(a.rows));
+  const auto b = make_rhs(a, x_true);
+  std::vector<value_t> x(b.size(), 0.0);
+  const auto res = sv::cg(op, b, x);
+  EXPECT_TRUE(res.converged);
+  expect_solution(x, x_true, 1e-6);
+}
+
+TEST(SolverCg, NonConvergenceReported) {
+  // An indefinite system: CG must not claim convergence within few iters.
+  bs::Coo coo;
+  coo.rows = 4;
+  coo.cols = 4;
+  coo.push(0, 0, 1.0);
+  coo.push(1, 1, -1.0);
+  coo.push(2, 2, 1.0);
+  coo.push(3, 3, -1.0);
+  const bs::Csr a = bs::coo_to_csr(coo);
+  std::vector<value_t> b = {1, 1, 1, 1};
+  std::vector<value_t> x(4, 0.0);
+  sv::SolveOptions opts;
+  opts.max_iterations = 1; // starve it
+  opts.tolerance = 1e-30;
+  const auto res = sv::cg(csr_operator(a), b, x, opts);
+  EXPECT_FALSE(res.converged);
+}

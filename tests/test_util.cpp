@@ -1,0 +1,121 @@
+// Tests for the util substrate: RNG determinism and distribution sanity,
+// table rendering, env parsing, error macros and the timer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/env.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using bro::Rng;
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.below(17), 17u);
+  // range() inclusive bounds.
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  bro::Table t({"a", "long-header"});
+  t.add_row({"x", "1"});
+  t.add_row({"yy", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| a  | long-header |"), std::string::npos);
+  EXPECT_NE(out.find("| yy | 22          |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsWrongCellCount) {
+  bro::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::runtime_error);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(bro::Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(bro::Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(bro::Table::pct(0.1234, 1), "12.3%");
+}
+
+TEST(Env, ParsesAndFallsBack) {
+  ::setenv("BRO_TEST_ENV_D", "2.5", 1);
+  EXPECT_DOUBLE_EQ(bro::env_double("BRO_TEST_ENV_D", 1.0), 2.5);
+  ::setenv("BRO_TEST_ENV_D", "junk", 1);
+  EXPECT_DOUBLE_EQ(bro::env_double("BRO_TEST_ENV_D", 1.0), 1.0);
+  ::unsetenv("BRO_TEST_ENV_D");
+  EXPECT_DOUBLE_EQ(bro::env_double("BRO_TEST_ENV_D", 1.0), 1.0);
+
+  ::setenv("BRO_TEST_ENV_L", "42", 1);
+  EXPECT_EQ(bro::env_long("BRO_TEST_ENV_L", 7), 42);
+  ::unsetenv("BRO_TEST_ENV_L");
+  EXPECT_EQ(bro::env_long("BRO_TEST_ENV_L", 7), 7);
+}
+
+TEST(Error, CheckMacrosThrowWithContext) {
+  try {
+    BRO_CHECK_MSG(1 == 2, "context " << 99);
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+    EXPECT_NE(msg.find("context 99"), std::string::npos);
+  }
+  EXPECT_NO_THROW(BRO_CHECK(2 == 2));
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  bro::Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += i;
+  EXPECT_GT(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}

@@ -1,0 +1,208 @@
+// brospmv — command-line front end to the library.
+//
+//   brospmv info <matrix>                     matrix statistics
+//   brospmv compress <matrix> <out.bro>       offline BRO-HYB compression
+//   brospmv spmv <matrix|.bro> [--format F]   y = A*1, checksum + timing
+//   brospmv tune <matrix> [--device D]        simulated format ranking
+//   brospmv bench <matrix> [--device D]       per-format simulated GFlop/s
+//
+// <matrix> is a Matrix Market file, a named suite matrix (with optional
+// --scale, default 0.125), or a .bro file where noted. --device is one of
+// c2070 / gtx680 / k20 (default k20).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/serialize.h"
+#include "kernels/autotune.h"
+#include "sparse/convert.h"
+#include "sparse/matgen/suite.h"
+#include "sparse/mmio.h"
+#include "util/args.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace bro;
+
+int usage() {
+  std::cerr
+      << "usage: brospmv <command> [args]\n"
+         "  info <matrix>                      matrix statistics\n"
+         "  compress <matrix> <out.bro>        offline BRO-HYB compression\n"
+         "  spmv <matrix|.bro> [--format F]    run y = A*1 and report\n"
+         "  tune <matrix> [--device D]         simulated format ranking\n"
+         "  bench <matrix> [--device D]        per-format simulated GFlop/s\n"
+         "matrix: a .mtx path or a suite name (cant, pwtk, ...);\n"
+         "options: --scale S (suite matrices, default 0.125),\n"
+         "         --device c2070|gtx680|k20 (default k20)\n";
+  return 2;
+}
+
+sparse::Csr load_matrix(const std::string& name, const Args& args) {
+  if (const auto entry = sparse::find_suite_entry(name))
+    return sparse::generate_suite_matrix(*entry,
+                                         args.get_double("scale", 0.125));
+  return sparse::coo_to_csr(sparse::read_matrix_market_file(name));
+}
+
+sim::DeviceSpec device_from(const Args& args) {
+  const std::string d = args.get("device", "k20");
+  if (d == "c2070") return sim::tesla_c2070();
+  if (d == "gtx680") return sim::gtx680();
+  if (d == "k20") return sim::tesla_k20();
+  throw std::runtime_error("unknown --device '" + d +
+                           "' (use c2070, gtx680 or k20)");
+}
+
+int cmd_info(const Args& args) {
+  const sparse::Csr m = load_matrix(args.positional().at(1), args);
+  const auto s = sparse::compute_stats(m);
+  std::cout << "dimensions     " << sparse::dims_string(s.rows, s.cols) << '\n'
+            << "non-zeros      " << s.nnz << '\n'
+            << "row length     mean " << s.mean_row_length << ", sigma "
+            << s.stddev_row_length << ", min " << s.min_row_length << ", max "
+            << s.max_row_length << '\n'
+            << "density        " << s.density << '\n';
+  const auto mat = core::Matrix::from_csr(m);
+  std::cout << "recommended    " << core::format_name(mat.auto_format())
+            << '\n'
+            << "index savings  " << mat.space_savings() * 100 << "%\n";
+  return 0;
+}
+
+int cmd_compress(const Args& args) {
+  const sparse::Csr m = load_matrix(args.positional().at(1), args);
+  const std::string out = args.positional().at(2);
+  Timer t;
+  const auto bro = core::BroHyb::compress(m);
+  core::save_bro_hyb(out, bro);
+  std::cout << "compressed " << m.nnz() << " non-zeros in " << t.seconds()
+            << " s\nindex data " << bro.original_index_bytes() << " B -> "
+            << bro.compressed_index_bytes() << " B ("
+            << (1.0 - double(bro.compressed_index_bytes()) /
+                          double(bro.original_index_bytes())) *
+                   100
+            << "% saved)\nwrote " << out << '\n';
+  return 0;
+}
+
+int cmd_spmv(const Args& args) {
+  const std::string src = args.positional().at(1);
+  std::vector<value_t> y;
+  std::size_t nnz = 0;
+  double secs = 0;
+  std::string format;
+
+  if (src.size() > 4 && src.substr(src.size() - 4) == ".bro") {
+    const auto bro = core::load_bro_hyb(src);
+    std::vector<value_t> x(static_cast<std::size_t>(bro.cols()), 1.0);
+    y.resize(static_cast<std::size_t>(bro.rows()));
+    Timer t;
+    bro.spmv(x, y);
+    secs = t.seconds();
+    nnz = bro.total_nnz();
+    format = "BRO-HYB (from file)";
+  } else {
+    const auto m = core::Matrix::from_csr(load_matrix(src, args));
+    const std::string fname = args.get("format", "");
+    core::Format f = m.auto_format();
+    if (!fname.empty()) {
+      bool found = false;
+      for (const auto cand :
+           {core::Format::kCsr, core::Format::kCoo, core::Format::kEll,
+            core::Format::kEllR, core::Format::kHyb, core::Format::kBroEll,
+            core::Format::kBroCoo, core::Format::kBroHyb,
+            core::Format::kBroCsr}) {
+        if (fname == core::format_name(cand)) {
+          f = cand;
+          found = true;
+        }
+      }
+      if (!found)
+        throw std::runtime_error("unknown --format '" + fname + '\'');
+    }
+    std::vector<value_t> x(static_cast<std::size_t>(m.cols()), 1.0);
+    y.resize(static_cast<std::size_t>(m.rows()));
+    Timer t;
+    m.spmv(x, y, f);
+    secs = t.seconds();
+    nnz = m.nnz();
+    format = core::format_name(f);
+  }
+
+  double checksum = 0;
+  for (const auto v : y) checksum += v;
+  std::cout << "format    " << format << '\n'
+            << "time      " << secs << " s (host, single SpMV)\n"
+            << "rate      " << 2.0 * double(nnz) / secs / 1e9
+            << " GFlop/s (host)\n"
+            << "checksum  sum(A*1) = " << checksum << '\n';
+  return 0;
+}
+
+int cmd_tune(const Args& args) {
+  const sparse::Csr m = load_matrix(args.positional().at(1), args);
+  const auto dev = device_from(args);
+  const auto res = kernels::autotune(m, dev);
+  std::cout << "Simulated ranking on " << dev.name << ":\n";
+  Table t({"Format", "GFlop/s", "index savings", "applicable"});
+  for (const auto& e : res.ranking)
+    t.add_row({core::format_name(e.format),
+               e.applicable ? Table::fmt(e.gflops, 2) : "-",
+               e.applicable ? Table::pct(e.eta) : "-",
+               e.applicable ? "yes" : "no"});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_bench(const Args& args) {
+  // Equivalent to tune but over all three devices, one column each.
+  const sparse::Csr m = load_matrix(args.positional().at(1), args);
+  Table t({"Format", "C2070", "GTX680", "K20"});
+  std::vector<std::vector<std::string>> rows;
+  bool first = true;
+  std::vector<std::string> names;
+  std::map<std::string, std::vector<std::string>> cells;
+  for (const auto& dev : sim::all_devices()) {
+    const auto res = kernels::autotune(m, dev);
+    for (const auto& e : res.ranking) {
+      const std::string n = core::format_name(e.format);
+      if (first) names.push_back(n);
+      cells[n].push_back(e.applicable ? Table::fmt(e.gflops, 2) : "-");
+    }
+    first = false;
+  }
+  for (const auto& n : names) {
+    std::vector<std::string> row = {n};
+    // Rankings may order formats differently per device; pad defensively.
+    auto& c = cells[n];
+    c.resize(3, "-");
+    row.insert(row.end(), c.begin(), c.end());
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args(argc, argv);
+    if (args.positional().empty()) return usage();
+    const std::string cmd = args.positional().front();
+    if (cmd == "info" && args.positional().size() == 2) return cmd_info(args);
+    if (cmd == "compress" && args.positional().size() == 3)
+      return cmd_compress(args);
+    if (cmd == "spmv" && args.positional().size() == 2) return cmd_spmv(args);
+    if (cmd == "tune" && args.positional().size() == 2) return cmd_tune(args);
+    if (cmd == "bench" && args.positional().size() == 2) return cmd_bench(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "brospmv: " << e.what() << '\n';
+    return 1;
+  }
+}
