@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_bro"
+  "../bench/bench_ablation_bro.pdb"
+  "CMakeFiles/bench_ablation_bro.dir/bench_ablation_bro.cpp.o"
+  "CMakeFiles/bench_ablation_bro.dir/bench_ablation_bro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baselines_csr"
+  "../bench/bench_baselines_csr.pdb"
+  "CMakeFiles/bench_baselines_csr.dir/bench_baselines_csr.cpp.o"
+  "CMakeFiles/bench_baselines_csr.dir/bench_baselines_csr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baselines_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

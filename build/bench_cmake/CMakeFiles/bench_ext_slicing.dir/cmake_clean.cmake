@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_slicing"
+  "../bench/bench_ext_slicing.pdb"
+  "CMakeFiles/bench_ext_slicing.dir/bench_ext_slicing.cpp.o"
+  "CMakeFiles/bench_ext_slicing.dir/bench_ext_slicing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

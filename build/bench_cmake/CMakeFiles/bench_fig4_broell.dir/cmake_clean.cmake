@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_broell"
+  "../bench/bench_fig4_broell.pdb"
+  "CMakeFiles/bench_fig4_broell.dir/bench_fig4_broell.cpp.o"
+  "CMakeFiles/bench_fig4_broell.dir/bench_fig4_broell.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_broell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_eai"
+  "../bench/bench_fig5_eai.pdb"
+  "CMakeFiles/bench_fig5_eai.dir/bench_fig5_eai.cpp.o"
+  "CMakeFiles/bench_fig5_eai.dir/bench_fig5_eai.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_eai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_brocoo"
+  "../bench/bench_fig7_brocoo.pdb"
+  "CMakeFiles/bench_fig7_brocoo.dir/bench_fig7_brocoo.cpp.o"
+  "CMakeFiles/bench_fig7_brocoo.dir/bench_fig7_brocoo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_brocoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_brohyb"
+  "../bench/bench_fig8_brohyb.pdb"
+  "CMakeFiles/bench_fig8_brohyb.dir/bench_fig8_brohyb.cpp.o"
+  "CMakeFiles/bench_fig8_brohyb.dir/bench_fig8_brohyb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_brohyb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

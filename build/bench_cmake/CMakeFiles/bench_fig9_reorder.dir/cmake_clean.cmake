@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_reorder"
+  "../bench/bench_fig9_reorder.pdb"
+  "CMakeFiles/bench_fig9_reorder.dir/bench_fig9_reorder.cpp.o"
+  "CMakeFiles/bench_fig9_reorder.dir/bench_fig9_reorder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

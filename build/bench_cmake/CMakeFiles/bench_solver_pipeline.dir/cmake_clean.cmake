@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_solver_pipeline"
+  "../bench/bench_solver_pipeline.pdb"
+  "CMakeFiles/bench_solver_pipeline.dir/bench_solver_pipeline.cpp.o"
+  "CMakeFiles/bench_solver_pipeline.dir/bench_solver_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solver_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_savings.cpp" "bench_cmake/CMakeFiles/bench_table3_savings.dir/bench_table3_savings.cpp.o" "gcc" "bench_cmake/CMakeFiles/bench_table3_savings.dir/bench_table3_savings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/bro_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorder/CMakeFiles/bro_reorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/bro_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/bro_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/bro_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/bits/CMakeFiles/bro_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

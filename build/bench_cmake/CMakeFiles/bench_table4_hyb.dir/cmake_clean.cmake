@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_hyb"
+  "../bench/bench_table4_hyb.pdb"
+  "CMakeFiles/bench_table4_hyb.dir/bench_table4_hyb.cpp.o"
+  "CMakeFiles/bench_table4_hyb.dir/bench_table4_hyb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_hyb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_bar_savings"
+  "../bench/bench_table5_bar_savings.pdb"
+  "CMakeFiles/bench_table5_bar_savings.dir/bench_table5_bar_savings.cpp.o"
+  "CMakeFiles/bench_table5_bar_savings.dir/bench_table5_bar_savings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_bar_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/autotune_demo"
+  "../examples/autotune_demo.pdb"
+  "CMakeFiles/autotune_demo.dir/autotune_demo.cpp.o"
+  "CMakeFiles/autotune_demo.dir/autotune_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

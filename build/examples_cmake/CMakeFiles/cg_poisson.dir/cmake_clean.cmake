@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cg_poisson"
+  "../examples/cg_poisson.pdb"
+  "CMakeFiles/cg_poisson.dir/cg_poisson.cpp.o"
+  "CMakeFiles/cg_poisson.dir/cg_poisson.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

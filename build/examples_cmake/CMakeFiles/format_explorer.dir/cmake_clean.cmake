@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/format_explorer"
+  "../examples/format_explorer.pdb"
+  "CMakeFiles/format_explorer.dir/format_explorer.cpp.o"
+  "CMakeFiles/format_explorer.dir/format_explorer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

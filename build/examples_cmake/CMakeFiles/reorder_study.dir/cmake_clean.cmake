@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/reorder_study"
+  "../examples/reorder_study.pdb"
+  "CMakeFiles/reorder_study.dir/reorder_study.cpp.o"
+  "CMakeFiles/reorder_study.dir/reorder_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorder_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bits/bit_string.cpp" "src/bits/CMakeFiles/bro_bits.dir/bit_string.cpp.o" "gcc" "src/bits/CMakeFiles/bro_bits.dir/bit_string.cpp.o.d"
+  "/root/repo/src/bits/delta.cpp" "src/bits/CMakeFiles/bro_bits.dir/delta.cpp.o" "gcc" "src/bits/CMakeFiles/bro_bits.dir/delta.cpp.o.d"
+  "/root/repo/src/bits/mux.cpp" "src/bits/CMakeFiles/bro_bits.dir/mux.cpp.o" "gcc" "src/bits/CMakeFiles/bro_bits.dir/mux.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

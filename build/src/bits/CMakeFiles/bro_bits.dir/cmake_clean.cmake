@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bro_bits.dir/bit_string.cpp.o"
+  "CMakeFiles/bro_bits.dir/bit_string.cpp.o.d"
+  "CMakeFiles/bro_bits.dir/delta.cpp.o"
+  "CMakeFiles/bro_bits.dir/delta.cpp.o.d"
+  "CMakeFiles/bro_bits.dir/mux.cpp.o"
+  "CMakeFiles/bro_bits.dir/mux.cpp.o.d"
+  "libbro_bits.a"
+  "libbro_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bro_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bar.cpp" "src/core/CMakeFiles/bro_core.dir/bar.cpp.o" "gcc" "src/core/CMakeFiles/bro_core.dir/bar.cpp.o.d"
+  "/root/repo/src/core/bro_coo.cpp" "src/core/CMakeFiles/bro_core.dir/bro_coo.cpp.o" "gcc" "src/core/CMakeFiles/bro_core.dir/bro_coo.cpp.o.d"
+  "/root/repo/src/core/bro_csr.cpp" "src/core/CMakeFiles/bro_core.dir/bro_csr.cpp.o" "gcc" "src/core/CMakeFiles/bro_core.dir/bro_csr.cpp.o.d"
+  "/root/repo/src/core/bro_ell.cpp" "src/core/CMakeFiles/bro_core.dir/bro_ell.cpp.o" "gcc" "src/core/CMakeFiles/bro_core.dir/bro_ell.cpp.o.d"
+  "/root/repo/src/core/bro_ell_values.cpp" "src/core/CMakeFiles/bro_core.dir/bro_ell_values.cpp.o" "gcc" "src/core/CMakeFiles/bro_core.dir/bro_ell_values.cpp.o.d"
+  "/root/repo/src/core/bro_ell_vector.cpp" "src/core/CMakeFiles/bro_core.dir/bro_ell_vector.cpp.o" "gcc" "src/core/CMakeFiles/bro_core.dir/bro_ell_vector.cpp.o.d"
+  "/root/repo/src/core/bro_hyb.cpp" "src/core/CMakeFiles/bro_core.dir/bro_hyb.cpp.o" "gcc" "src/core/CMakeFiles/bro_core.dir/bro_hyb.cpp.o.d"
+  "/root/repo/src/core/matrix.cpp" "src/core/CMakeFiles/bro_core.dir/matrix.cpp.o" "gcc" "src/core/CMakeFiles/bro_core.dir/matrix.cpp.o.d"
+  "/root/repo/src/core/savings.cpp" "src/core/CMakeFiles/bro_core.dir/savings.cpp.o" "gcc" "src/core/CMakeFiles/bro_core.dir/savings.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/bro_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/bro_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/sliced_ell.cpp" "src/core/CMakeFiles/bro_core.dir/sliced_ell.cpp.o" "gcc" "src/core/CMakeFiles/bro_core.dir/sliced_ell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bits/CMakeFiles/bro_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/bro_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

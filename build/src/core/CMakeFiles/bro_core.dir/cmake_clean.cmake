@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bro_core.dir/bar.cpp.o"
+  "CMakeFiles/bro_core.dir/bar.cpp.o.d"
+  "CMakeFiles/bro_core.dir/bro_coo.cpp.o"
+  "CMakeFiles/bro_core.dir/bro_coo.cpp.o.d"
+  "CMakeFiles/bro_core.dir/bro_csr.cpp.o"
+  "CMakeFiles/bro_core.dir/bro_csr.cpp.o.d"
+  "CMakeFiles/bro_core.dir/bro_ell.cpp.o"
+  "CMakeFiles/bro_core.dir/bro_ell.cpp.o.d"
+  "CMakeFiles/bro_core.dir/bro_ell_values.cpp.o"
+  "CMakeFiles/bro_core.dir/bro_ell_values.cpp.o.d"
+  "CMakeFiles/bro_core.dir/bro_ell_vector.cpp.o"
+  "CMakeFiles/bro_core.dir/bro_ell_vector.cpp.o.d"
+  "CMakeFiles/bro_core.dir/bro_hyb.cpp.o"
+  "CMakeFiles/bro_core.dir/bro_hyb.cpp.o.d"
+  "CMakeFiles/bro_core.dir/matrix.cpp.o"
+  "CMakeFiles/bro_core.dir/matrix.cpp.o.d"
+  "CMakeFiles/bro_core.dir/savings.cpp.o"
+  "CMakeFiles/bro_core.dir/savings.cpp.o.d"
+  "CMakeFiles/bro_core.dir/serialize.cpp.o"
+  "CMakeFiles/bro_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/bro_core.dir/sliced_ell.cpp.o"
+  "CMakeFiles/bro_core.dir/sliced_ell.cpp.o.d"
+  "libbro_core.a"
+  "libbro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

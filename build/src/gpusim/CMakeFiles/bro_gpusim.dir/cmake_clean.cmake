@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bro_gpusim.dir/device.cpp.o"
+  "CMakeFiles/bro_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/bro_gpusim.dir/lru_cache.cpp.o"
+  "CMakeFiles/bro_gpusim.dir/lru_cache.cpp.o.d"
+  "CMakeFiles/bro_gpusim.dir/sim.cpp.o"
+  "CMakeFiles/bro_gpusim.dir/sim.cpp.o.d"
+  "libbro_gpusim.a"
+  "libbro_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bro_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

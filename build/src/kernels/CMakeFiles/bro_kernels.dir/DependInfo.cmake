@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/autotune.cpp" "src/kernels/CMakeFiles/bro_kernels.dir/autotune.cpp.o" "gcc" "src/kernels/CMakeFiles/bro_kernels.dir/autotune.cpp.o.d"
+  "/root/repo/src/kernels/native_spmv.cpp" "src/kernels/CMakeFiles/bro_kernels.dir/native_spmv.cpp.o" "gcc" "src/kernels/CMakeFiles/bro_kernels.dir/native_spmv.cpp.o.d"
+  "/root/repo/src/kernels/sim_spmv_coo.cpp" "src/kernels/CMakeFiles/bro_kernels.dir/sim_spmv_coo.cpp.o" "gcc" "src/kernels/CMakeFiles/bro_kernels.dir/sim_spmv_coo.cpp.o.d"
+  "/root/repo/src/kernels/sim_spmv_csr.cpp" "src/kernels/CMakeFiles/bro_kernels.dir/sim_spmv_csr.cpp.o" "gcc" "src/kernels/CMakeFiles/bro_kernels.dir/sim_spmv_csr.cpp.o.d"
+  "/root/repo/src/kernels/sim_spmv_ell.cpp" "src/kernels/CMakeFiles/bro_kernels.dir/sim_spmv_ell.cpp.o" "gcc" "src/kernels/CMakeFiles/bro_kernels.dir/sim_spmv_ell.cpp.o.d"
+  "/root/repo/src/kernels/sim_spmv_ext.cpp" "src/kernels/CMakeFiles/bro_kernels.dir/sim_spmv_ext.cpp.o" "gcc" "src/kernels/CMakeFiles/bro_kernels.dir/sim_spmv_ext.cpp.o.d"
+  "/root/repo/src/kernels/sim_spmv_hyb.cpp" "src/kernels/CMakeFiles/bro_kernels.dir/sim_spmv_hyb.cpp.o" "gcc" "src/kernels/CMakeFiles/bro_kernels.dir/sim_spmv_hyb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/bro_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bits/CMakeFiles/bro_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/bro_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

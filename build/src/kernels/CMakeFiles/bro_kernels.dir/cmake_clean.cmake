@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bro_kernels.dir/autotune.cpp.o"
+  "CMakeFiles/bro_kernels.dir/autotune.cpp.o.d"
+  "CMakeFiles/bro_kernels.dir/native_spmv.cpp.o"
+  "CMakeFiles/bro_kernels.dir/native_spmv.cpp.o.d"
+  "CMakeFiles/bro_kernels.dir/sim_spmv_coo.cpp.o"
+  "CMakeFiles/bro_kernels.dir/sim_spmv_coo.cpp.o.d"
+  "CMakeFiles/bro_kernels.dir/sim_spmv_csr.cpp.o"
+  "CMakeFiles/bro_kernels.dir/sim_spmv_csr.cpp.o.d"
+  "CMakeFiles/bro_kernels.dir/sim_spmv_ell.cpp.o"
+  "CMakeFiles/bro_kernels.dir/sim_spmv_ell.cpp.o.d"
+  "CMakeFiles/bro_kernels.dir/sim_spmv_ext.cpp.o"
+  "CMakeFiles/bro_kernels.dir/sim_spmv_ext.cpp.o.d"
+  "CMakeFiles/bro_kernels.dir/sim_spmv_hyb.cpp.o"
+  "CMakeFiles/bro_kernels.dir/sim_spmv_hyb.cpp.o.d"
+  "libbro_kernels.a"
+  "libbro_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bro_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bro_reorder.dir/amd.cpp.o"
+  "CMakeFiles/bro_reorder.dir/amd.cpp.o.d"
+  "CMakeFiles/bro_reorder.dir/permutation.cpp.o"
+  "CMakeFiles/bro_reorder.dir/permutation.cpp.o.d"
+  "CMakeFiles/bro_reorder.dir/rcm.cpp.o"
+  "CMakeFiles/bro_reorder.dir/rcm.cpp.o.d"
+  "libbro_reorder.a"
+  "libbro_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bro_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bro_solver.dir/bicgstab.cpp.o"
+  "CMakeFiles/bro_solver.dir/bicgstab.cpp.o.d"
+  "CMakeFiles/bro_solver.dir/cg.cpp.o"
+  "CMakeFiles/bro_solver.dir/cg.cpp.o.d"
+  "CMakeFiles/bro_solver.dir/gmres.cpp.o"
+  "CMakeFiles/bro_solver.dir/gmres.cpp.o.d"
+  "libbro_solver.a"
+  "libbro_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bro_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

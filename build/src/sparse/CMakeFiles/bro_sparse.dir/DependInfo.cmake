@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/convert.cpp" "src/sparse/CMakeFiles/bro_sparse.dir/convert.cpp.o" "gcc" "src/sparse/CMakeFiles/bro_sparse.dir/convert.cpp.o.d"
+  "/root/repo/src/sparse/coo.cpp" "src/sparse/CMakeFiles/bro_sparse.dir/coo.cpp.o" "gcc" "src/sparse/CMakeFiles/bro_sparse.dir/coo.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/bro_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/bro_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/ell.cpp" "src/sparse/CMakeFiles/bro_sparse.dir/ell.cpp.o" "gcc" "src/sparse/CMakeFiles/bro_sparse.dir/ell.cpp.o.d"
+  "/root/repo/src/sparse/hyb.cpp" "src/sparse/CMakeFiles/bro_sparse.dir/hyb.cpp.o" "gcc" "src/sparse/CMakeFiles/bro_sparse.dir/hyb.cpp.o.d"
+  "/root/repo/src/sparse/matgen/generators.cpp" "src/sparse/CMakeFiles/bro_sparse.dir/matgen/generators.cpp.o" "gcc" "src/sparse/CMakeFiles/bro_sparse.dir/matgen/generators.cpp.o.d"
+  "/root/repo/src/sparse/matgen/suite.cpp" "src/sparse/CMakeFiles/bro_sparse.dir/matgen/suite.cpp.o" "gcc" "src/sparse/CMakeFiles/bro_sparse.dir/matgen/suite.cpp.o.d"
+  "/root/repo/src/sparse/mmio.cpp" "src/sparse/CMakeFiles/bro_sparse.dir/mmio.cpp.o" "gcc" "src/sparse/CMakeFiles/bro_sparse.dir/mmio.cpp.o.d"
+  "/root/repo/src/sparse/spmv.cpp" "src/sparse/CMakeFiles/bro_sparse.dir/spmv.cpp.o" "gcc" "src/sparse/CMakeFiles/bro_sparse.dir/spmv.cpp.o.d"
+  "/root/repo/src/sparse/stats.cpp" "src/sparse/CMakeFiles/bro_sparse.dir/stats.cpp.o" "gcc" "src/sparse/CMakeFiles/bro_sparse.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bro_sparse.dir/convert.cpp.o"
+  "CMakeFiles/bro_sparse.dir/convert.cpp.o.d"
+  "CMakeFiles/bro_sparse.dir/coo.cpp.o"
+  "CMakeFiles/bro_sparse.dir/coo.cpp.o.d"
+  "CMakeFiles/bro_sparse.dir/csr.cpp.o"
+  "CMakeFiles/bro_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/bro_sparse.dir/ell.cpp.o"
+  "CMakeFiles/bro_sparse.dir/ell.cpp.o.d"
+  "CMakeFiles/bro_sparse.dir/hyb.cpp.o"
+  "CMakeFiles/bro_sparse.dir/hyb.cpp.o.d"
+  "CMakeFiles/bro_sparse.dir/matgen/generators.cpp.o"
+  "CMakeFiles/bro_sparse.dir/matgen/generators.cpp.o.d"
+  "CMakeFiles/bro_sparse.dir/matgen/suite.cpp.o"
+  "CMakeFiles/bro_sparse.dir/matgen/suite.cpp.o.d"
+  "CMakeFiles/bro_sparse.dir/mmio.cpp.o"
+  "CMakeFiles/bro_sparse.dir/mmio.cpp.o.d"
+  "CMakeFiles/bro_sparse.dir/spmv.cpp.o"
+  "CMakeFiles/bro_sparse.dir/spmv.cpp.o.d"
+  "CMakeFiles/bro_sparse.dir/stats.cpp.o"
+  "CMakeFiles/bro_sparse.dir/stats.cpp.o.d"
+  "libbro_sparse.a"
+  "libbro_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bro_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

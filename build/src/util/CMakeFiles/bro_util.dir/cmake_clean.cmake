@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bro_util.dir/args.cpp.o"
+  "CMakeFiles/bro_util.dir/args.cpp.o.d"
+  "CMakeFiles/bro_util.dir/env.cpp.o"
+  "CMakeFiles/bro_util.dir/env.cpp.o.d"
+  "CMakeFiles/bro_util.dir/rng.cpp.o"
+  "CMakeFiles/bro_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bro_util.dir/table.cpp.o"
+  "CMakeFiles/bro_util.dir/table.cpp.o.d"
+  "libbro_util.a"
+  "libbro_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bro_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

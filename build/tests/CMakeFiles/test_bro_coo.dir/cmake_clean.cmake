@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bro_coo.dir/test_bro_coo.cpp.o"
+  "CMakeFiles/test_bro_coo.dir/test_bro_coo.cpp.o.d"
+  "test_bro_coo"
+  "test_bro_coo.pdb"
+  "test_bro_coo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bro_coo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

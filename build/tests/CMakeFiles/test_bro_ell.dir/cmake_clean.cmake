@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bro_ell.dir/test_bro_ell.cpp.o"
+  "CMakeFiles/test_bro_ell.dir/test_bro_ell.cpp.o.d"
+  "test_bro_ell"
+  "test_bro_ell.pdb"
+  "test_bro_ell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bro_ell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

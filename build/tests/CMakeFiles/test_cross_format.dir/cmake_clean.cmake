@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_format.dir/test_cross_format.cpp.o"
+  "CMakeFiles/test_cross_format.dir/test_cross_format.cpp.o.d"
+  "test_cross_format"
+  "test_cross_format.pdb"
+  "test_cross_format[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

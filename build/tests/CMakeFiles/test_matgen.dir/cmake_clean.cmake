@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matgen.dir/test_matgen.cpp.o"
+  "CMakeFiles/test_matgen.dir/test_matgen.cpp.o.d"
+  "test_matgen"
+  "test_matgen.pdb"
+  "test_matgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_api.dir/test_matrix_api.cpp.o"
+  "CMakeFiles/test_matrix_api.dir/test_matrix_api.cpp.o.d"
+  "test_matrix_api"
+  "test_matrix_api.pdb"
+  "test_matrix_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_kernels.dir/test_sim_kernels.cpp.o"
+  "CMakeFiles/test_sim_kernels.dir/test_sim_kernels.cpp.o.d"
+  "test_sim_kernels"
+  "test_sim_kernels.pdb"
+  "test_sim_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

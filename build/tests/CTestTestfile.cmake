@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bits[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_mmio[1]_include.cmake")
+include("/root/repo/build/tests/test_matgen[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_bro_ell[1]_include.cmake")
+include("/root/repo/build/tests/test_bro_coo[1]_include.cmake")
+include("/root/repo/build/tests/test_bro_hyb[1]_include.cmake")
+include("/root/repo/build/tests/test_bar[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix_api[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_native_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_reorder[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_ext_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_bro_csr[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_autotune[1]_include.cmake")
+include("/root/repo/build/tests/test_args[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_format[1]_include.cmake")
+include("/root/repo/build/tests/test_suite_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/brospmv"
+  "../tools/brospmv.pdb"
+  "CMakeFiles/brospmv.dir/brospmv.cpp.o"
+  "CMakeFiles/brospmv.dir/brospmv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brospmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
