@@ -3,7 +3,7 @@
 // matrix, and how much performance a fixed-format policy leaves behind.
 #include "bench_common.h"
 
-#include "kernels/autotune.h"
+#include "engine/autotune.h"
 
 int main() {
   using namespace bro;
@@ -16,7 +16,7 @@ int main() {
   int n = 0;
   for (const auto& e : sparse::suite_entries()) {
     const sparse::Csr m = sparse::generate_suite_matrix(e, bench_scale());
-    const auto res = kernels::autotune(m, dev);
+    const auto res = engine::autotune(m, dev);
     const auto& best = res.ranking[0];
     const auto& second = res.ranking[1];
 

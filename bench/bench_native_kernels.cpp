@@ -2,17 +2,21 @@
 // via google-benchmark. These complement the simulator benches: they measure
 // the library's real host performance, including the cost of on-the-fly
 // BRO decompression.
+//
+// The benchmark set is registry-driven: each format registered in
+// engine::format_registry() gets one benchmark per matrix it is applicable
+// to, executed through a prebuilt SpmvPlan so the hot loop is allocation-free
+// (what a solver inner loop sees).
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/bro_coo.h"
-#include "core/bro_ell.h"
-#include "core/bro_hyb.h"
-#include "kernels/native_spmv.h"
-#include "sparse/convert.h"
+#include "core/matrix.h"
+#include "engine/format_registry.h"
+#include "engine/plan.h"
 #include "sparse/matgen/suite.h"
 #include "util/env.h"
 #include "util/rng.h"
@@ -22,96 +26,67 @@ namespace {
 using namespace bro;
 
 struct Fixture {
-  sparse::Csr csr;
-  sparse::Coo coo;
-  sparse::Ell ell;
-  sparse::EllR ellr;
-  sparse::Hyb hyb;
-  core::BroEll bro_ell;
-  core::BroCoo bro_coo;
-  core::BroHyb bro_hyb;
+  std::shared_ptr<core::Matrix> matrix;
   std::vector<value_t> x;
   std::vector<value_t> y;
+  std::map<core::Format, std::shared_ptr<engine::SpmvPlan>> plans;
 };
 
-const Fixture& fixture(const char* name) {
+Fixture& fixture(const std::string& name) {
   static std::map<std::string, Fixture> cache;
   auto it = cache.find(name);
   if (it == cache.end()) {
     Fixture f;
     const auto entry = sparse::find_suite_entry(name);
-    f.csr = sparse::generate_suite_matrix(*entry, bench_scale());
-    f.coo = sparse::csr_to_coo(f.csr);
-    if (entry->test_set == 1) {
-      f.ell = sparse::csr_to_ell(f.csr);
-      f.ellr = sparse::csr_to_ellr(f.csr);
-      f.bro_ell = core::BroEll::compress(f.ell);
-    }
-    f.hyb = sparse::csr_to_hyb(f.csr);
-    f.bro_coo = core::BroCoo::compress(f.coo);
-    f.bro_hyb = core::BroHyb::compress(f.csr);
+    f.matrix = std::make_shared<core::Matrix>(core::Matrix::from_csr(
+        sparse::generate_suite_matrix(*entry, bench_scale())));
     Rng rng(7);
-    f.x.resize(static_cast<std::size_t>(f.csr.cols));
+    f.x.resize(static_cast<std::size_t>(f.matrix->cols()));
     for (auto& v : f.x) v = rng.uniform();
-    f.y.resize(static_cast<std::size_t>(f.csr.rows));
+    f.y.resize(static_cast<std::size_t>(f.matrix->rows()));
     it = cache.emplace(name, std::move(f)).first;
   }
   return it->second;
 }
 
-void set_counters(benchmark::State& state, std::size_t nnz) {
-  state.counters["GFlops"] = benchmark::Counter(
-      2.0 * static_cast<double>(nnz) * static_cast<double>(state.iterations()),
-      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+engine::SpmvPlan& plan_for(Fixture& f, core::Format format) {
+  auto it = f.plans.find(format);
+  if (it == f.plans.end())
+    it = f.plans
+             .emplace(format,
+                      std::make_shared<engine::SpmvPlan>(f.matrix, format))
+             .first;
+  return *it->second;
 }
 
-#define BRO_BENCH_FORMAT(Name, call)                                 \
-  void Name(benchmark::State& state, const char* matrix) {           \
-    const Fixture& f = fixture(matrix);                              \
-    std::vector<value_t> y(f.y.size());                              \
-    for (auto _ : state) {                                           \
-      call;                                                          \
-      benchmark::DoNotOptimize(y.data());                            \
-      benchmark::ClobberMemory();                                    \
-    }                                                                \
-    set_counters(state, f.csr.nnz());                                \
+void BM_PlanExecute(benchmark::State& state, std::string matrix,
+                    core::Format format) {
+  Fixture& f = fixture(matrix);
+  engine::SpmvPlan& plan = plan_for(f, format);
+  for (auto _ : state) {
+    plan.execute(f.x, f.y);
+    benchmark::DoNotOptimize(f.y.data());
+    benchmark::ClobberMemory();
   }
-
-BRO_BENCH_FORMAT(BM_Csr, kernels::native_spmv_csr(f.csr, f.x, y))
-BRO_BENCH_FORMAT(BM_Coo, kernels::native_spmv_coo(f.coo, f.x, y))
-BRO_BENCH_FORMAT(BM_Ell, kernels::native_spmv_ell(f.ell, f.x, y))
-BRO_BENCH_FORMAT(BM_EllR, kernels::native_spmv_ellr(f.ellr, f.x, y))
-BRO_BENCH_FORMAT(BM_Hyb, kernels::native_spmv_hyb(f.hyb, f.x, y))
-BRO_BENCH_FORMAT(BM_BroEll, kernels::native_spmv_bro_ell(f.bro_ell, f.x, y))
-BRO_BENCH_FORMAT(BM_BroCoo, kernels::native_spmv_bro_coo(f.bro_coo, f.x, y))
-BRO_BENCH_FORMAT(BM_BroHyb, kernels::native_spmv_bro_hyb(f.bro_hyb, f.x, y))
+  state.counters["GFlops"] = benchmark::Counter(
+      2.0 * static_cast<double>(f.matrix->nnz()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
 
 } // namespace
 
 int main(int argc, char** argv) {
-  // Two representative matrices: a Test Set 1 FEM matrix (all formats) and
-  // a Test Set 2 power-law matrix (HYB family only).
-  for (const char* m : {"cant", "epb3"}) {
-    benchmark::RegisterBenchmark((std::string("CSR/") + m).c_str(), BM_Csr, m);
-    benchmark::RegisterBenchmark((std::string("COO/") + m).c_str(), BM_Coo, m);
-    benchmark::RegisterBenchmark((std::string("ELL/") + m).c_str(), BM_Ell, m);
-    benchmark::RegisterBenchmark((std::string("ELLR/") + m).c_str(), BM_EllR, m);
-    benchmark::RegisterBenchmark((std::string("HYB/") + m).c_str(), BM_Hyb, m);
-    benchmark::RegisterBenchmark((std::string("BRO-ELL/") + m).c_str(),
-                                 BM_BroEll, m);
-    benchmark::RegisterBenchmark((std::string("BRO-COO/") + m).c_str(),
-                                 BM_BroCoo, m);
-    benchmark::RegisterBenchmark((std::string("BRO-HYB/") + m).c_str(),
-                                 BM_BroHyb, m);
-  }
-  for (const char* m : {"scircuit", "twotone"}) {
-    benchmark::RegisterBenchmark((std::string("CSR/") + m).c_str(), BM_Csr, m);
-    benchmark::RegisterBenchmark((std::string("COO/") + m).c_str(), BM_Coo, m);
-    benchmark::RegisterBenchmark((std::string("HYB/") + m).c_str(), BM_Hyb, m);
-    benchmark::RegisterBenchmark((std::string("BRO-COO/") + m).c_str(),
-                                 BM_BroCoo, m);
-    benchmark::RegisterBenchmark((std::string("BRO-HYB/") + m).c_str(),
-                                 BM_BroHyb, m);
+  // Two representative Test Set 1 FEM matrices (the whole format family is
+  // applicable) and two Test Set 2 power-law matrices (the ELLPACK family
+  // drops out via the registry's applicability predicate).
+  for (const std::string m : {"cant", "epb3", "scircuit", "twotone"}) {
+    const auto& csr = fixture(m).matrix->csr();
+    for (const auto& t : engine::format_registry()) {
+      if (!t.applicable(csr, 3.0)) continue;
+      benchmark::RegisterBenchmark((std::string(t.name) + "/" + m).c_str(),
+                                   BM_PlanExecute, m, t.format);
+    }
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

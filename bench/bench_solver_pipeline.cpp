@@ -5,6 +5,7 @@
 // actually cares about.
 #include "bench_common.h"
 
+#include "engine/plan.h"
 #include "solver/cg.h"
 #include "sparse/convert.h"
 #include "sparse/matgen/generators.h"
@@ -25,10 +26,8 @@ int main() {
   const std::size_t n = static_cast<std::size_t>(a.rows);
   std::vector<value_t> x_true(n, 1.0), b(n), x(n, 0.0);
   sparse::spmv_csr_reference(a, x_true, b);
-  const solver::Operator op = [&](std::span<const value_t> in,
-                                  std::span<value_t> out) {
-    sparse::spmv_csr_reference(a, in, out);
-  };
+  const solver::Operator op = engine::plan_operator(engine::make_shared_plan(
+      core::Matrix::from_csr(a), core::Format::kCsr));
   solver::SolveOptions sopts;
   sopts.max_iterations = 6000;
   const auto sres = solver::cg(op, b, x, sopts);

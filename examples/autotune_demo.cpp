@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "core/serialize.h"
-#include "kernels/autotune.h"
+#include "engine/autotune.h"
 #include "solver/bicgstab.h"
 #include "sparse/convert.h"
 #include "sparse/matgen/generators.h"
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   std::cout << "Best format per GPU (simulated):\n";
   Table t({"Device", "winner", "GFlop/s", "index savings"});
   for (const auto& dev : sim::all_devices()) {
-    const auto res = kernels::autotune(m, dev);
+    const auto res = engine::autotune(m, dev);
     const auto& best = res.ranking.front();
     t.add_row({dev.name, core::format_name(best.format),
                Table::fmt(best.gflops, 2), Table::pct(best.eta)});

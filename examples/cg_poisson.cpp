@@ -7,9 +7,11 @@
 // Run:  ./build/examples/cg_poisson [grid_side]
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "core/matrix.h"
+#include "engine/plan.h"
 #include "solver/cg.h"
 #include "sparse/matgen/generators.h"
 #include "util/timer.h"
@@ -19,16 +21,16 @@ int main(int argc, char** argv) {
 
   const index_t side = argc > 1 ? std::atoi(argv[1]) : 256;
   const sparse::Csr a_csr = sparse::generate_poisson2d(side, side);
-  const core::Matrix a = core::Matrix::from_csr(a_csr);
-  const std::size_t n = static_cast<std::size_t>(a.rows());
+  const auto a = std::make_shared<core::Matrix>(core::Matrix::from_csr(a_csr));
+  const std::size_t n = static_cast<std::size_t>(a->rows());
 
   std::cout << "2-D Poisson, " << side << " x " << side << " grid ("
-            << a.nnz() << " non-zeros)\n";
+            << a->nnz() << " non-zeros)\n";
 
   // Right-hand side for the known solution x* = 1.
   const std::vector<value_t> x_true(n, 1.0);
   std::vector<value_t> b(n);
-  a.spmv(x_true, b, core::Format::kCsr);
+  a->spmv(x_true, b, core::Format::kCsr);
 
   solver::SolveOptions opts;
   opts.max_iterations = 4000;
@@ -36,10 +38,10 @@ int main(int argc, char** argv) {
 
   const auto solve_with = [&](core::Format fmt, const char* label) {
     std::vector<value_t> x(n, 0.0);
-    const solver::Operator op = [&](std::span<const value_t> in,
-                                    std::span<value_t> out) {
-      a.spmv(in, out, fmt);
-    };
+    // One plan per format: conversion and workspace sizing happen here,
+    // so every CG iteration's apply is allocation-free.
+    const solver::Operator op =
+        engine::plan_operator(std::make_shared<engine::SpmvPlan>(a, fmt));
     Timer t;
     const auto res = solver::cg(op, b, x, opts);
     const double secs = t.seconds();
@@ -56,7 +58,7 @@ int main(int argc, char** argv) {
   const int it_csr = solve_with(core::Format::kCsr, "CSR reference");
   const int it_bro = solve_with(core::Format::kBroEll, "BRO-ELL      ");
 
-  const auto savings = a.savings();
+  const auto savings = a->savings();
   std::cout << "\nSame Krylov trajectory (" << it_csr << " vs " << it_bro
             << " iterations); BRO-ELL reads "
             << savings.compressed_bytes << " B of index data per SpMV instead "

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "core/matrix.h"
-#include "kernels/sim_spmv.h"
+#include "engine/format_registry.h"
 #include "sparse/convert.h"
 #include "sparse/matgen/suite.h"
 #include "sparse/mmio.h"
@@ -53,34 +53,20 @@ int main(int argc, char** argv) {
   std::vector<value_t> x(static_cast<std::size_t>(m.cols()));
   for (auto& v : x) v = rng.uniform();
 
+  // One row per registered tunable format, one column per paper GPU; the
+  // registry's tune hook runs the analytic simulator.
   Table t({"Format", "C2070 GFlop/s", "GTX680 GFlop/s", "K20 GFlop/s"});
-  const auto add = [&](const char* label, auto&& run) {
-    std::vector<std::string> row = {label};
-    for (const auto& dev : sim::all_devices())
-      row.push_back(Table::fmt(run(dev).time.gflops, 2));
+  for (const auto& tr : engine::format_registry()) {
+    if (!tr.tunable) continue;
+    std::vector<std::string> row = {tr.name};
+    if (tr.applicable(m.csr(), 3.0)) {
+      for (const auto& dev : sim::all_devices())
+        row.push_back(Table::fmt(tr.tune(dev, m, x).gflops, 2));
+    } else {
+      row.insert(row.end(), {"-", "-", "-"});
+    }
     t.add_row(std::move(row));
-  };
-
-  const sparse::Coo coo = m.coo();
-  add("COO", [&](const auto& d) { return kernels::sim_spmv_coo(d, coo, x); });
-  add("BRO-COO", [&](const auto& d) {
-    return kernels::sim_spmv_bro_coo(
-        d, core::BroCoo::compress(coo, kernels::bro_coo_options_for(coo.nnz(), d)),
-        x);
-  });
-  if (ell_viable) {
-    add("ELLPACK",
-        [&](const auto& d) { return kernels::sim_spmv_ell(d, m.ell(), x); });
-    add("ELLPACK-R",
-        [&](const auto& d) { return kernels::sim_spmv_ellr(d, m.ellr(), x); });
-    add("BRO-ELL", [&](const auto& d) {
-      return kernels::sim_spmv_bro_ell(d, m.bro_ell(), x);
-    });
   }
-  add("HYB", [&](const auto& d) { return kernels::sim_spmv_hyb(d, m.hyb(), x); });
-  add("BRO-HYB", [&](const auto& d) {
-    return kernels::sim_spmv_bro_hyb(d, m.bro_hyb(), x);
-  });
   t.print(std::cout);
 
   std::cout << "\n(Performance numbers are from the analytic GPU simulator "

@@ -2,13 +2,17 @@
 //
 //   1. Build (or load) a sparse matrix.
 //   2. Wrap it in bro::core::Matrix — the facade picks a BRO format.
-//   3. Run SpMV and inspect the compression the format achieved.
+//   3. Build an engine::SpmvPlan once, then execute it repeatedly —
+//      the plan owns every workspace, so the hot loop never allocates.
 //
 // Run:  ./build/examples/quickstart [matrix.mtx]
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "core/matrix.h"
+#include "engine/format_registry.h"
+#include "engine/plan.h"
 #include "sparse/matgen/generators.h"
 
 int main(int argc, char** argv) {
@@ -16,39 +20,49 @@ int main(int argc, char** argv) {
 
   // 1. A matrix: from a Matrix Market file if given, else a 2-D Poisson
   //    operator on a 512 x 512 grid (262k rows, ~1.3M non-zeros).
-  core::Matrix a = argc > 1
-                       ? core::Matrix::from_file(argv[1])
-                       : core::Matrix::from_csr(sparse::generate_poisson2d(512, 512));
+  auto a = std::make_shared<core::Matrix>(
+      argc > 1
+          ? core::Matrix::from_file(argv[1])
+          : core::Matrix::from_csr(sparse::generate_poisson2d(512, 512)));
 
-  const auto stats = a.stats();
-  std::cout << "Matrix: " << a.rows() << " x " << a.cols() << ", " << a.nnz()
-            << " non-zeros (mean row length " << stats.mean_row_length
-            << ", max " << stats.max_row_length << ")\n";
+  const auto stats = a->stats();
+  std::cout << "Matrix: " << a->rows() << " x " << a->cols() << ", "
+            << a->nnz() << " non-zeros (mean row length "
+            << stats.mean_row_length << ", max " << stats.max_row_length
+            << ")\n";
 
-  // 2. The facade auto-selects BRO-ELL for regular matrices and BRO-HYB for
-  //    matrices with wild row-length variance.
-  std::cout << "Auto-selected format: " << core::format_name(a.auto_format())
+  // 2. Every registered format is a candidate; the facade auto-selects
+  //    BRO-ELL for regular matrices and BRO-HYB for matrices with wild
+  //    row-length variance.
+  std::cout << "Registered formats:";
+  for (const auto& t : engine::format_registry())
+    std::cout << ' ' << t.name;
+  std::cout << "\nAuto-selected format: " << core::format_name(a->auto_format())
             << '\n';
 
-  // 3. y = A * x.
-  std::vector<value_t> x(static_cast<std::size_t>(a.cols()), 1.0);
-  std::vector<value_t> y(static_cast<std::size_t>(a.rows()));
-  a.spmv(x, y);
+  // 3. Build the plan once (format conversion + workspace sizing), then
+  //    y = A * x as often as needed with no per-call allocation.
+  engine::SpmvPlan plan(a); // default: the auto-selected format
+  std::vector<value_t> x(static_cast<std::size_t>(a->cols()), 1.0);
+  std::vector<value_t> y(static_cast<std::size_t>(a->rows()));
+  plan.execute(x, y);
 
   double checksum = 0;
   for (const value_t v : y) checksum += v;
   std::cout << "sum(A * 1) = " << checksum << '\n';
 
-  // Verify against the CSR reference.
+  // Verify against a CSR-reference plan.
+  engine::SpmvPlan reference(a, core::Format::kCsr);
   std::vector<value_t> y_ref(y.size());
-  a.spmv(x, y_ref, core::Format::kCsr);
+  reference.execute(x, y_ref);
   double max_err = 0;
   for (std::size_t i = 0; i < y.size(); ++i)
     max_err = std::max(max_err, std::abs(y[i] - y_ref[i]));
-  std::cout << "max |BRO - CSR| = " << max_err << '\n';
+  std::cout << "max |" << core::format_name(plan.format())
+            << " - CSR| = " << max_err << '\n';
 
   // 4. What did compression buy?
-  const auto savings = a.savings();
+  const auto savings = a->savings();
   std::cout << "Index data: " << savings.original_bytes << " B -> "
             << savings.compressed_bytes << " B  (space savings "
             << savings.eta() * 100 << "%, ratio " << savings.kappa()

@@ -1,28 +1,15 @@
 #include "core/matrix.h"
 
-#include <algorithm>
-#include <vector>
+#include <utility>
 
 #include "sparse/mmio.h"
-#include "sparse/spmv.h"
 #include "util/error.h"
 
-namespace bro::core {
+// format_name, auto_format, spmv and savings are defined in
+// src/engine/facade.cpp: they dispatch through the engine's format
+// registry, the library's single format-dispatch site.
 
-const char* format_name(Format f) {
-  switch (f) {
-    case Format::kCsr: return "CSR";
-    case Format::kCoo: return "COO";
-    case Format::kEll: return "ELLPACK";
-    case Format::kEllR: return "ELLPACK-R";
-    case Format::kHyb: return "HYB";
-    case Format::kBroEll: return "BRO-ELL";
-    case Format::kBroCoo: return "BRO-COO";
-    case Format::kBroHyb: return "BRO-HYB";
-    case Format::kBroCsr: return "BRO-CSR";
-  }
-  return "?";
-}
+namespace bro::core {
 
 Matrix::Matrix(sparse::Csr csr, MatrixOptions opts)
     : csr_(std::move(csr)), opts_(opts) {
@@ -39,70 +26,6 @@ Matrix Matrix::from_coo(const sparse::Coo& coo, MatrixOptions opts) {
 
 Matrix Matrix::from_file(const std::string& mtx_path, MatrixOptions opts) {
   return from_coo(sparse::read_matrix_market_file(mtx_path), opts);
-}
-
-Format Matrix::auto_format() const {
-  if (nnz() == 0) return Format::kCsr;
-  const double padded = static_cast<double>(csr_.rows) *
-                        static_cast<double>(csr_.max_row_length());
-  if (padded <= opts_.max_ell_expand * static_cast<double>(nnz()))
-    return Format::kBroEll;
-  return Format::kBroHyb;
-}
-
-void Matrix::spmv(std::span<const value_t> x, std::span<value_t> y) const {
-  spmv(x, y, auto_format());
-}
-
-void Matrix::spmv(std::span<const value_t> x, std::span<value_t> y,
-                  Format format) const {
-  BRO_CHECK(x.size() == static_cast<std::size_t>(cols()));
-  BRO_CHECK(y.size() == static_cast<std::size_t>(rows()));
-  switch (format) {
-    case Format::kCsr:
-      sparse::spmv_csr_reference(csr_, x, y);
-      return;
-    case Format::kCoo:
-      std::fill(y.begin(), y.end(), value_t{0});
-      sparse::spmv_coo_accumulate(coo(), x, y);
-      return;
-    case Format::kEll:
-      sparse::spmv_ell(ell(), x, y);
-      return;
-    case Format::kEllR:
-      sparse::spmv_ellr(ellr(), x, y);
-      return;
-    case Format::kHyb:
-      sparse::spmv_hyb(hyb(), x, y);
-      return;
-    case Format::kBroEll:
-      bro_ell().spmv(x, y);
-      return;
-    case Format::kBroCoo:
-      std::fill(y.begin(), y.end(), value_t{0});
-      bro_coo().spmv_accumulate(x, y);
-      return;
-    case Format::kBroHyb:
-      bro_hyb().spmv(x, y);
-      return;
-    case Format::kBroCsr:
-      bro_csr().spmv(x, y);
-      return;
-  }
-  BRO_CHECK_MSG(false, "unreachable format");
-}
-
-Savings Matrix::savings() const {
-  switch (auto_format()) {
-    case Format::kBroEll:
-      return make_savings(bro_ell().original_index_bytes(),
-                          bro_ell().compressed_index_bytes());
-    case Format::kBroHyb:
-      return make_savings(bro_hyb().original_index_bytes(),
-                          bro_hyb().compressed_index_bytes());
-    default:
-      return {};
-  }
 }
 
 const sparse::Ell& Matrix::ell() const {

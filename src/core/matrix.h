@@ -38,7 +38,10 @@ enum class Format {
   kBroCsr, // extension format (see core/bro_csr.h)
 };
 
-/// Human-readable format name ("BRO-ELL", ...).
+/// Human-readable format name ("BRO-ELL", ...). Backed by the engine's
+/// format registry (engine/format_registry.h), as are spmv dispatch and
+/// auto-selection below — linking against bro_engine is required to use
+/// the format-generic surface of this facade.
 const char* format_name(Format f);
 
 struct MatrixOptions {

@@ -1,0 +1,269 @@
+#include "engine/format_registry.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "core/serialize.h"
+#include "engine/plan.h"
+#include "kernels/native_spmv.h"
+#include "kernels/sim_spmv.h"
+#include "kernels/sim_spmv_ext.h"
+#include "sparse/spmv.h"
+#include "util/error.h"
+
+namespace bro::engine {
+
+namespace {
+
+using core::Format;
+using core::Matrix;
+using sim::DeviceSpec;
+
+bool always_applicable(const sparse::Csr&, double) { return true; }
+
+bool nonzero_applicable(const sparse::Csr& csr, double) {
+  return csr.nnz() > 0;
+}
+
+// The ELL-viability rule: padding to the longest row must not expand the
+// non-zero count by more than max_ell_expand.
+bool ell_applicable(const sparse::Csr& csr, double max_ell_expand) {
+  return csr.nnz() > 0 &&
+         static_cast<double>(csr.rows) *
+                 static_cast<double>(csr.max_row_length()) <=
+             max_ell_expand * static_cast<double>(csr.nnz());
+}
+
+core::Savings index_savings(std::size_t original, std::size_t compressed) {
+  return core::make_savings(original, compressed);
+}
+
+const std::vector<FormatTraits>& build_registry() {
+  static const std::vector<FormatTraits> registry = {
+      {Format::kCsr, "CSR", /*compressed=*/false, /*extension=*/false,
+       // The host CSR reference is the correctness baseline, not a GPU
+       // cocktail candidate (the CSR-scalar/vector simulator baselines live
+       // in bench_baselines_csr).
+       /*tunable=*/false, /*auto_priority=*/2, always_applicable,
+       /*build=*/nullptr,
+       [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
+         sparse::spmv_csr_reference(m.csr(), x, y);
+       },
+       [](const Matrix& m, Workspace&, std::span<const value_t> x,
+          std::span<value_t> y) { kernels::native_spmv_csr(m.csr(), x, y); },
+       /*tune=*/nullptr, /*savings=*/nullptr, /*serialize=*/nullptr},
+
+      {Format::kCoo, "COO", false, false, true, -1, always_applicable,
+       [](const Matrix& m, Workspace& ws) { ws.coo_ranges(m.coo()); },
+       [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
+         std::fill(y.begin(), y.end(), value_t{0});
+         sparse::spmv_coo_accumulate(m.coo(), x, y);
+       },
+       [](const Matrix& m, Workspace& ws, std::span<const value_t> x,
+          std::span<value_t> y) {
+         kernels::native_spmv_coo(m.coo(), ws.coo_ranges(m.coo()), x, y);
+       },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) -> TuneOutcome {
+         return {kernels::sim_spmv_coo(dev, m.coo(), x).time.gflops, 0.0};
+       },
+       nullptr, nullptr},
+
+      {Format::kEll, "ELLPACK", false, false, true, -1, ell_applicable,
+       [](const Matrix& m, Workspace&) { m.ell(); },
+       [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
+         sparse::spmv_ell(m.ell(), x, y);
+       },
+       [](const Matrix& m, Workspace&, std::span<const value_t> x,
+          std::span<value_t> y) { kernels::native_spmv_ell(m.ell(), x, y); },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) -> TuneOutcome {
+         return {kernels::sim_spmv_ell(dev, m.ell(), x).time.gflops, 0.0};
+       },
+       nullptr, nullptr},
+
+      {Format::kEllR, "ELLPACK-R", false, false, true, -1, ell_applicable,
+       [](const Matrix& m, Workspace&) { m.ellr(); },
+       [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
+         sparse::spmv_ellr(m.ellr(), x, y);
+       },
+       [](const Matrix& m, Workspace&, std::span<const value_t> x,
+          std::span<value_t> y) { kernels::native_spmv_ellr(m.ellr(), x, y); },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) -> TuneOutcome {
+         return {kernels::sim_spmv_ellr(dev, m.ellr(), x).time.gflops, 0.0};
+       },
+       nullptr, nullptr},
+
+      {Format::kHyb, "HYB", false, false, true, -1, always_applicable,
+       [](const Matrix& m, Workspace&) { m.hyb(); },
+       [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
+         sparse::spmv_hyb(m.hyb(), x, y);
+       },
+       [](const Matrix& m, Workspace&, std::span<const value_t> x,
+          std::span<value_t> y) { kernels::native_spmv_hyb(m.hyb(), x, y); },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) -> TuneOutcome {
+         return {kernels::sim_spmv_hyb(dev, m.hyb(), x).time.gflops, 0.0};
+       },
+       nullptr, nullptr},
+
+      {Format::kBroEll, "BRO-ELL", true, false, true, 0, ell_applicable,
+       [](const Matrix& m, Workspace&) { m.bro_ell(); },
+       [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
+         m.bro_ell().spmv(x, y);
+       },
+       [](const Matrix& m, Workspace&, std::span<const value_t> x,
+          std::span<value_t> y) {
+         kernels::native_spmv_bro_ell(m.bro_ell(), x, y);
+       },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) -> TuneOutcome {
+         const auto& bro = m.bro_ell();
+         return {kernels::sim_spmv_bro_ell(dev, bro, x).time.gflops,
+                 index_savings(bro.original_index_bytes(),
+                               bro.compressed_index_bytes())
+                     .eta()};
+       },
+       [](const Matrix& m) {
+         return index_savings(m.bro_ell().original_index_bytes(),
+                              m.bro_ell().compressed_index_bytes());
+       },
+       [](std::ostream& out, const Matrix& m) {
+         core::write_bro_ell(out, m.bro_ell());
+       }},
+
+      {Format::kBroCoo, "BRO-COO", true, false, true, -1, always_applicable,
+       [](const Matrix& m, Workspace& ws) {
+         ws.carries(m.bro_coo().intervals().size());
+       },
+       [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
+         std::fill(y.begin(), y.end(), value_t{0});
+         m.bro_coo().spmv_accumulate(x, y);
+       },
+       [](const Matrix& m, Workspace& ws, std::span<const value_t> x,
+          std::span<value_t> y) {
+         kernels::native_spmv_bro_coo(
+             m.bro_coo(), x, y, ws.carries(m.bro_coo().intervals().size()));
+       },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) -> TuneOutcome {
+         // Device-matched interval sizing (the COO kernel's launch rule).
+         const auto bro = core::BroCoo::compress(
+             m.coo(), kernels::bro_coo_options_for(m.nnz(), dev));
+         return {kernels::sim_spmv_bro_coo(dev, bro, x).time.gflops,
+                 index_savings(bro.original_row_bytes(),
+                               bro.compressed_row_bytes())
+                     .eta()};
+       },
+       [](const Matrix& m) {
+         return index_savings(m.bro_coo().original_row_bytes(),
+                              m.bro_coo().compressed_row_bytes());
+       },
+       [](std::ostream& out, const Matrix& m) {
+         core::write_bro_coo(out, m.bro_coo());
+       }},
+
+      {Format::kBroHyb, "BRO-HYB", true, false, true, 1, nonzero_applicable,
+       [](const Matrix& m, Workspace& ws) {
+         const auto& bro = m.bro_hyb();
+         if (bro.coo_part().nnz() > 0) {
+           ws.values(static_cast<std::size_t>(bro.rows()));
+           ws.carries(bro.coo_part().intervals().size());
+         }
+       },
+       [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
+         m.bro_hyb().spmv(x, y);
+       },
+       [](const Matrix& m, Workspace& ws, std::span<const value_t> x,
+          std::span<value_t> y) {
+         const auto& bro = m.bro_hyb();
+         kernels::native_spmv_bro_hyb(
+             bro, x, y, ws.values(y.size()),
+             ws.carries(bro.coo_part().intervals().size()));
+       },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) -> TuneOutcome {
+         // Identical partition to HYB (paper §4.2.3) with device-matched
+         // BRO-COO intervals for the overflow part.
+         const auto& hyb = m.hyb();
+         core::BroHybOptions ho;
+         ho.width_override = hyb.ell.width;
+         ho.coo = kernels::bro_coo_options_for(hyb.coo.nnz(), dev);
+         const auto bro = core::BroHyb::compress(m.csr(), ho);
+         return {kernels::sim_spmv_bro_hyb(dev, bro, x).time.gflops,
+                 index_savings(bro.original_index_bytes(),
+                               bro.compressed_index_bytes())
+                     .eta()};
+       },
+       [](const Matrix& m) {
+         return index_savings(m.bro_hyb().original_index_bytes(),
+                              m.bro_hyb().compressed_index_bytes());
+       },
+       [](std::ostream& out, const Matrix& m) {
+         core::write_bro_hyb(out, m.bro_hyb());
+       }},
+
+      {Format::kBroCsr, "BRO-CSR", true, /*extension=*/true, true, -1,
+       always_applicable,
+       [](const Matrix& m, Workspace&) { m.bro_csr(); },
+       [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
+         m.bro_csr().spmv(x, y);
+       },
+       // No OpenMP host kernel yet: the plan falls back to the sequential
+       // warp-scan decode.
+       /*native=*/nullptr,
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) -> TuneOutcome {
+         const auto& bro = m.bro_csr();
+         return {kernels::sim_spmv_bro_csr(dev, bro, x).time.gflops,
+                 index_savings(bro.original_index_bytes(),
+                               bro.compressed_index_bytes())
+                     .eta()};
+       },
+       [](const Matrix& m) {
+         return index_savings(m.bro_csr().original_index_bytes(),
+                              m.bro_csr().compressed_index_bytes());
+       },
+       [](std::ostream& out, const Matrix& m) {
+         core::write_bro_csr(out, m.bro_csr());
+       }},
+  };
+  return registry;
+}
+
+} // namespace
+
+const std::vector<FormatTraits>& format_registry() { return build_registry(); }
+
+const FormatTraits& traits(core::Format f) {
+  const auto& registry = format_registry();
+  const auto idx = static_cast<std::size_t>(f);
+  BRO_CHECK_MSG(idx < registry.size() && registry[idx].format == f,
+                "format not registered");
+  return registry[idx];
+}
+
+const FormatTraits* find_format(std::string_view name) {
+  for (const auto& t : format_registry())
+    if (name == t.name) return &t;
+  return nullptr;
+}
+
+std::vector<std::string> format_names() {
+  std::vector<std::string> names;
+  for (const auto& t : format_registry()) names.emplace_back(t.name);
+  return names;
+}
+
+core::Format auto_select(const sparse::Csr& csr, double max_ell_expand) {
+  const FormatTraits* best = nullptr;
+  for (const auto& t : format_registry()) {
+    if (t.auto_priority < 0 || !t.applicable(csr, max_ell_expand)) continue;
+    if (!best || t.auto_priority < best->auto_priority) best = &t;
+  }
+  BRO_CHECK_MSG(best != nullptr, "no applicable format registered");
+  return best->format;
+}
+
+} // namespace bro::engine

@@ -1,0 +1,92 @@
+// bro::engine format registry — the single format-dispatch site.
+//
+// Every storage format the library knows (the paper's formats, their
+// baselines and the extensions) registers one FormatTraits entry: its name,
+// applicability predicate (the ELL-viability rule), build / reference-apply /
+// native-kernel / simulator hooks and serialization. Everything that used to
+// switch over core::Format — format_name, name parsing, Matrix::spmv,
+// auto-selection, the autotuner's candidate enumeration, the CLI's --format
+// handling and the bench harness — iterates this table instead, so adding a
+// format is a one-entry change.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/savings.h"
+#include "gpusim/device.h"
+#include "util/types.h"
+
+namespace bro::engine {
+
+class Workspace; // plan.h
+
+/// What the simulator reports for one (format, device) tuning candidate:
+/// modelled throughput plus the index space savings of the device-tuned
+/// compressed object (0 for uncompressed formats).
+struct TuneOutcome {
+  double gflops = 0;
+  double eta = 0;
+};
+
+struct FormatTraits {
+  core::Format format;
+  const char* name;   // the canonical display/CLI name ("BRO-ELL", ...)
+  bool compressed;    // BRO family: reports nonzero index savings
+  bool extension;     // beyond the paper (gated by TuneOptions)
+  bool tunable;       // participates in the autotuner's cocktail ranking
+  int auto_priority;  // auto_format(): lowest applicable wins; <0 = never
+
+  /// Can this format hold the matrix without pathological expansion?
+  /// (ELLPACK family: rows * max_row_length <= max_ell_expand * nnz.)
+  bool (*applicable)(const sparse::Csr& csr, double max_ell_expand);
+
+  /// One-time plan step: materialize the representation in the facade's
+  /// cache and pre-size the workspace so execute() never allocates.
+  void (*build)(const core::Matrix& m, Workspace& ws);
+
+  /// Sequential reference kernel — what Matrix::spmv dispatches to.
+  void (*apply)(const core::Matrix& m, std::span<const value_t> x,
+                std::span<value_t> y);
+
+  /// OpenMP host kernel fed from the plan workspace (null: falls back to
+  /// apply — e.g. the sequential BRO-CSR extension).
+  void (*native)(const core::Matrix& m, Workspace& ws,
+                 std::span<const value_t> x, std::span<value_t> y);
+
+  /// Simulator run with device-matched compression options (null for
+  /// formats excluded from the cocktail, e.g. the CSR host reference).
+  TuneOutcome (*tune)(const sim::DeviceSpec& dev, const core::Matrix& m,
+                      std::span<const value_t> x);
+
+  /// Index space savings of the device-independent representation
+  /// (null for uncompressed formats).
+  core::Savings (*savings)(const core::Matrix& m);
+
+  /// Write the compressed representation as a tagged .bro stream
+  /// (null when the format has no on-disk form).
+  void (*serialize)(std::ostream& out, const core::Matrix& m);
+};
+
+/// The registered formats, in core::Format enumeration order.
+const std::vector<FormatTraits>& format_registry();
+
+/// Traits lookup by enum value.
+const FormatTraits& traits(core::Format f);
+
+/// Name -> traits lookup (exact match on the canonical name); null when the
+/// name is not registered.
+const FormatTraits* find_format(std::string_view name);
+
+/// All registered canonical names, in registry order.
+std::vector<std::string> format_names();
+
+/// The facade's auto-selection heuristic over the registry: the applicable
+/// format with the lowest non-negative auto_priority.
+core::Format auto_select(const sparse::Csr& csr, double max_ell_expand);
+
+} // namespace bro::engine

@@ -1,0 +1,82 @@
+#include "engine/plan.h"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "util/error.h"
+
+namespace bro::engine {
+
+namespace {
+
+int plan_thread_count() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+} // namespace
+
+std::span<value_t> Workspace::values(std::size_t n) {
+  if (values_.size() < n) {
+    values_.resize(n);
+    ++allocations_;
+  }
+  return {values_.data(), n};
+}
+
+std::span<kernels::BroCooCarry> Workspace::carries(std::size_t n) {
+  if (carries_.size() < n) {
+    carries_.resize(n);
+    ++allocations_;
+  }
+  return {carries_.data(), n};
+}
+
+std::span<const kernels::CooRange> Workspace::coo_ranges(
+    const sparse::Coo& a) {
+  if (ranges_for_ != &a) {
+    ranges_ = kernels::coo_thread_ranges(a, plan_thread_count());
+    ranges_for_ = &a;
+    ++allocations_;
+  }
+  return ranges_;
+}
+
+SpmvPlan::SpmvPlan(std::shared_ptr<const core::Matrix> matrix,
+                   std::optional<core::Format> format)
+    : matrix_(std::move(matrix)) {
+  BRO_CHECK_MSG(matrix_ != nullptr, "SpmvPlan requires a matrix");
+  traits_ = &traits(format.value_or(matrix_->auto_format()));
+  if (traits_->build) traits_->build(*matrix_, ws_);
+}
+
+void SpmvPlan::execute(std::span<const value_t> x, std::span<value_t> y) {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(cols()));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(rows()));
+  if (traits_->native)
+    traits_->native(*matrix_, ws_, x, y);
+  else
+    traits_->apply(*matrix_, x, y);
+}
+
+SpmvPlan make_plan(core::Matrix matrix, std::optional<core::Format> format) {
+  return SpmvPlan(std::make_shared<core::Matrix>(std::move(matrix)), format);
+}
+
+std::shared_ptr<SpmvPlan> make_shared_plan(core::Matrix matrix,
+                                           std::optional<core::Format> format) {
+  return std::make_shared<SpmvPlan>(
+      std::make_shared<core::Matrix>(std::move(matrix)), format);
+}
+
+solver::Operator plan_operator(std::shared_ptr<SpmvPlan> plan) {
+  return [plan](std::span<const value_t> x, std::span<value_t> y) {
+    plan->execute(x, y);
+  };
+}
+
+} // namespace bro::engine

@@ -1,0 +1,93 @@
+// bro::engine planned SpMV execution.
+//
+// The paper's deployment model (and SMASH/clSpMV's architecture) is a
+// one-time planning/indexing step feeding a cheap repeated-apply step:
+// compress once, then decode every CG/GMRES iteration. SpmvPlan is that
+// split made explicit. Building a plan materializes the chosen format and
+// pre-sizes every scratch buffer the native kernels need (the BRO-HYB y_coo
+// vector, the BRO-COO carry array, the COO per-thread row-range split);
+// execute() is then allocation-free, which an instrumented workspace
+// counter makes testable.
+//
+//   auto m = std::make_shared<core::Matrix>(core::Matrix::from_file(path));
+//   engine::SpmvPlan plan(m);            // auto-selected format
+//   plan.execute(x, y);                  // y = A*x, no per-call allocation
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/matrix.h"
+#include "engine/format_registry.h"
+#include "kernels/native_spmv.h"
+#include "solver/operator.h"
+
+namespace bro::engine {
+
+/// Pre-sized scratch owned by a plan. Each accessor grows its buffer only
+/// when the request exceeds the current size and counts every growth, so a
+/// test can assert that repeated execute() calls allocate nothing.
+class Workspace {
+ public:
+  /// Scratch vector of n values (BRO-HYB's y_coo).
+  std::span<value_t> values(std::size_t n);
+
+  /// BRO-COO carry scratch for n intervals.
+  std::span<kernels::BroCooCarry> carries(std::size_t n);
+
+  /// The COO row-range split for this matrix at the plan's thread count,
+  /// computed on first request and cached.
+  std::span<const kernels::CooRange> coo_ranges(const sparse::Coo& a);
+
+  /// Number of (re)allocations performed so far.
+  std::size_t allocations() const { return allocations_; }
+
+ private:
+  std::vector<value_t> values_;
+  std::vector<kernels::BroCooCarry> carries_;
+  std::vector<kernels::CooRange> ranges_;
+  const sparse::Coo* ranges_for_ = nullptr;
+  std::size_t allocations_ = 0;
+};
+
+/// A matrix bound to one format with everything needed to apply y = A*x
+/// repeatedly: the built representation (shared with the facade's cache)
+/// plus a pre-sized workspace. Built once per (matrix, format, thread
+/// count); execute() performs no per-call heap allocation.
+class SpmvPlan {
+ public:
+  explicit SpmvPlan(std::shared_ptr<const core::Matrix> matrix,
+                    std::optional<core::Format> format = std::nullopt);
+
+  core::Format format() const { return traits_->format; }
+  const FormatTraits& format_traits() const { return *traits_; }
+  const core::Matrix& matrix() const { return *matrix_; }
+  index_t rows() const { return matrix_->rows(); }
+  index_t cols() const { return matrix_->cols(); }
+
+  /// y = A * x through the plan's native kernel (or the sequential
+  /// reference for formats without one). Allocation-free after build.
+  void execute(std::span<const value_t> x, std::span<value_t> y);
+
+  /// Workspace growth counter — stable across execute() calls once built.
+  std::size_t workspace_allocations() const { return ws_.allocations(); }
+
+ private:
+  std::shared_ptr<const core::Matrix> matrix_;
+  const FormatTraits* traits_;
+  Workspace ws_;
+};
+
+/// Convenience: take ownership of a facade and plan it in one step.
+SpmvPlan make_plan(core::Matrix matrix,
+                   std::optional<core::Format> format = std::nullopt);
+std::shared_ptr<SpmvPlan> make_shared_plan(
+    core::Matrix matrix, std::optional<core::Format> format = std::nullopt);
+
+/// Wrap a plan as a solver::Operator so CG/BiCGSTAB/GMRES iterate through
+/// the planned, allocation-free apply path.
+solver::Operator plan_operator(std::shared_ptr<SpmvPlan> plan);
+
+} // namespace bro::engine

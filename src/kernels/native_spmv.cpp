@@ -13,6 +13,25 @@
 
 namespace bro::kernels {
 
+std::vector<CooRange> coo_thread_ranges(const sparse::Coo& a, int parts) {
+  std::vector<CooRange> ranges;
+  const std::size_t n = a.nnz();
+  if (n == 0 || parts < 1) return ranges;
+  const auto snap = [&](std::size_t i) {
+    while (i > 0 && i < n && a.row_idx[i] == a.row_idx[i - 1]) ++i;
+    return std::min(i, n);
+  };
+  ranges.reserve(static_cast<std::size_t>(parts));
+  for (int p = 0; p < parts; ++p) {
+    const std::size_t lo = snap(n * static_cast<std::size_t>(p) /
+                                static_cast<std::size_t>(parts));
+    const std::size_t hi = snap(n * (static_cast<std::size_t>(p) + 1) /
+                                static_cast<std::size_t>(parts));
+    if (lo < hi) ranges.push_back({lo, hi});
+  }
+  return ranges;
+}
+
 void native_spmv_csr(const sparse::Csr& a, std::span<const value_t> x,
                      std::span<value_t> y) {
   BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols));
@@ -90,6 +109,21 @@ void native_spmv_coo(const sparse::Coo& a, std::span<const value_t> x,
   }
 }
 
+void native_spmv_coo(const sparse::Coo& a, std::span<const CooRange> ranges,
+                     std::span<const value_t> x, std::span<value_t> y) {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+  std::fill(y.begin(), y.end(), value_t{0});
+  // Ranges are row-complete and disjoint, so chunks write race-free
+  // regardless of how many threads the runtime actually provides.
+#pragma omp parallel for schedule(static)
+  for (std::size_t p = 0; p < ranges.size(); ++p) {
+    for (std::size_t i = ranges[p].lo; i < ranges[p].hi; ++i)
+      y[static_cast<std::size_t>(a.row_idx[i])] +=
+          a.vals[i] * x[static_cast<std::size_t>(a.col_idx[i])];
+  }
+}
+
 void native_spmv_hyb(const sparse::Hyb& a, std::span<const value_t> x,
                      std::span<value_t> y) {
   native_spmv_ell(a.ell, x, y);
@@ -131,11 +165,19 @@ void native_spmv_bro_ell(const core::BroEll& a, std::span<const value_t> x,
 
 void native_spmv_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
                          std::span<value_t> y) {
+  std::vector<BroCooCarry> carries(a.intervals().size());
+  native_spmv_bro_coo(a, x, y, carries);
+}
+
+void native_spmv_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
+                         std::span<value_t> y,
+                         std::span<BroCooCarry> carries) {
   BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols()));
   BRO_CHECK(y.size() == static_cast<std::size_t>(a.rows()));
   std::fill(y.begin(), y.end(), value_t{0});
   const auto& intervals = a.intervals();
   if (intervals.empty()) return;
+  BRO_CHECK(carries.size() >= intervals.size());
 
   const int w = a.options().warp_size;
   const int cols = a.options().interval_cols;
@@ -145,17 +187,11 @@ void native_spmv_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
 
   // Interval-boundary rows may be shared with the neighbouring interval;
   // their partial sums go into per-interval carries, merged sequentially.
-  struct Carry {
-    index_t first_row = 0, last_row = 0;
-    value_t first_sum = 0, last_sum = 0;
-  };
-  std::vector<Carry> carries(intervals.size());
-
 #pragma omp parallel for schedule(dynamic, 4)
   for (std::size_t i = 0; i < intervals.size(); ++i) {
     const auto& iv = intervals[i];
     const std::size_t base = i * interval_size;
-    Carry carry;
+    BroCooCarry carry;
     carry.first_row = iv.start_row;
 
     // Decode lanes and accumulate. Lane j covers entries base + c*w + j.
@@ -214,7 +250,8 @@ void native_spmv_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
   }
 
   // Sequential carry resolution (tiny: two sums per interval).
-  for (const Carry& c : carries) {
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const BroCooCarry& c = carries[i];
     y[static_cast<std::size_t>(c.first_row)] += c.first_sum;
     if (c.last_row != c.first_row)
       y[static_cast<std::size_t>(c.last_row)] += c.last_sum;
@@ -223,10 +260,18 @@ void native_spmv_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
 
 void native_spmv_bro_hyb(const core::BroHyb& a, std::span<const value_t> x,
                          std::span<value_t> y) {
+  std::vector<value_t> y_coo(y.size());
+  std::vector<BroCooCarry> carries(a.coo_part().intervals().size());
+  native_spmv_bro_hyb(a, x, y, y_coo, carries);
+}
+
+void native_spmv_bro_hyb(const core::BroHyb& a, std::span<const value_t> x,
+                         std::span<value_t> y, std::span<value_t> y_coo,
+                         std::span<BroCooCarry> carries) {
   native_spmv_bro_ell(a.ell_part(), x, y);
   if (a.coo_part().nnz() > 0) {
-    std::vector<value_t> y_coo(y.size(), value_t{0});
-    native_spmv_bro_coo(a.coo_part(), x, y_coo);
+    BRO_CHECK(y_coo.size() >= y.size());
+    native_spmv_bro_coo(a.coo_part(), x, y_coo.first(y.size()), carries);
     for (std::size_t i = 0; i < y.size(); ++i) y[i] += y_coo[i];
   }
 }

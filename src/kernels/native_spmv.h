@@ -15,6 +15,25 @@
 
 namespace bro::kernels {
 
+/// One row-complete [lo, hi) chunk of a row-sorted COO entry stream.
+struct CooRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+};
+
+/// Split a row-sorted COO entry stream into up to `parts` row-complete,
+/// disjoint ranges (balanced on entry count, boundaries snapped forward to
+/// row changes). Computed once per plan; ranges stay valid as long as the
+/// matrix structure does.
+std::vector<CooRange> coo_thread_ranges(const sparse::Coo& a, int parts);
+
+/// Per-interval partial sums for the rows a BRO-COO interval shares with its
+/// neighbours; sized to intervals().size() and merged sequentially.
+struct BroCooCarry {
+  index_t first_row = 0, last_row = 0;
+  value_t first_sum = 0, last_sum = 0;
+};
+
 void native_spmv_csr(const sparse::Csr& a, std::span<const value_t> x,
                      std::span<value_t> y);
 
@@ -29,6 +48,11 @@ void native_spmv_ellr(const sparse::EllR& a, std::span<const value_t> x,
 void native_spmv_coo(const sparse::Coo& a, std::span<const value_t> x,
                      std::span<value_t> y);
 
+/// COO over pre-computed row-complete ranges (see coo_thread_ranges): the
+/// allocation-free plan path — the split is not recomputed per call.
+void native_spmv_coo(const sparse::Coo& a, std::span<const CooRange> ranges,
+                     std::span<const value_t> x, std::span<value_t> y);
+
 void native_spmv_hyb(const sparse::Hyb& a, std::span<const value_t> x,
                      std::span<value_t> y);
 
@@ -38,7 +62,19 @@ void native_spmv_bro_ell(const core::BroEll& a, std::span<const value_t> x,
 void native_spmv_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
                          std::span<value_t> y);
 
+/// BRO-COO with caller-owned carry scratch (>= a.intervals().size() entries):
+/// the allocation-free plan path.
+void native_spmv_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
+                         std::span<value_t> y, std::span<BroCooCarry> carries);
+
 void native_spmv_bro_hyb(const core::BroHyb& a, std::span<const value_t> x,
                          std::span<value_t> y);
+
+/// BRO-HYB with caller-owned scratch: y_coo (>= y.size()) holds the COO
+/// half's partial result, carries covers the COO half's intervals. The
+/// allocation-free plan path — nothing is heap-allocated per apply.
+void native_spmv_bro_hyb(const core::BroHyb& a, std::span<const value_t> x,
+                         std::span<value_t> y, std::span<value_t> y_coo,
+                         std::span<BroCooCarry> carries);
 
 } // namespace bro::kernels

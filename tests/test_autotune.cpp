@@ -4,11 +4,11 @@
 
 #include <set>
 
-#include "kernels/autotune.h"
+#include "engine/autotune.h"
 #include "sparse/matgen/generators.h"
 #include "sparse/matgen/suite.h"
 
-namespace bk = bro::kernels;
+namespace bk = bro::engine;
 namespace bc = bro::core;
 namespace bs = bro::sparse;
 namespace gs = bro::sim;
@@ -19,8 +19,9 @@ TEST(Autotune, RankingIsSortedAndComplete) {
   const auto res = bk::autotune(csr, gs::tesla_k20());
   ASSERT_GE(res.ranking.size(), 7u);
   for (std::size_t i = 1; i < res.ranking.size(); ++i) {
-    if (res.ranking[i].applicable)
+    if (res.ranking[i].applicable) {
       EXPECT_LE(res.ranking[i].gflops, res.ranking[i - 1].gflops);
+    }
   }
   // Every format appears exactly once.
   std::set<bc::Format> seen;
@@ -71,20 +72,16 @@ TEST(Autotune, CompressedFormatsReportSavings) {
   const bs::Csr csr = bs::generate_poisson2d(50, 50);
   const auto res = bk::autotune(csr, gs::tesla_c2070());
   for (const auto& e : res.ranking) {
-    switch (e.format) {
-      case bc::Format::kBroEll:
-      case bc::Format::kBroHyb:
-      case bc::Format::kBroCsr:
-        if (e.applicable) EXPECT_GT(e.eta, 0.0) << bc::format_name(e.format);
-        break;
-      case bc::Format::kBroCoo:
-        // BRO-COO pads the nnz stream to whole intervals, which can exceed
-        // the bit savings on tiny matrices; the accounting must still be
-        // sane (bounded, not wildly negative).
-        EXPECT_GT(e.eta, -0.5);
-        break;
-      default:
-        EXPECT_DOUBLE_EQ(e.eta, 0.0);
+    const auto& t = bk::traits(e.format);
+    if (!t.compressed) {
+      EXPECT_DOUBLE_EQ(e.eta, 0.0) << t.name;
+    } else if (e.format == bc::Format::kBroCoo) {
+      // BRO-COO pads the nnz stream to whole intervals, which can exceed
+      // the bit savings on tiny matrices; the accounting must still be
+      // sane (bounded, not wildly negative).
+      EXPECT_GT(e.eta, -0.5);
+    } else if (e.applicable) {
+      EXPECT_GT(e.eta, 0.0) << t.name;
     }
   }
 }

@@ -1,0 +1,178 @@
+// Engine tests: the format registry (completeness, lookup, auto-selection)
+// and the plan/execute split (correctness per format, allocation-free
+// repeated apply, solver integration).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/matrix.h"
+#include "engine/format_registry.h"
+#include "engine/plan.h"
+#include "solver/cg.h"
+#include "sparse/matgen/generators.h"
+#include "util/rng.h"
+
+namespace bc = bro::core;
+namespace be = bro::engine;
+namespace bs = bro::sparse;
+using bro::index_t;
+using bro::value_t;
+
+namespace {
+
+// A matrix with a few very long rows: not ELL-viable, and its BRO-HYB form
+// has a non-empty COO overflow part, which exercises every plan workspace.
+bs::Csr spiked_matrix() {
+  bs::GenSpec spec;
+  spec.rows = 800;
+  spec.cols = 800;
+  spec.mu = 5;
+  spec.sigma = 2;
+  spec.spike_rows = 3;
+  spec.spike_len = 600;
+  spec.seed = 17;
+  return bs::generate(spec);
+}
+
+std::vector<value_t> reference_y(const bs::Csr& csr,
+                                 const std::vector<value_t>& x) {
+  std::vector<value_t> y(static_cast<std::size_t>(csr.rows));
+  bs::spmv_csr_reference(csr, x, y);
+  return y;
+}
+
+std::vector<value_t> random_x(index_t cols, std::uint64_t seed) {
+  bro::Rng rng(seed);
+  std::vector<value_t> x(static_cast<std::size_t>(cols));
+  for (auto& v : x) v = rng.uniform() * 2 - 1;
+  return x;
+}
+
+} // namespace
+
+TEST(FormatRegistry, CoversEveryFormatInEnumOrder) {
+  const auto& reg = be::format_registry();
+  ASSERT_EQ(reg.size(), 9u);
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(reg[i].format), i);
+    EXPECT_TRUE(names.insert(reg[i].name).second)
+        << "duplicate name " << reg[i].name;
+    // Every entry must be able to hold a matrix and apply it.
+    EXPECT_NE(reg[i].applicable, nullptr);
+    EXPECT_NE(reg[i].apply, nullptr);
+  }
+}
+
+TEST(FormatRegistry, TraitsAndNameLookupRoundTrip) {
+  for (const auto& t : be::format_registry()) {
+    EXPECT_EQ(&be::traits(t.format), &t);
+    EXPECT_EQ(be::find_format(t.name), &t);
+    EXPECT_STREQ(bc::format_name(t.format), t.name);
+  }
+  EXPECT_EQ(be::find_format("NO-SUCH-FORMAT"), nullptr);
+  EXPECT_EQ(be::find_format(""), nullptr);
+  EXPECT_EQ(be::format_names().size(), be::format_registry().size());
+}
+
+TEST(FormatRegistry, AutoSelectMatchesPaperHeuristic) {
+  // Regular rows: BRO-ELL. Wild row-length variance: BRO-HYB.
+  EXPECT_EQ(be::auto_select(bs::generate_poisson2d(30, 30), 3.0),
+            bc::Format::kBroEll);
+  EXPECT_EQ(be::auto_select(spiked_matrix(), 3.0), bc::Format::kBroHyb);
+
+  // Empty matrix: nothing to compress; the CSR reference holds it.
+  bs::Csr empty;
+  empty.rows = 4;
+  empty.cols = 4;
+  empty.row_ptr.assign(5, 0);
+  EXPECT_EQ(be::auto_select(empty, 3.0), bc::Format::kCsr);
+
+  // The facade delegates to the same selection.
+  EXPECT_EQ(bc::Matrix::from_csr(bs::generate_poisson2d(30, 30)).auto_format(),
+            bc::Format::kBroEll);
+}
+
+TEST(SpmvPlan, EveryFormatMatchesCsrReference) {
+  const bs::Csr csr = spiked_matrix();
+  const auto x = random_x(csr.cols, 5);
+  const auto y_ref = reference_y(csr, x);
+  const auto m = std::make_shared<bc::Matrix>(bc::Matrix::from_csr(csr));
+
+  for (const auto& t : be::format_registry()) {
+    // The spiked matrix is not ELL-viable; padding it would expand nnz by
+    // ~100x, so skip formats whose predicate rejects it.
+    if (!t.applicable(csr, 3.0)) continue;
+    be::SpmvPlan plan(m, t.format);
+    EXPECT_EQ(plan.format(), t.format);
+    EXPECT_EQ(&plan.format_traits(), &t);
+    std::vector<value_t> y(y_ref.size(), -7.0);
+    plan.execute(x, y);
+    for (std::size_t r = 0; r < y.size(); ++r)
+      ASSERT_NEAR(y[r], y_ref[r], 1e-11 * (1.0 + std::abs(y_ref[r])))
+          << t.name << " row " << r;
+  }
+}
+
+TEST(SpmvPlan, RepeatedExecuteDoesNotAllocate) {
+  const bs::Csr csr = spiked_matrix();
+  const auto x = random_x(csr.cols, 6);
+  const auto m = std::make_shared<bc::Matrix>(bc::Matrix::from_csr(csr));
+  std::vector<value_t> y(static_cast<std::size_t>(csr.rows));
+
+  for (const auto& t : be::format_registry()) {
+    if (!t.applicable(csr, 3.0)) continue;
+    be::SpmvPlan plan(m, t.format);
+    // Construction pre-sizes every workspace the kernel will request.
+    const std::size_t after_build = plan.workspace_allocations();
+    for (int i = 0; i < 5; ++i) plan.execute(x, y);
+    EXPECT_EQ(plan.workspace_allocations(), after_build)
+        << t.name << ": execute() grew a plan workspace";
+  }
+}
+
+TEST(SpmvPlan, AutoFormatAndConvenienceBuilders) {
+  const bs::Csr csr = bs::generate_poisson2d(25, 25);
+  const auto x = random_x(csr.cols, 7);
+  const auto y_ref = reference_y(csr, x);
+
+  be::SpmvPlan plan = be::make_plan(bc::Matrix::from_csr(csr));
+  EXPECT_EQ(plan.format(), bc::Format::kBroEll); // the auto-selection
+  EXPECT_EQ(plan.rows(), csr.rows);
+  EXPECT_EQ(plan.cols(), csr.cols);
+
+  std::vector<value_t> y(y_ref.size());
+  plan.execute(x, y);
+  for (std::size_t r = 0; r < y.size(); ++r)
+    ASSERT_NEAR(y[r], y_ref[r], 1e-11 * (1.0 + std::abs(y_ref[r])));
+
+  const auto shared = be::make_shared_plan(bc::Matrix::from_csr(csr),
+                                           bc::Format::kCoo);
+  EXPECT_EQ(shared->format(), bc::Format::kCoo);
+}
+
+TEST(SpmvPlan, OperatorDrivesCgToConvergence) {
+  const bs::Csr a = bs::generate_poisson2d(20, 20);
+  const std::size_t n = static_cast<std::size_t>(a.rows);
+  const std::vector<value_t> x_true(n, 1.0);
+  const auto b = reference_y(a, x_true);
+
+  const bro::solver::Operator op =
+      be::plan_operator(be::make_shared_plan(bc::Matrix::from_csr(a)));
+  std::vector<value_t> x(n, 0.0);
+  const auto res = bro::solver::cg(op, b, x);
+  EXPECT_TRUE(res.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], 1.0, 1e-6);
+}
+
+TEST(SpmvPlan, ChecksOperandSizes) {
+  const auto m = std::make_shared<bc::Matrix>(
+      bc::Matrix::from_csr(bs::generate_poisson2d(8, 8)));
+  be::SpmvPlan plan(m, bc::Format::kCsr);
+  std::vector<value_t> x(static_cast<std::size_t>(m->cols()));
+  std::vector<value_t> y_short(static_cast<std::size_t>(m->rows()) - 1);
+  EXPECT_THROW(plan.execute(x, y_short), std::exception);
+}

@@ -2,9 +2,11 @@
 // systems, through both the CSR reference operator and the BRO formats.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "core/matrix.h"
+#include "engine/plan.h"
 #include "solver/bicgstab.h"
 #include "solver/cg.h"
 #include "solver/gmres.h"
@@ -145,10 +147,11 @@ TEST(SolverGmres, RestartSmallerThanProblemStillConverges) {
 TEST(SolverCg, WorksThroughBroEllOperator) {
   // The paper's use case: the SpMV inside CG served by the compressed format.
   const bs::Csr a = bs::generate_poisson2d(20, 20);
-  const auto m = bc::Matrix::from_csr(a);
-  ASSERT_EQ(m.auto_format(), bc::Format::kBroEll);
-  const sv::Operator op = [&m](std::span<const value_t> x,
-                               std::span<value_t> y) { m.spmv(x, y); };
+  const auto m = std::make_shared<bc::Matrix>(bc::Matrix::from_csr(a));
+  ASSERT_EQ(m->auto_format(), bc::Format::kBroEll);
+  const auto plan = std::make_shared<bro::engine::SpmvPlan>(m);
+  ASSERT_EQ(plan->format(), bc::Format::kBroEll);
+  const sv::Operator op = bro::engine::plan_operator(plan);
   const auto x_true = ones(static_cast<std::size_t>(a.rows));
   const auto b = make_rhs(a, x_true);
   std::vector<value_t> x(b.size(), 0.0);

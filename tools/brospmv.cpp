@@ -1,21 +1,28 @@
 // brospmv — command-line front end to the library.
 //
 //   brospmv info <matrix>                     matrix statistics
-//   brospmv compress <matrix> <out.bro>       offline BRO-HYB compression
+//   brospmv formats                           list registered formats
+//   brospmv compress <matrix> <out.bro>       offline compression (--format)
 //   brospmv spmv <matrix|.bro> [--format F]   y = A*1, checksum + timing
 //   brospmv tune <matrix> [--device D]        simulated format ranking
 //   brospmv bench <matrix> [--device D]       per-format simulated GFlop/s
 //
 // <matrix> is a Matrix Market file, a named suite matrix (with optional
 // --scale, default 0.125), or a .bro file where noted. --device is one of
-// c2070 / gtx680 / k20 (default k20).
+// c2070 / gtx680 / k20 (default k20). --format takes any name printed by
+// `brospmv formats`; unknown names are a hard error.
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/matrix.h"
 #include "core/serialize.h"
-#include "kernels/autotune.h"
+#include "engine/autotune.h"
+#include "engine/format_registry.h"
+#include "engine/plan.h"
 #include "sparse/convert.h"
 #include "sparse/matgen/suite.h"
 #include "sparse/mmio.h"
@@ -31,14 +38,34 @@ int usage() {
   std::cerr
       << "usage: brospmv <command> [args]\n"
          "  info <matrix>                      matrix statistics\n"
-         "  compress <matrix> <out.bro>        offline BRO-HYB compression\n"
+         "  formats                            list registered formats\n"
+         "  compress <matrix> <out.bro>        offline compression "
+         "(--format F, default BRO-HYB)\n"
          "  spmv <matrix|.bro> [--format F]    run y = A*1 and report\n"
          "  tune <matrix> [--device D]         simulated format ranking\n"
          "  bench <matrix> [--device D]        per-format simulated GFlop/s\n"
          "matrix: a .mtx path or a suite name (cant, pwtk, ...);\n"
          "options: --scale S (suite matrices, default 0.125),\n"
-         "         --device c2070|gtx680|k20 (default k20)\n";
+         "         --device c2070|gtx680|k20 (default k20),\n"
+         "         --format <name from `brospmv formats`>\n";
   return 2;
+}
+
+std::string registered_names() {
+  std::string out;
+  for (const auto& n : engine::format_names()) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+/// Registry lookup for --format; unknown names are a hard error that lists
+/// every registered name.
+const engine::FormatTraits& parse_format(const std::string& name) {
+  if (const auto* t = engine::find_format(name)) return *t;
+  throw std::runtime_error("unknown --format '" + name +
+                           "' (registered: " + registered_names() + ")");
 }
 
 sparse::Csr load_matrix(const std::string& name, const Args& args) {
@@ -73,19 +100,28 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
+int cmd_formats() {
+  for (const auto& t : engine::format_registry()) std::cout << t.name << '\n';
+  return 0;
+}
+
 int cmd_compress(const Args& args) {
   const sparse::Csr m = load_matrix(args.positional().at(1), args);
-  const std::string out = args.positional().at(2);
-  Timer t;
-  const auto bro = core::BroHyb::compress(m);
-  core::save_bro_hyb(out, bro);
-  std::cout << "compressed " << m.nnz() << " non-zeros in " << t.seconds()
-            << " s\nindex data " << bro.original_index_bytes() << " B -> "
-            << bro.compressed_index_bytes() << " B ("
-            << (1.0 - double(bro.compressed_index_bytes()) /
-                          double(bro.original_index_bytes())) *
-                   100
-            << "% saved)\nwrote " << out << '\n';
+  const std::string out_path = args.positional().at(2);
+  const auto& t = parse_format(args.get("format", "BRO-HYB"));
+  if (!t.serialize)
+    throw std::runtime_error(std::string(t.name) +
+                             " has no serialized form (use a BRO format)");
+  const auto mat = core::Matrix::from_csr(m);
+  Timer timer;
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + out_path);
+  t.serialize(out, mat);
+  const auto s = t.savings ? t.savings(mat) : core::Savings{};
+  std::cout << "compressed " << m.nnz() << " non-zeros to " << t.name
+            << " in " << timer.seconds() << " s\nindex data "
+            << s.original_bytes << " B -> " << s.compressed_bytes << " B ("
+            << s.eta() * 100 << "% saved)\nwrote " << out_path << '\n';
   return 0;
 }
 
@@ -106,31 +142,22 @@ int cmd_spmv(const Args& args) {
     nnz = bro.total_nnz();
     format = "BRO-HYB (from file)";
   } else {
-    const auto m = core::Matrix::from_csr(load_matrix(src, args));
-    const std::string fname = args.get("format", "");
-    core::Format f = m.auto_format();
-    if (!fname.empty()) {
-      bool found = false;
-      for (const auto cand :
-           {core::Format::kCsr, core::Format::kCoo, core::Format::kEll,
-            core::Format::kEllR, core::Format::kHyb, core::Format::kBroEll,
-            core::Format::kBroCoo, core::Format::kBroHyb,
-            core::Format::kBroCsr}) {
-        if (fname == core::format_name(cand)) {
-          f = cand;
-          found = true;
-        }
-      }
-      if (!found)
-        throw std::runtime_error("unknown --format '" + fname + '\'');
-    }
-    std::vector<value_t> x(static_cast<std::size_t>(m.cols()), 1.0);
-    y.resize(static_cast<std::size_t>(m.rows()));
+    auto m = std::make_shared<core::Matrix>(
+        core::Matrix::from_csr(load_matrix(src, args)));
+    const core::Format f = args.has("format")
+                               ? parse_format(args.get("format", "")).format
+                               : m->auto_format();
+    Timer build_timer;
+    engine::SpmvPlan plan(m, f);
+    const double build_secs = build_timer.seconds();
+    std::vector<value_t> x(static_cast<std::size_t>(m->cols()), 1.0);
+    y.resize(static_cast<std::size_t>(m->rows()));
     Timer t;
-    m.spmv(x, y, f);
+    plan.execute(x, y);
     secs = t.seconds();
-    nnz = m.nnz();
+    nnz = m->nnz();
     format = core::format_name(f);
+    std::cout << "plan      built in " << build_secs << " s\n";
   }
 
   double checksum = 0;
@@ -146,7 +173,7 @@ int cmd_spmv(const Args& args) {
 int cmd_tune(const Args& args) {
   const sparse::Csr m = load_matrix(args.positional().at(1), args);
   const auto dev = device_from(args);
-  const auto res = kernels::autotune(m, dev);
+  const auto res = engine::autotune(m, dev);
   std::cout << "Simulated ranking on " << dev.name << ":\n";
   Table t({"Format", "GFlop/s", "index savings", "applicable"});
   for (const auto& e : res.ranking)
@@ -160,14 +187,14 @@ int cmd_tune(const Args& args) {
 
 int cmd_bench(const Args& args) {
   // Equivalent to tune but over all three devices, one column each.
-  const sparse::Csr m = load_matrix(args.positional().at(1), args);
+  const auto m = core::Matrix::from_csr(
+      load_matrix(args.positional().at(1), args));
   Table t({"Format", "C2070", "GTX680", "K20"});
-  std::vector<std::vector<std::string>> rows;
   bool first = true;
   std::vector<std::string> names;
   std::map<std::string, std::vector<std::string>> cells;
   for (const auto& dev : sim::all_devices()) {
-    const auto res = kernels::autotune(m, dev);
+    const auto res = engine::autotune(m, dev);
     for (const auto& e : res.ranking) {
       const std::string n = core::format_name(e.format);
       if (first) names.push_back(n);
@@ -195,6 +222,8 @@ int main(int argc, char** argv) {
     if (args.positional().empty()) return usage();
     const std::string cmd = args.positional().front();
     if (cmd == "info" && args.positional().size() == 2) return cmd_info(args);
+    if (cmd == "formats" && args.positional().size() == 1)
+      return cmd_formats();
     if (cmd == "compress" && args.positional().size() == 3)
       return cmd_compress(args);
     if (cmd == "spmv" && args.positional().size() == 2) return cmd_spmv(args);

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Drives the brospmv CLI across every registered format:
+#   1. `tune` must rank formats on a suite matrix,
+#   2. `spmv --format F` must run for each name printed by `formats`,
+#   3. an unknown --format must be a hard error listing registered names.
+# Usage: check_format_registry.sh /path/to/brospmv
+set -eu
+
+BROSPMV=${1:?usage: check_format_registry.sh /path/to/brospmv}
+MATRIX=cant   # ELL-viable, so the whole ELLPACK family is applicable
+SCALE=0.03125
+
+echo "== tune =="
+"$BROSPMV" tune "$MATRIX" --scale "$SCALE"
+
+FORMATS=$("$BROSPMV" formats)
+[ -n "$FORMATS" ] || { echo "FAIL: 'brospmv formats' printed nothing"; exit 1; }
+
+for f in $FORMATS; do
+  echo "== spmv --format $f =="
+  "$BROSPMV" spmv "$MATRIX" --scale "$SCALE" --format "$f"
+done
+
+echo "== unknown format must fail =="
+if "$BROSPMV" spmv "$MATRIX" --scale "$SCALE" --format NO-SUCH-FORMAT \
+    2>err.txt; then
+  echo "FAIL: unknown --format was accepted"
+  exit 1
+fi
+grep -q "unknown --format" err.txt
+grep -q "BRO-HYB" err.txt   # the error must list registered names
+rm -f err.txt
+
+echo "check_format_registry: OK ($(echo "$FORMATS" | wc -l) formats)"
