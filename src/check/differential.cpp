@@ -1,0 +1,215 @@
+#include "check/differential.h"
+
+#include <cmath>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "engine/plan.h"
+#include "sparse/matgen/adversarial.h"
+#include "sparse/matgen/generators.h"
+#include "util/rng.h"
+
+namespace bro::check {
+
+namespace {
+
+/// Element-wise comparison against the reference with the mixed
+/// absolute/relative tolerance |y - ref| <= eps * (1 + |ref|).
+bool matches_reference(std::span<const value_t> y,
+                       std::span<const value_t> ref, double eps,
+                       std::string& message) {
+  if (y.size() != ref.size()) {
+    std::ostringstream os;
+    os << "result has " << y.size() << " entries, reference has "
+       << ref.size();
+    message = os.str();
+    return false;
+  }
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const double err = std::abs(y[i] - ref[i]);
+    if (!(err <= eps * (1.0 + std::abs(ref[i])))) {
+      std::ostringstream os;
+      os << "y[" << i << "] = " << y[i] << " vs reference " << ref[i]
+         << " (|diff| = " << err << ", tol = "
+         << eps * (1.0 + std::abs(ref[i])) << ")";
+      message = os.str();
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One seeded random matrix per round: shape, row-length distribution and
+/// column structure all drawn from the round's RNG so every corner of the
+/// generator space eventually appears.
+sparse::Csr random_matrix(Rng& rng, std::string& name) {
+  sparse::GenSpec spec;
+  spec.seed = rng.next();
+  spec.rows = static_cast<index_t>(rng.range(1, 1500));
+  spec.cols = static_cast<index_t>(rng.range(1, 3000));
+  const int dist = static_cast<int>(rng.below(4));
+  spec.len_dist = static_cast<sparse::LenDist>(dist);
+  spec.mu = 1.0 + rng.uniform() * 24.0;
+  spec.sigma = rng.uniform() * spec.mu;
+  spec.min_len = rng.below(3) == 0 ? 0 : 1; // sometimes allow empty rows
+  spec.len_corr = static_cast<index_t>(rng.below(64));
+  spec.local_prob = rng.uniform();
+  spec.band_frac = 0.005 + rng.uniform() * 0.2;
+  spec.run = 1 + static_cast<int>(rng.below(4));
+  spec.aligned_blocks = rng.below(4) == 0;
+  spec.block_jitter = rng.uniform();
+  if (rng.below(5) == 0) {
+    spec.spike_rows = static_cast<index_t>(rng.below(4)) + 1;
+    spec.spike_len =
+        static_cast<index_t>(rng.below(static_cast<std::uint64_t>(
+            std::max<index_t>(spec.cols / 2, 1)))) +
+        1;
+  }
+
+  static const char* kDistNames[] = {"const", "normal", "lognormal",
+                                     "pareto"};
+  std::ostringstream os;
+  os << spec.rows << "x" << spec.cols << "-" << kDistNames[dist] << "-mu"
+     << static_cast<int>(spec.mu);
+  name = os.str();
+  return sparse::generate(spec);
+}
+
+class Driver {
+ public:
+  Driver(const FuzzOptions& opts, std::ostream* log)
+      : opts_(opts), log_(log) {}
+
+  FuzzReport run() {
+    Rng rng(opts_.seed);
+
+    for (auto& c : sparse::adversarial_suite(opts_.seed))
+      sweep("adversarial:" + c.name, std::move(c.csr), rng.next());
+    for (auto& c : sparse::adversarial_huge_cases(opts_.seed))
+      sweep("adversarial:" + c.name, std::move(c.csr), rng.next());
+
+    for (int round = 0; round < opts_.rounds; ++round) {
+      std::string name;
+      sparse::Csr csr = random_matrix(rng, name);
+      std::ostringstream os;
+      os << "round-" << round << ":" << name;
+      sweep(os.str(), std::move(csr), rng.next());
+    }
+    return std::move(report_);
+  }
+
+ private:
+  void fail(const std::string& matrix, const char* format, const char* path,
+            std::string message) {
+    if (log_)
+      *log_ << "FAIL " << matrix << " [" << format << "/" << path << "] "
+            << message << "\n";
+    report_.failures.push_back({matrix, format, path, std::move(message)});
+  }
+
+  void sweep(const std::string& name, sparse::Csr csr,
+             std::uint64_t x_seed) {
+    ++report_.matrices;
+    const bool spmv_safe =
+        csr.rows <= opts_.max_spmv_dim && csr.cols <= opts_.max_spmv_dim;
+
+    auto matrix = std::make_shared<core::Matrix>(
+        core::Matrix::from_csr(std::move(csr)));
+    const sparse::Csr& a = matrix->csr();
+
+    // The ground truth: a seeded x and the sequential CSR reference.
+    std::vector<value_t> x, ref;
+    if (spmv_safe) {
+      Rng xrng(x_seed);
+      x.resize(static_cast<std::size_t>(a.cols));
+      for (auto& v : x) v = xrng.uniform() * 2 - 1;
+      ref.resize(static_cast<std::size_t>(a.rows));
+      sparse::spmv_csr_reference(a, x, ref);
+    }
+
+    if (log_)
+      *log_ << name << ": " << a.rows << " x " << a.cols << ", nnz "
+            << a.nnz() << (spmv_safe ? "" : " (validate only)") << "\n";
+
+    for (const auto& t : engine::format_registry()) {
+      if (!t.applicable(a, opts_.max_ell_expand)) {
+        ++report_.skipped;
+        continue;
+      }
+      try {
+        sweep_format(name, t, matrix, x, ref, spmv_safe);
+      } catch (const std::exception& e) {
+        fail(name, t.name, "build", e.what());
+      }
+    }
+  }
+
+  void sweep_format(const std::string& name, const engine::FormatTraits& t,
+                    const std::shared_ptr<core::Matrix>& matrix,
+                    std::span<const value_t> x, std::span<const value_t> ref,
+                    bool spmv_safe) {
+    const core::Matrix& m = *matrix;
+
+    ++report_.validations;
+    for (const auto& issue : t.validate(m))
+      fail(name, t.name, "validate", issue);
+
+    if (!spmv_safe) return;
+    std::string msg;
+    std::vector<value_t> y(ref.size());
+
+    t.apply(m, x, y);
+    ++report_.comparisons;
+    if (!matches_reference(y, ref, opts_.eps, msg))
+      fail(name, t.name, "apply", msg);
+
+    // The planned path: build once, execute twice. Both results must match
+    // and the second execute must not grow the workspace.
+    engine::SpmvPlan plan(matrix, t.format);
+    plan.execute(x, y);
+    ++report_.comparisons;
+    if (!matches_reference(y, ref, opts_.eps, msg))
+      fail(name, t.name, "plan", msg);
+    const std::size_t allocs = plan.workspace_allocations();
+    plan.execute(x, y);
+    ++report_.comparisons;
+    if (!matches_reference(y, ref, opts_.eps, msg))
+      fail(name, t.name, "plan", "second execute diverged: " + msg);
+    if (plan.workspace_allocations() != allocs) {
+      std::ostringstream os;
+      os << "second execute grew the workspace (" << allocs << " -> "
+         << plan.workspace_allocations() << " allocations)";
+      fail(name, t.name, "plan", os.str());
+    }
+
+    if (opts_.simulate && t.sim_apply) {
+      const std::vector<value_t> sim_y = t.sim_apply(opts_.device, m, x);
+      ++report_.comparisons;
+      if (!matches_reference(sim_y, ref, opts_.eps, msg))
+        fail(name, t.name, "sim", msg);
+    }
+  }
+
+  FuzzOptions opts_;
+  std::ostream* log_;
+  FuzzReport report_;
+};
+
+} // namespace
+
+FuzzReport run_fuzz(const FuzzOptions& opts, std::ostream* log) {
+  Driver driver(opts, log);
+  FuzzReport report = driver.run();
+  if (log) {
+    *log << "fuzz: " << report.matrices << " matrices, "
+         << report.comparisons << " comparisons, " << report.validations
+         << " validations, " << report.skipped
+         << " inapplicable pairs skipped, " << report.failures.size()
+         << " failures\n";
+  }
+  return report;
+}
+
+} // namespace bro::check

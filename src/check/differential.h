@@ -1,0 +1,61 @@
+// bro::check differential fuzz driver.
+//
+// One round = one matrix (adversarial battery first, then seeded random
+// shapes) swept across every registered format. For each applicable format
+// the driver:
+//
+//   1. runs the registry's validate hook (structural + lossless invariants),
+//   2. compares the facade apply path against the sequential CSR reference,
+//   3. builds an SpmvPlan and executes it twice — results must match the
+//      reference and the second execute must not grow the workspace,
+//   4. compares the GPU-simulator kernel's numerical result (sim_apply).
+//
+// All randomness flows from one seed, so a failing (seed, round) pair is a
+// complete reproducer. Exposed via `brospmv fuzz --rounds N --seed S` and a
+// bounded ctest entry (tools/check_fuzz.sh).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "util/types.h"
+
+namespace bro::check {
+
+struct FuzzOptions {
+  int rounds = 50;             // random matrices after the adversarial battery
+  std::uint64_t seed = 2013;
+  double eps = 1e-10;          // |y - ref| <= eps * (1 + |ref|)
+  bool simulate = true;        // include the simulator-kernel path
+  sim::DeviceSpec device = sim::tesla_k20();
+  double max_ell_expand = 3.0; // the ELL applicability rule's bound
+  // Matrices with rows or cols beyond this run the validate hook only: an
+  // x vector of near-index_t-max size is not allocatable.
+  index_t max_spmv_dim = index_t{1} << 24;
+};
+
+struct FuzzFailure {
+  std::string matrix; // generated name, reproducible from (seed, round)
+  std::string format; // canonical registry name
+  std::string path;   // "validate" | "apply" | "plan" | "sim" | "build"
+  std::string message;
+};
+
+struct FuzzReport {
+  int matrices = 0;
+  std::size_t comparisons = 0; // numerical vector comparisons performed
+  std::size_t validations = 0; // validate-hook invocations
+  std::size_t skipped = 0;     // (matrix, format) pairs ruled inapplicable
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Run the sweep; `log` (may be null) receives one progress line per matrix
+/// and one line per failure.
+FuzzReport run_fuzz(const FuzzOptions& opts, std::ostream* log = nullptr);
+
+} // namespace bro::check

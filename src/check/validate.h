@@ -1,0 +1,55 @@
+// bro::check — structural invariant validators for every storage format.
+//
+// Each validator returns one human-readable message per violated invariant
+// (empty vector = valid). Two layers of checking:
+//
+//   * structural: invariants the representation must satisfy on its own —
+//     CSR monotone row_ptr with sorted in-range columns, ELL left-packed
+//     padding, COO canonical (row, col) order, BRO slice partitions that
+//     tile the row space, bit widths in [1, 32], decodable streams whose
+//     decoded indices are monotone and in range;
+//   * cross (when a reference CSR is supplied): losslessness — decoding /
+//     converting the representation back must reproduce the reference
+//     structure and values exactly. This is what catches an insufficient
+//     per-slice bit allocation: a too-narrow width decodes to a *different*
+//     in-range column, invisible to structural checks alone.
+//
+// The engine registry surfaces these through FormatTraits::validate, so the
+// differential fuzz driver (check/differential.h) and any caller holding a
+// core::Matrix can validate every registered format through one seam.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/bro_coo.h"
+#include "core/bro_csr.h"
+#include "core/bro_ell.h"
+#include "core/bro_hyb.h"
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+#include "sparse/ell.h"
+#include "sparse/hyb.h"
+
+namespace bro::check {
+
+/// One message per violated invariant; empty means valid. Validators cap
+/// their output (a corrupt megabyte-sized matrix reports the first few
+/// violations, then a truncation marker).
+using Issues = std::vector<std::string>;
+
+Issues validate_csr(const sparse::Csr& a);
+Issues validate_coo(const sparse::Coo& a, const sparse::Csr* ref = nullptr);
+Issues validate_ell(const sparse::Ell& a, const sparse::Csr* ref = nullptr);
+Issues validate_ellr(const sparse::EllR& a, const sparse::Csr* ref = nullptr);
+Issues validate_hyb(const sparse::Hyb& a, const sparse::Csr* ref = nullptr);
+Issues validate_bro_ell(const core::BroEll& a,
+                        const sparse::Csr* ref = nullptr);
+Issues validate_bro_coo(const core::BroCoo& a,
+                        const sparse::Csr* ref = nullptr);
+Issues validate_bro_hyb(const core::BroHyb& a,
+                        const sparse::Csr* ref = nullptr);
+Issues validate_bro_csr(const core::BroCsr& a,
+                        const sparse::Csr* ref = nullptr);
+
+} // namespace bro::check

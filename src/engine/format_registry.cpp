@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "check/validate.h"
 #include "core/serialize.h"
 #include "engine/plan.h"
 #include "kernels/native_spmv.h"
@@ -51,7 +52,12 @@ const std::vector<FormatTraits>& build_registry() {
        },
        [](const Matrix& m, Workspace&, std::span<const value_t> x,
           std::span<value_t> y) { kernels::native_spmv_csr(m.csr(), x, y); },
-       /*tune=*/nullptr, /*savings=*/nullptr, /*serialize=*/nullptr},
+       /*tune=*/nullptr, /*savings=*/nullptr, /*serialize=*/nullptr,
+       [](const Matrix& m) { return check::validate_csr(m.csr()); },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) {
+         return kernels::sim_spmv_csr_scalar(dev, m.csr(), x).y;
+       }},
 
       {Format::kCoo, "COO", false, false, true, -1, always_applicable,
        [](const Matrix& m, Workspace& ws) { ws.coo_ranges(m.coo()); },
@@ -67,7 +73,14 @@ const std::vector<FormatTraits>& build_registry() {
           std::span<const value_t> x) -> TuneOutcome {
          return {kernels::sim_spmv_coo(dev, m.coo(), x).time.gflops, 0.0};
        },
-       nullptr, nullptr},
+       nullptr, nullptr,
+       [](const Matrix& m) {
+         return check::validate_coo(m.coo(), &m.csr());
+       },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) {
+         return kernels::sim_spmv_coo(dev, m.coo(), x).y;
+       }},
 
       {Format::kEll, "ELLPACK", false, false, true, -1, ell_applicable,
        [](const Matrix& m, Workspace&) { m.ell(); },
@@ -80,7 +93,14 @@ const std::vector<FormatTraits>& build_registry() {
           std::span<const value_t> x) -> TuneOutcome {
          return {kernels::sim_spmv_ell(dev, m.ell(), x).time.gflops, 0.0};
        },
-       nullptr, nullptr},
+       nullptr, nullptr,
+       [](const Matrix& m) {
+         return check::validate_ell(m.ell(), &m.csr());
+       },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) {
+         return kernels::sim_spmv_ell(dev, m.ell(), x).y;
+       }},
 
       {Format::kEllR, "ELLPACK-R", false, false, true, -1, ell_applicable,
        [](const Matrix& m, Workspace&) { m.ellr(); },
@@ -93,7 +113,14 @@ const std::vector<FormatTraits>& build_registry() {
           std::span<const value_t> x) -> TuneOutcome {
          return {kernels::sim_spmv_ellr(dev, m.ellr(), x).time.gflops, 0.0};
        },
-       nullptr, nullptr},
+       nullptr, nullptr,
+       [](const Matrix& m) {
+         return check::validate_ellr(m.ellr(), &m.csr());
+       },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) {
+         return kernels::sim_spmv_ellr(dev, m.ellr(), x).y;
+       }},
 
       {Format::kHyb, "HYB", false, false, true, -1, always_applicable,
        [](const Matrix& m, Workspace&) { m.hyb(); },
@@ -106,7 +133,14 @@ const std::vector<FormatTraits>& build_registry() {
           std::span<const value_t> x) -> TuneOutcome {
          return {kernels::sim_spmv_hyb(dev, m.hyb(), x).time.gflops, 0.0};
        },
-       nullptr, nullptr},
+       nullptr, nullptr,
+       [](const Matrix& m) {
+         return check::validate_hyb(m.hyb(), &m.csr());
+       },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) {
+         return kernels::sim_spmv_hyb(dev, m.hyb(), x).y;
+       }},
 
       {Format::kBroEll, "BRO-ELL", true, false, true, 0, ell_applicable,
        [](const Matrix& m, Workspace&) { m.bro_ell(); },
@@ -131,6 +165,13 @@ const std::vector<FormatTraits>& build_registry() {
        },
        [](std::ostream& out, const Matrix& m) {
          core::write_bro_ell(out, m.bro_ell());
+       },
+       [](const Matrix& m) {
+         return check::validate_bro_ell(m.bro_ell(), &m.csr());
+       },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) {
+         return kernels::sim_spmv_bro_ell(dev, m.bro_ell(), x).y;
        }},
 
       {Format::kBroCoo, "BRO-COO", true, false, true, -1, always_applicable,
@@ -162,6 +203,15 @@ const std::vector<FormatTraits>& build_registry() {
        },
        [](std::ostream& out, const Matrix& m) {
          core::write_bro_coo(out, m.bro_coo());
+       },
+       [](const Matrix& m) {
+         return check::validate_bro_coo(m.bro_coo(), &m.csr());
+       },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) {
+         // The facade-cached object (not the device-retuned one tune() uses)
+         // so the differential run covers what apply/native ran.
+         return kernels::sim_spmv_bro_coo(dev, m.bro_coo(), x).y;
        }},
 
       {Format::kBroHyb, "BRO-HYB", true, false, true, 1, nonzero_applicable,
@@ -202,6 +252,13 @@ const std::vector<FormatTraits>& build_registry() {
        },
        [](std::ostream& out, const Matrix& m) {
          core::write_bro_hyb(out, m.bro_hyb());
+       },
+       [](const Matrix& m) {
+         return check::validate_bro_hyb(m.bro_hyb(), &m.csr());
+       },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) {
+         return kernels::sim_spmv_bro_hyb(dev, m.bro_hyb(), x).y;
        }},
 
       {Format::kBroCsr, "BRO-CSR", true, /*extension=*/true, true, -1,
@@ -227,6 +284,13 @@ const std::vector<FormatTraits>& build_registry() {
        },
        [](std::ostream& out, const Matrix& m) {
          core::write_bro_csr(out, m.bro_csr());
+       },
+       [](const Matrix& m) {
+         return check::validate_bro_csr(m.bro_csr(), &m.csr());
+       },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) {
+         return kernels::sim_spmv_bro_csr(dev, m.bro_csr(), x).y;
        }},
   };
   return registry;

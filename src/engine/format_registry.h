@@ -70,6 +70,20 @@ struct FormatTraits {
   /// Write the compressed representation as a tagged .bro stream
   /// (null when the format has no on-disk form).
   void (*serialize)(std::ostream& out, const core::Matrix& m);
+
+  /// Structural + lossless-against-source invariant check of the format's
+  /// representation (bro::check validators): one message per violation,
+  /// empty = valid. Builds the representation on first call.
+  std::vector<std::string> (*validate)(const core::Matrix& m);
+
+  /// Simulator-kernel numerical result for differential testing: runs the
+  /// GPU-simulator kernel and returns its y vector (null when the format
+  /// has no simulator kernel). Unlike tune(), the representation is the
+  /// facade-cached one, so validate / apply / native / sim all exercise the
+  /// same object.
+  std::vector<value_t> (*sim_apply)(const sim::DeviceSpec& dev,
+                                    const core::Matrix& m,
+                                    std::span<const value_t> x);
 };
 
 /// The registered formats, in core::Format enumeration order.

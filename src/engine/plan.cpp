@@ -38,9 +38,13 @@ std::span<kernels::BroCooCarry> Workspace::carries(std::size_t n) {
 
 std::span<const kernels::CooRange> Workspace::coo_ranges(
     const sparse::Coo& a) {
-  if (ranges_for_ != &a) {
-    ranges_ = kernels::coo_thread_ranges(a, plan_thread_count());
+  const int threads = plan_thread_count();
+  if (ranges_for_ != &a || ranges_nnz_ != a.nnz() ||
+      ranges_threads_ != threads) {
+    ranges_ = kernels::coo_thread_ranges(a, threads);
     ranges_for_ = &a;
+    ranges_nnz_ = a.nnz();
+    ranges_threads_ = threads;
     ++allocations_;
   }
   return ranges_;

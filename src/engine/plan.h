@@ -38,7 +38,10 @@ class Workspace {
   std::span<kernels::BroCooCarry> carries(std::size_t n);
 
   /// The COO row-range split for this matrix at the plan's thread count,
-  /// computed on first request and cached.
+  /// computed on first request and cached. The cache is keyed on the matrix
+  /// address, its nnz and the current thread count, so a different matrix
+  /// reallocated at the same address or an omp_set_num_threads() change
+  /// recomputes the split instead of silently reusing stale ranges.
   std::span<const kernels::CooRange> coo_ranges(const sparse::Coo& a);
 
   /// Number of (re)allocations performed so far.
@@ -49,6 +52,8 @@ class Workspace {
   std::vector<kernels::BroCooCarry> carries_;
   std::vector<kernels::CooRange> ranges_;
   const sparse::Coo* ranges_for_ = nullptr;
+  std::size_t ranges_nnz_ = 0;
+  int ranges_threads_ = 0;
   std::size_t allocations_ = 0;
 };
 

@@ -1,0 +1,155 @@
+#include "sparse/matgen/adversarial.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sparse/convert.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace bro::sparse {
+
+namespace {
+
+/// Build a CSR from explicit (row, col) pairs; values are seeded uniforms.
+Csr from_pattern(index_t rows, index_t cols,
+                 const std::vector<std::pair<index_t, index_t>>& entries,
+                 Rng& rng) {
+  Coo coo;
+  coo.rows = rows;
+  coo.cols = cols;
+  for (const auto& [r, c] : entries) coo.push(r, c, rng.uniform() * 2 - 1);
+  coo.canonicalize();
+  return coo_to_csr(coo);
+}
+
+} // namespace
+
+std::vector<AdversarialCase> adversarial_suite(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<AdversarialCase> out;
+  const auto add = [&](std::string name, Csr csr) {
+    BRO_CHECK_MSG(csr.is_valid(), "adversarial case '" << name
+                                                       << "' is malformed");
+    out.push_back({std::move(name), std::move(csr)});
+  };
+
+  // Empty matrices in every flavour: no rows, no cols, neither, and a
+  // non-degenerate shape holding zero entries.
+  add("0x0-empty", from_pattern(0, 0, {}, rng));
+  add("0xN-no-rows", from_pattern(0, 17, {}, rng));
+  add("Nx0-no-cols", from_pattern(17, 0, {}, rng));
+  add("all-rows-empty", from_pattern(32, 48, {}, rng));
+  add("1x1-empty", from_pattern(1, 1, {}, rng));
+  add("1x1-single", from_pattern(1, 1, {{0, 0}}, rng));
+
+  // Empty rows interleaved with occupied ones (every 7th row occupied),
+  // including an empty trailing row just past a slice boundary.
+  {
+    std::vector<std::pair<index_t, index_t>> e;
+    for (index_t r = 0; r < 70; r += 7)
+      for (index_t j = 0; j < 3; ++j) e.push_back({r, r + j});
+    add("sparse-rows-mostly-empty", from_pattern(70, 80, e, rng));
+  }
+  {
+    // 257 rows: one row past the default 256-row slice, and that last row
+    // is empty (a one-row slice with num_col == 0).
+    std::vector<std::pair<index_t, index_t>> e;
+    for (index_t r = 0; r < 256; ++r) e.push_back({r, r % 64});
+    add("empty-row-after-slice-boundary", from_pattern(257, 64, e, rng));
+  }
+
+  // Degenerate aspect ratios.
+  {
+    std::vector<std::pair<index_t, index_t>> e;
+    for (index_t c = 0; c < 512; ++c) e.push_back({0, c});
+    add("1xN-single-dense-row", from_pattern(1, 512, e, rng));
+  }
+  {
+    std::vector<std::pair<index_t, index_t>> e;
+    for (index_t r = 0; r < 512; ++r) e.push_back({r, 0});
+    add("Nx1-full-column", from_pattern(512, 1, e, rng));
+  }
+
+  // One dense row amid short rows: the HYB split must spill it to COO, and
+  // BRO-COO sees one long run of identical row indices.
+  {
+    std::vector<std::pair<index_t, index_t>> e;
+    for (index_t r = 0; r < 96; ++r) e.push_back({r, r});
+    for (index_t c = 0; c < 96; ++c)
+      if (c != 40) e.push_back({40, c});
+    add("single-dense-row", from_pattern(96, 96, e, rng));
+  }
+
+  // Maximum per-row column delta: first and last column of a wide matrix in
+  // the same row, so one slice column must carry a ~2^20 delta while the
+  // other carries delta 1.
+  {
+    const index_t wide = 1 << 20;
+    std::vector<std::pair<index_t, index_t>> e;
+    for (index_t r = 0; r < 40; ++r) {
+      e.push_back({r, 0});
+      e.push_back({r, wide - 1 - (r % 3)}); // vary so deltas differ per row
+    }
+    add("max-delta-last-column", from_pattern(40, wide, e, rng));
+  }
+
+  // Duplicate-heavy pre-canonical COO: shuffled entries where each
+  // coordinate appears several times, so canonicalize() must sort and merge
+  // before any conversion is legal.
+  {
+    Coo coo;
+    coo.rows = 48;
+    coo.cols = 48;
+    for (int pass = 0; pass < 4; ++pass)
+      for (index_t r = 47; r >= 0; --r) {
+        coo.push(r, (r * 7 + pass) % 48, rng.uniform());
+        coo.push(r, r % 48, 0.25); // the duplicate-heavy coordinate
+      }
+    add("duplicate-heavy-precanonical-coo", coo_to_csr(coo));
+  }
+
+  // Strictly decreasing row lengths (triangular profile): stresses the
+  // ELL width choice and the HYB split with no two rows alike.
+  {
+    std::vector<std::pair<index_t, index_t>> e;
+    for (index_t r = 0; r < 64; ++r)
+      for (index_t j = 0; j < 64 - r; ++j) e.push_back({r, j});
+    add("decreasing-row-lengths", from_pattern(64, 64, e, rng));
+  }
+
+  // Alternating empty/dense rows across more than one slice.
+  {
+    std::vector<std::pair<index_t, index_t>> e;
+    for (index_t r = 0; r < 300; r += 2)
+      for (index_t j = 0; j < 8; ++j) e.push_back({r, (r + j * 17) % 256});
+    add("alternating-empty-dense-rows", from_pattern(300, 256, e, rng));
+  }
+
+  return out;
+}
+
+std::vector<AdversarialCase> adversarial_huge_cases(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<AdversarialCase> out;
+  // A few rows spanning columns up to near the index_t maximum: the column
+  // deltas need the full 31/32-bit range, and every byte-size accounting
+  // path must avoid 32-bit overflow. Row count stays tiny so row_ptr and
+  // the value arrays remain allocatable.
+  const index_t huge = std::numeric_limits<index_t>::max() - 8;
+  std::vector<std::pair<index_t, index_t>> e;
+  for (index_t r = 0; r < 3; ++r) {
+    e.push_back({r, 0});
+    e.push_back({r, 1 + r});
+    e.push_back({r, huge - 1 - r});
+  }
+  Coo coo;
+  coo.rows = 3;
+  coo.cols = huge;
+  for (const auto& [r, c] : e) coo.push(r, c, rng.uniform() * 2 - 1);
+  coo.canonicalize();
+  out.push_back({"near-max-cols", coo_to_csr(coo)});
+  return out;
+}
+
+} // namespace bro::sparse

@@ -1,0 +1,35 @@
+// Adversarial matrix battery for the bro::check differential harness.
+//
+// Every matrix here is a shape the BRO compression pipeline must survive
+// losslessly but that the synthetic suite generators never produce: empty
+// matrices, empty rows inside and at the end of slices, single dense rows,
+// maximum column deltas, duplicate-heavy pre-canonical COO input, and
+// dimensions close to the index_t limit. The differential fuzz driver and
+// the cross-format test sweep iterate this list in front of every random
+// round.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace bro::sparse {
+
+struct AdversarialCase {
+  std::string name;
+  Csr csr;
+};
+
+/// The deterministic degenerate-shape battery. Matrices with `spmv_safe`
+/// dimensions only; see adversarial_huge_cases() for the near-index_t-max
+/// shapes whose x/y vectors are too large to allocate.
+std::vector<AdversarialCase> adversarial_suite(std::uint64_t seed = 1);
+
+/// Shapes with dimensions near the index_t maximum: structurally valid and
+/// compressible, but an x vector of size cols cannot be allocated, so
+/// callers run structure/round-trip checks only.
+std::vector<AdversarialCase> adversarial_huge_cases(std::uint64_t seed = 1);
+
+} // namespace bro::sparse

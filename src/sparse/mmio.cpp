@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/error.h"
@@ -57,11 +58,23 @@ Coo read_matrix_market(std::istream& in) {
   }
   BRO_CHECK_MSG(rows >= 0 && cols >= 0 && entries >= 0,
                 "missing size line (truncated file?)");
+  // The size line comes from an untrusted file: dimensions and entry count
+  // must fit index_t (CSR row pointers store nnz as index_t), and the
+  // pre-reserve must not trust an adversarial header.
+  constexpr long kMaxIndex = std::numeric_limits<index_t>::max();
+  BRO_CHECK_MSG(rows <= kMaxIndex && cols <= kMaxIndex,
+                "size line: dimensions " << rows << " x " << cols
+                                         << " exceed the 32-bit index range");
+  BRO_CHECK_MSG(entries <= kMaxIndex,
+                "size line: " << entries
+                              << " entries exceed the 32-bit index range");
 
   Coo coo;
   coo.rows = static_cast<index_t>(rows);
   coo.cols = static_cast<index_t>(cols);
-  coo.reserve(static_cast<std::size_t>(entries) * (symmetric || skew ? 2 : 1));
+  constexpr long kReserveCap = 1L << 22; // grow past this only on real data
+  coo.reserve(static_cast<std::size_t>(
+      std::min(entries * (symmetric || skew ? 2 : 1), kReserveCap)));
 
   long seen = 0;
   while (seen < entries && std::getline(in, line)) {
@@ -85,6 +98,12 @@ Coo read_matrix_market(std::istream& in) {
   BRO_CHECK_MSG(seen == entries, "truncated file: expected " << entries
                                      << " entries, found " << seen);
   coo.canonicalize();
+  // Symmetric expansion doubles off-diagonal entries; the final count must
+  // still fit the index type.
+  BRO_CHECK_MSG(coo.nnz() <= static_cast<std::size_t>(kMaxIndex),
+                "matrix has " << coo.nnz()
+                              << " stored entries after symmetric expansion, "
+                                 "exceeding the 32-bit index range");
   return coo;
 }
 

@@ -36,7 +36,10 @@ double Args::get_double(const std::string& key, double fallback) const {
   if (it == options_.end() || it->second.empty()) return fallback;
   char* end = nullptr;
   const double v = std::strtod(it->second.c_str(), &end);
-  BRO_CHECK_MSG(end != it->second.c_str(), "--" << key << " expects a number");
+  // The whole token must parse: "12abc" is an error, not 12.
+  BRO_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+                "--" << key << " expects a number, got '" << it->second
+                     << '\'');
   return v;
 }
 
@@ -45,7 +48,9 @@ long Args::get_long(const std::string& key, long fallback) const {
   if (it == options_.end() || it->second.empty()) return fallback;
   char* end = nullptr;
   const long v = std::strtol(it->second.c_str(), &end, 10);
-  BRO_CHECK_MSG(end != it->second.c_str(), "--" << key << " expects an integer");
+  BRO_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+                "--" << key << " expects an integer, got '" << it->second
+                     << '\'');
   return v;
 }
 

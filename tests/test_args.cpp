@@ -53,6 +53,24 @@ TEST(Args, NumericParseErrors) {
   EXPECT_THROW(a.get_long("scale", 0), std::runtime_error);
 }
 
+TEST(Args, RejectsTrailingGarbage) {
+  // strtol/strtod stop at the first bad character; the parser must treat a
+  // partially consumed token ("12abc" -> 12) as an error, not a value.
+  const auto a = parse({"--rounds", "12abc", "--eps", "1.5x", "--n", "7 "});
+  EXPECT_THROW(a.get_long("rounds", 0), std::runtime_error);
+  EXPECT_THROW(a.get_double("rounds", 0), std::runtime_error);
+  EXPECT_THROW(a.get_double("eps", 0), std::runtime_error);
+  EXPECT_THROW(a.get_long("n", 0), std::runtime_error);
+}
+
+TEST(Args, AcceptsFullyConsumedNumbers) {
+  const auto a = parse({"--rounds", "12", "--eps", "1.5e-3", "--neg", "-4"});
+  EXPECT_EQ(a.get_long("rounds", 0), 12);
+  EXPECT_DOUBLE_EQ(a.get_double("eps", 0), 1.5e-3);
+  EXPECT_EQ(a.get_long("neg", 0), -4);
+  EXPECT_DOUBLE_EQ(a.get_double("rounds", 0), 12.0);
+}
+
 TEST(Args, AllowOnlyValidation) {
   const auto a = parse({"--scale=1", "--oops=2"});
   EXPECT_THROW(a.allow_only({"scale"}), std::runtime_error);

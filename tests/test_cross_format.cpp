@@ -17,8 +17,10 @@
 #include "core/savings.h"
 #include "engine/format_registry.h"
 #include "engine/plan.h"
+#include "gpusim/device.h"
 #include "sparse/convert.h"
 #include "sparse/mmio.h"
+#include "sparse/matgen/adversarial.h"
 #include "sparse/matgen/generators.h"
 #include "util/rng.h"
 
@@ -102,6 +104,68 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{1030, 1030, 20.0, 0.95}, // several slices
                       std::tuple{64, 2048, 30.0, 0.5},  // wide
                       std::tuple{2048, 64, 9.0, 0.5})); // tall
+
+// The adversarial battery (empty matrices, empty rows at slice boundaries,
+// degenerate aspect ratios, maximum deltas, duplicate-heavy inputs) swept
+// across every registered format: structural validation plus the facade,
+// planned-native and simulator SpMV paths against the CSR reference.
+TEST(CrossFormat, AdversarialSweepAcrossRegistry) {
+  const auto dev = bro::sim::tesla_k20();
+  for (const auto& c : bs::adversarial_suite(2013)) {
+    SCOPED_TRACE(c.name);
+    const auto m = std::make_shared<bc::Matrix>(bc::Matrix::from_csr(c.csr));
+    const bs::Csr& csr = m->csr();
+
+    bro::Rng rng(41);
+    std::vector<value_t> x(static_cast<std::size_t>(csr.cols));
+    for (auto& v : x) v = rng.uniform() * 2 - 1;
+    std::vector<value_t> y_ref(static_cast<std::size_t>(csr.rows));
+    bs::spmv_csr_reference(csr, x, y_ref);
+
+    for (const auto& t : be::format_registry()) {
+      if (!t.applicable(csr, 3.0)) continue;
+      SCOPED_TRACE(t.name);
+
+      const auto issues = t.validate(*m);
+      EXPECT_TRUE(issues.empty())
+          << (issues.empty() ? std::string() : issues.front());
+
+      std::vector<value_t> y(y_ref.size(), -5.0);
+      t.apply(*m, x, y);
+      for (std::size_t r = 0; r < y.size(); ++r)
+        ASSERT_NEAR(y[r], y_ref[r], 1e-10 * (1.0 + std::abs(y_ref[r])));
+
+      be::SpmvPlan plan(m, t.format);
+      std::vector<value_t> y_plan(y_ref.size(), -6.0);
+      plan.execute(x, y_plan);
+      for (std::size_t r = 0; r < y_plan.size(); ++r)
+        ASSERT_NEAR(y_plan[r], y_ref[r], 1e-10 * (1.0 + std::abs(y_ref[r])));
+
+      if (t.sim_apply) {
+        const auto y_sim = t.sim_apply(dev, *m, x);
+        ASSERT_EQ(y_sim.size(), y_ref.size());
+        for (std::size_t r = 0; r < y_sim.size(); ++r)
+          ASSERT_NEAR(y_sim[r], y_ref[r], 1e-10 * (1.0 + std::abs(y_ref[r])));
+      }
+    }
+  }
+}
+
+// Near-index_t-max dimensions: x/y vectors of size cols are unallocatable,
+// so only the structural/lossless validators run.
+TEST(CrossFormat, HugeDimensionCasesValidateStructurally) {
+  for (const auto& c : bs::adversarial_huge_cases(2013)) {
+    SCOPED_TRACE(c.name);
+    const auto m = bc::Matrix::from_csr(c.csr);
+    for (const auto& t : be::format_registry()) {
+      if (!t.applicable(m.csr(), 3.0)) continue;
+      SCOPED_TRACE(t.name);
+      const auto issues = t.validate(m);
+      EXPECT_TRUE(issues.empty())
+          << (issues.empty() ? std::string() : issues.front());
+    }
+  }
+}
 
 TEST(CrossFormat, SavingsAccountingIsConsistent) {
   // eta and kappa must be mutually consistent and byte counts physical.

@@ -8,10 +8,15 @@
 #include <string>
 #include <vector>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "core/matrix.h"
 #include "engine/format_registry.h"
 #include "engine/plan.h"
 #include "solver/cg.h"
+#include "sparse/convert.h"
 #include "sparse/matgen/generators.h"
 #include "util/rng.h"
 
@@ -176,3 +181,68 @@ TEST(SpmvPlan, ChecksOperandSizes) {
   std::vector<value_t> y_short(static_cast<std::size_t>(m->rows()) - 1);
   EXPECT_THROW(plan.execute(x, y_short), std::exception);
 }
+
+// ---- Workspace::coo_ranges cache keying ----
+//
+// The COO row-range split is cached inside the plan workspace. The cache key
+// must cover everything the split depends on: the matrix identity AND its
+// entry count AND the thread count. Keying on the pointer alone reuses a
+// stale split when the same object is mutated in place (or when a different
+// matrix is allocated at a recycled address with equal nnz by chance).
+
+TEST(Workspace, CooRangesRekeyWhenMatrixMutatesInPlace) {
+  be::Workspace ws;
+  bro::sparse::Coo a = bs::csr_to_coo(bs::generate_poisson2d(10, 10));
+  const auto first = ws.coo_ranges(a);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first.back().hi, a.nnz());
+
+  // Same object, same address, more entries: the split must be recomputed —
+  // a stale one would make the native COO kernel drop the appended tail.
+  const std::size_t old_nnz = a.nnz();
+  for (index_t r = 0; r < a.rows; ++r) a.push(r, a.cols - 1, 0.5);
+  a.canonicalize();
+  ASSERT_NE(a.nnz(), old_nnz);
+  const auto second = ws.coo_ranges(a);
+  ASSERT_FALSE(second.empty());
+  EXPECT_EQ(second.back().hi, a.nnz());
+
+  std::size_t covered = 0;
+  for (const auto& rg : second) covered += rg.hi - rg.lo;
+  EXPECT_EQ(covered, a.nnz());
+}
+
+TEST(Workspace, CooRangesRekeyAcrossDistinctMatrices) {
+  be::Workspace ws;
+  bro::sparse::Coo a = bs::csr_to_coo(bs::generate_poisson2d(8, 8));
+  bro::sparse::Coo b = bs::csr_to_coo(bs::generate_poisson2d(12, 12));
+  ws.coo_ranges(a);
+  EXPECT_EQ(ws.coo_ranges(b).back().hi, b.nnz());
+  EXPECT_EQ(ws.coo_ranges(a).back().hi, a.nnz());
+  // Re-requesting the cached matrix without changes must not reallocate.
+  const std::size_t allocs = ws.allocations();
+  ws.coo_ranges(a);
+  EXPECT_EQ(ws.allocations(), allocs);
+}
+
+#ifdef _OPENMP
+TEST(Workspace, CooRangesRekeyOnThreadCountChange) {
+  const int saved = omp_get_max_threads();
+  be::Workspace ws;
+  bro::sparse::Coo a = bs::csr_to_coo(bs::generate_poisson2d(12, 12));
+
+  omp_set_num_threads(2);
+  const auto two = ws.coo_ranges(a);
+  EXPECT_LE(two.size(), 2u);
+  EXPECT_EQ(two.back().hi, a.nnz());
+
+  // A thread-count change invalidates the split: a 2-way split executed by
+  // 4 threads leaves half of them idle; the reverse races on shared rows.
+  omp_set_num_threads(4);
+  const auto four = ws.coo_ranges(a);
+  EXPECT_GT(four.size(), two.size());
+  EXPECT_EQ(four.back().hi, a.nnz());
+
+  omp_set_num_threads(saved);
+}
+#endif

@@ -131,3 +131,54 @@ TEST(MmioFailure, NonexistentFile) {
   EXPECT_THROW(bs::read_matrix_market_file("/nonexistent/path.mtx"),
                std::runtime_error);
 }
+
+TEST(MmioFailure, DimensionsBeyondIndexRange) {
+  // 2^31 rows would silently wrap to a negative index_t without the size
+  // check; the reader must reject the header up front.
+  std::istringstream rows_too_big(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2147483648 2 1\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(bs::read_matrix_market(rows_too_big), std::runtime_error);
+  std::istringstream cols_too_big(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2147483648 1\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(bs::read_matrix_market(cols_too_big), std::runtime_error);
+}
+
+TEST(MmioFailure, EntryCountBeyondIndexRange) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2147483648\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(bs::read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MmioFailure, AdversarialEntryCountDoesNotPreallocate) {
+  // An in-range but absurd entry count over a tiny body must fail with the
+  // truncation error — after the reserve cap, not an out-of-memory abort.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "10 10 2000000000\n"
+      "1 1 1.0\n");
+  try {
+    bs::read_matrix_market(in);
+    FAIL() << "expected truncation error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+}
+
+TEST(MmioFailure, SymmetricExpansionBeyondIndexRangeMessage) {
+  // The post-expansion guard exists (doubling off-diagonal entries can
+  // overflow index_t even when the header passes); exercise the happy path
+  // right below it to pin the expansion accounting.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 5.0\n"
+      "3 3 1.0\n");
+  const bs::Coo coo = bs::read_matrix_market(in);
+  EXPECT_EQ(coo.nnz(), 3u); // one off-diagonal doubled + one diagonal
+}

@@ -6,6 +6,7 @@
 //   brospmv spmv <matrix|.bro> [--format F]   y = A*1, checksum + timing
 //   brospmv tune <matrix> [--device D]        simulated format ranking
 //   brospmv bench <matrix> [--device D]       per-format simulated GFlop/s
+//   brospmv fuzz [--rounds N] [--seed S]      differential fuzz all formats
 //
 // <matrix> is a Matrix Market file, a named suite matrix (with optional
 // --scale, default 0.125), or a .bro file where noted. --device is one of
@@ -18,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "check/differential.h"
 #include "core/matrix.h"
 #include "core/serialize.h"
 #include "engine/autotune.h"
@@ -44,6 +46,8 @@ int usage() {
          "  spmv <matrix|.bro> [--format F]    run y = A*1 and report\n"
          "  tune <matrix> [--device D]         simulated format ranking\n"
          "  bench <matrix> [--device D]        per-format simulated GFlop/s\n"
+         "  fuzz [--rounds N] [--seed S]       differential-test every format\n"
+         "       [--eps E] [--device D] [--no-sim] [--quiet]\n"
          "matrix: a .mtx path or a suite name (cant, pwtk, ...);\n"
          "options: --scale S (suite matrices, default 0.125),\n"
          "         --device c2070|gtx680|k20 (default k20),\n"
@@ -214,6 +218,31 @@ int cmd_bench(const Args& args) {
   return 0;
 }
 
+int cmd_fuzz(const Args& args) {
+  check::FuzzOptions opts;
+  opts.rounds = static_cast<int>(args.get_long("rounds", opts.rounds));
+  if (opts.rounds < 0) throw std::runtime_error("--rounds must be >= 0");
+  opts.seed = static_cast<std::uint64_t>(
+      args.get_long("seed", static_cast<long>(opts.seed)));
+  opts.eps = args.get_double("eps", opts.eps);
+  opts.simulate = !args.has("no-sim");
+  opts.device = device_from(args);
+
+  std::ostream* log = args.has("quiet") ? nullptr : &std::cout;
+  const auto report = check::run_fuzz(opts, log);
+  if (!report.ok()) {
+    std::cerr << report.failures.size() << " differential failures:\n";
+    for (const auto& f : report.failures)
+      std::cerr << "  " << f.matrix << " [" << f.format << "/" << f.path
+                << "] " << f.message << '\n';
+    return 1;
+  }
+  std::cout << "fuzz OK: " << report.matrices << " matrices, "
+            << report.comparisons << " comparisons against the CSR reference"
+            << '\n';
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -229,6 +258,7 @@ int main(int argc, char** argv) {
     if (cmd == "spmv" && args.positional().size() == 2) return cmd_spmv(args);
     if (cmd == "tune" && args.positional().size() == 2) return cmd_tune(args);
     if (cmd == "bench" && args.positional().size() == 2) return cmd_bench(args);
+    if (cmd == "fuzz" && args.positional().size() == 1) return cmd_fuzz(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "brospmv: " << e.what() << '\n';
