@@ -1,5 +1,6 @@
 #include "check/differential.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <ostream>
@@ -189,6 +190,53 @@ class Driver {
       ++report_.comparisons;
       if (!matches_reference(sim_y, ref, opts_.eps, msg))
         fail(name, t.name, "sim", msg);
+    }
+
+    if (opts_.spmm_k > 0) sweep_spmm(name, t, plan, x);
+  }
+
+  /// The multi-vector path: X's k columns are rotations of the fuzz x, and
+  /// every column of execute_multi's Y must equal a single-vector execute
+  /// on that column *bitwise* — the SpMM kernels (and the gather/scatter
+  /// fallback) replicate the single-vector accumulation order exactly, so
+  /// any tolerance would only hide bugs.
+  void sweep_spmm(const std::string& name, const engine::FormatTraits& t,
+                  engine::SpmvPlan& plan, std::span<const value_t> x) {
+    const std::size_t k = static_cast<std::size_t>(opts_.spmm_k);
+    const std::size_t cols = static_cast<std::size_t>(plan.cols());
+    const std::size_t rows = static_cast<std::size_t>(plan.rows());
+
+    std::vector<value_t> x_batch(cols * k), y_batch(rows * k);
+    for (std::size_t j = 0; j < k; ++j)
+      for (std::size_t c = 0; c < cols; ++c)
+        x_batch[c * k + j] = x[(c + j) % std::max<std::size_t>(cols, 1)];
+
+    plan.execute_multi(x_batch, y_batch, opts_.spmm_k);
+    const std::size_t allocs = plan.workspace_allocations();
+
+    std::vector<value_t> xj(cols), yj(rows);
+    for (std::size_t j = 0; j < k; ++j) {
+      for (std::size_t c = 0; c < cols; ++c) xj[c] = x_batch[c * k + j];
+      plan.execute(xj, yj);
+      ++report_.comparisons;
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (y_batch[r * k + j] != yj[r]) {
+          std::ostringstream os;
+          os << "column " << j << " y[" << r << "] = " << y_batch[r * k + j]
+             << " but single-vector execute gives " << yj[r]
+             << " (SpMM must be bitwise-identical)";
+          fail(name, t.name, "spmm", os.str());
+          break;
+        }
+      }
+    }
+
+    plan.execute_multi(x_batch, y_batch, opts_.spmm_k);
+    if (plan.workspace_allocations() != allocs) {
+      std::ostringstream os;
+      os << "second execute_multi grew the workspace (" << allocs << " -> "
+         << plan.workspace_allocations() << " allocations)";
+      fail(name, t.name, "spmm", os.str());
     }
   }
 

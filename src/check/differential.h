@@ -8,7 +8,11 @@
 //   2. compares the facade apply path against the sequential CSR reference,
 //   3. builds an SpmvPlan and executes it twice — results must match the
 //      reference and the second execute must not grow the workspace,
-//   4. compares the GPU-simulator kernel's numerical result (sim_apply).
+//   4. compares the GPU-simulator kernel's numerical result (sim_apply),
+//   5. runs the multi-vector path: execute_multi(X, Y, k) must match k
+//      single-vector execute() calls column-by-column *bitwise* (the SpMM
+//      kernels replicate the single-vector accumulation order exactly),
+//      and a second execute_multi must not grow the workspace.
 //
 // All randomness flows from one seed, so a failing (seed, round) pair is a
 // complete reproducer. Exposed via `brospmv fuzz --rounds N --seed S` and a
@@ -32,6 +36,7 @@ struct FuzzOptions {
   bool simulate = true;        // include the simulator-kernel path
   sim::DeviceSpec device = sim::tesla_k20();
   double max_ell_expand = 3.0; // the ELL applicability rule's bound
+  int spmm_k = 3;              // right-hand sides in the SpMM sweep (0: off)
   // Matrices with rows or cols beyond this run the validate hook only: an
   // x vector of near-index_t-max size is not allocatable.
   index_t max_spmv_dim = index_t{1} << 24;
@@ -40,7 +45,8 @@ struct FuzzOptions {
 struct FuzzFailure {
   std::string matrix; // generated name, reproducible from (seed, round)
   std::string format; // canonical registry name
-  std::string path;   // "validate" | "apply" | "plan" | "sim" | "build"
+  std::string path;   // "validate" | "apply" | "plan" | "sim" | "spmm" |
+                      // "build"
   std::string message;
 };
 

@@ -6,6 +6,7 @@
 #include "check/validate.h"
 #include "core/serialize.h"
 #include "engine/plan.h"
+#include "kernels/native_spmm.h"
 #include "kernels/native_spmv.h"
 #include "kernels/sim_spmv.h"
 #include "kernels/sim_spmv_ext.h"
@@ -57,7 +58,12 @@ const std::vector<FormatTraits>& build_registry() {
        [](const DeviceSpec& dev, const Matrix& m,
           std::span<const value_t> x) {
          return kernels::sim_spmv_csr_scalar(dev, m.csr(), x).y;
-       }},
+       },
+       [](const Matrix& m, Workspace&, std::span<const value_t> x,
+          std::span<value_t> y, int k) {
+         kernels::native_spmm_csr(m.csr(), x, y, k);
+       },
+       /*resident_bytes=*/nullptr},
 
       {Format::kCoo, "COO", false, false, true, -1, always_applicable,
        [](const Matrix& m, Workspace& ws) { ws.coo_ranges(m.coo()); },
@@ -80,6 +86,10 @@ const std::vector<FormatTraits>& build_registry() {
        [](const DeviceSpec& dev, const Matrix& m,
           std::span<const value_t> x) {
          return kernels::sim_spmv_coo(dev, m.coo(), x).y;
+       },
+       /*native_multi=*/nullptr,
+       [](const Matrix& m) {
+         return m.coo().nnz() * (2 * sizeof(index_t) + sizeof(value_t));
        }},
 
       {Format::kEll, "ELLPACK", false, false, true, -1, ell_applicable,
@@ -100,6 +110,13 @@ const std::vector<FormatTraits>& build_registry() {
        [](const DeviceSpec& dev, const Matrix& m,
           std::span<const value_t> x) {
          return kernels::sim_spmv_ell(dev, m.ell(), x).y;
+       },
+       [](const Matrix& m, Workspace&, std::span<const value_t> x,
+          std::span<value_t> y, int k) {
+         kernels::native_spmm_ell(m.ell(), x, y, k);
+       },
+       [](const Matrix& m) {
+         return m.ell().entries() * (sizeof(index_t) + sizeof(value_t));
        }},
 
       {Format::kEllR, "ELLPACK-R", false, false, true, -1, ell_applicable,
@@ -120,6 +137,12 @@ const std::vector<FormatTraits>& build_registry() {
        [](const DeviceSpec& dev, const Matrix& m,
           std::span<const value_t> x) {
          return kernels::sim_spmv_ellr(dev, m.ellr(), x).y;
+       },
+       /*native_multi=*/nullptr,
+       [](const Matrix& m) {
+         const auto& e = m.ellr();
+         return e.ell.entries() * (sizeof(index_t) + sizeof(value_t)) +
+                e.row_length.size() * sizeof(index_t);
        }},
 
       {Format::kHyb, "HYB", false, false, true, -1, always_applicable,
@@ -140,6 +163,12 @@ const std::vector<FormatTraits>& build_registry() {
        [](const DeviceSpec& dev, const Matrix& m,
           std::span<const value_t> x) {
          return kernels::sim_spmv_hyb(dev, m.hyb(), x).y;
+       },
+       /*native_multi=*/nullptr,
+       [](const Matrix& m) {
+         const auto& h = m.hyb();
+         return h.ell.entries() * (sizeof(index_t) + sizeof(value_t)) +
+                h.coo.nnz() * (2 * sizeof(index_t) + sizeof(value_t));
        }},
 
       {Format::kBroEll, "BRO-ELL", true, false, true, 0, ell_applicable,
@@ -172,6 +201,14 @@ const std::vector<FormatTraits>& build_registry() {
        [](const DeviceSpec& dev, const Matrix& m,
           std::span<const value_t> x) {
          return kernels::sim_spmv_bro_ell(dev, m.bro_ell(), x).y;
+       },
+       [](const Matrix& m, Workspace&, std::span<const value_t> x,
+          std::span<value_t> y, int k) {
+         kernels::native_spmm_bro_ell(m.bro_ell(), x, y, k);
+       },
+       [](const Matrix& m) {
+         return m.bro_ell().compressed_index_bytes() +
+                m.bro_ell().vals().size() * sizeof(value_t);
        }},
 
       {Format::kBroCoo, "BRO-COO", true, false, true, -1, always_applicable,
@@ -212,6 +249,19 @@ const std::vector<FormatTraits>& build_registry() {
          // The facade-cached object (not the device-retuned one tune() uses)
          // so the differential run covers what apply/native ran.
          return kernels::sim_spmv_bro_coo(dev, m.bro_coo(), x).y;
+       },
+       [](const Matrix& m, Workspace& ws, std::span<const value_t> x,
+          std::span<value_t> y, int k) {
+         const auto& bro = m.bro_coo();
+         const std::size_t n = bro.intervals().size();
+         kernels::native_spmm_bro_coo(
+             bro, x, y, k, ws.carries(n),
+             ws.carry_sums(n * 2 * static_cast<std::size_t>(k)));
+       },
+       [](const Matrix& m) {
+         return m.bro_coo().compressed_row_bytes() +
+                m.bro_coo().padded_nnz() *
+                    (sizeof(index_t) + sizeof(value_t));
        }},
 
       {Format::kBroHyb, "BRO-HYB", true, false, true, 1, nonzero_applicable,
@@ -259,6 +309,13 @@ const std::vector<FormatTraits>& build_registry() {
        [](const DeviceSpec& dev, const Matrix& m,
           std::span<const value_t> x) {
          return kernels::sim_spmv_bro_hyb(dev, m.bro_hyb(), x).y;
+       },
+       /*native_multi=*/nullptr,
+       [](const Matrix& m) {
+         const auto& bro = m.bro_hyb();
+         return bro.compressed_index_bytes() +
+                bro.ell_part().vals().size() * sizeof(value_t) +
+                bro.coo_part().padded_nnz() * sizeof(value_t);
        }},
 
       {Format::kBroCsr, "BRO-CSR", true, /*extension=*/true, true, -1,
@@ -291,6 +348,13 @@ const std::vector<FormatTraits>& build_registry() {
        [](const DeviceSpec& dev, const Matrix& m,
           std::span<const value_t> x) {
          return kernels::sim_spmv_bro_csr(dev, m.bro_csr(), x).y;
+       },
+       /*native_multi=*/nullptr,
+       [](const Matrix& m) {
+         const auto& bro = m.bro_csr();
+         return bro.compressed_index_bytes() +
+                bro.row_ptr().size() * sizeof(index_t) +
+                bro.vals().size() * sizeof(value_t);
        }},
   };
   return registry;

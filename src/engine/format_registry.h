@@ -84,6 +84,20 @@ struct FormatTraits {
   std::vector<value_t> (*sim_apply)(const sim::DeviceSpec& dev,
                                     const core::Matrix& m,
                                     std::span<const value_t> x);
+
+  /// Multi-vector (SpMM) OpenMP host kernel over k interleaved right-hand
+  /// sides (see kernels/native_spmm.h for the layout and the bitwise
+  /// contract). Null: SpmvPlan::execute_multi falls back to k single-vector
+  /// executes through gather/scatter scratch.
+  void (*native_multi)(const core::Matrix& m, Workspace& ws,
+                       std::span<const value_t> x, std::span<value_t> y,
+                       int k);
+
+  /// Bytes of the built format-specific representation beyond the facade's
+  /// base CSR (null: the representation *is* that CSR, e.g. the CSR host
+  /// reference). Builds the representation on first call. Feeds the serve
+  /// layer's PlanCache byte budget via SpmvPlan::resident_bytes().
+  std::size_t (*resident_bytes)(const core::Matrix& m);
 };
 
 /// The registered formats, in core::Format enumeration order.

@@ -12,8 +12,19 @@
 //   auto m = std::make_shared<core::Matrix>(core::Matrix::from_file(path));
 //   engine::SpmvPlan plan(m);            // auto-selected format
 //   plan.execute(x, y);                  // y = A*x, no per-call allocation
+//
+// Concurrency contract: a plan's Workspace is single-writer scratch. One
+// SpmvPlan (and hence its Workspace) must NOT be shared across threads that
+// execute concurrently — the kernels parallelize internally with OpenMP, so
+// there is nothing to gain and a silent data race to lose. Concurrent
+// callers need one plan each (cheap: representations are shared through the
+// facade) or an external lock; bro::serve::PlanCache + SpmvServer implement
+// the locked variant. Misuse fails loudly: execute()/execute_multi() guard
+// entry with an atomic in-use flag and throw via BRO_CHECK instead of
+// racing.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <span>
@@ -29,6 +40,7 @@ namespace bro::engine {
 /// Pre-sized scratch owned by a plan. Each accessor grows its buffer only
 /// when the request exceeds the current size and counts every growth, so a
 /// test can assert that repeated execute() calls allocate nothing.
+/// Not thread-safe: see the SpmvPlan concurrency contract above.
 class Workspace {
  public:
   /// Scratch vector of n values (BRO-HYB's y_coo).
@@ -36,6 +48,15 @@ class Workspace {
 
   /// BRO-COO carry scratch for n intervals.
   std::span<kernels::BroCooCarry> carries(std::size_t n);
+
+  /// BRO-COO SpMM carry sums: n = intervals * 2 * k values (see
+  /// kernels/native_spmm.h for the layout).
+  std::span<value_t> carry_sums(std::size_t n);
+
+  /// Gather/scatter scratch for the multi-vector fallback path: one
+  /// contiguous x column and one y column.
+  std::span<value_t> gather_x(std::size_t n);
+  std::span<value_t> gather_y(std::size_t n);
 
   /// The COO row-range split for this matrix at the plan's thread count,
   /// computed on first request and cached. The cache is keyed on the matrix
@@ -50,6 +71,9 @@ class Workspace {
  private:
   std::vector<value_t> values_;
   std::vector<kernels::BroCooCarry> carries_;
+  std::vector<value_t> carry_sums_;
+  std::vector<value_t> gather_x_;
+  std::vector<value_t> gather_y_;
   std::vector<kernels::CooRange> ranges_;
   const sparse::Coo* ranges_for_ = nullptr;
   std::size_t ranges_nnz_ = 0;
@@ -61,10 +85,18 @@ class Workspace {
 /// repeatedly: the built representation (shared with the facade's cache)
 /// plus a pre-sized workspace. Built once per (matrix, format, thread
 /// count); execute() performs no per-call heap allocation.
+///
+/// Plans are movable but not copyable, and must not execute concurrently
+/// from two threads (see the file-header contract).
 class SpmvPlan {
  public:
   explicit SpmvPlan(std::shared_ptr<const core::Matrix> matrix,
                     std::optional<core::Format> format = std::nullopt);
+
+  SpmvPlan(SpmvPlan&& other) noexcept;
+  SpmvPlan& operator=(SpmvPlan&& other) noexcept;
+  SpmvPlan(const SpmvPlan&) = delete;
+  SpmvPlan& operator=(const SpmvPlan&) = delete;
 
   core::Format format() const { return traits_->format; }
   const FormatTraits& format_traits() const { return *traits_; }
@@ -76,13 +108,35 @@ class SpmvPlan {
   /// reference for formats without one). Allocation-free after build.
   void execute(std::span<const value_t> x, std::span<value_t> y);
 
+  /// Y = A * X for k interleaved right-hand sides (X[c*k + j] is element c
+  /// of vector j; see kernels/native_spmm.h). Formats with an SpMM kernel
+  /// (CSR, ELLPACK, BRO-ELL, BRO-COO) decode each index once per batch;
+  /// the rest fall back to k single-vector executes through gather/scatter
+  /// scratch. Column j of Y is bitwise-identical to execute() on column j
+  /// of X either way.
+  void execute_multi(std::span<const value_t> x, std::span<value_t> y, int k);
+
   /// Workspace growth counter — stable across execute() calls once built.
   std::size_t workspace_allocations() const { return ws_.allocations(); }
 
+  /// Estimated resident bytes of this plan: the facade's base CSR plus the
+  /// built representation (registry resident_bytes hook). What the serve
+  /// layer's PlanCache charges against its byte budget.
+  std::size_t resident_bytes() const;
+
+  /// Test seam for the concurrency contract: acquire/release exactly the
+  /// in-use guard execute() takes, so a test can prove that concurrent
+  /// entry throws instead of racing.
+  void debug_acquire();
+  void debug_release();
+
  private:
+  void execute_impl(std::span<const value_t> x, std::span<value_t> y);
+
   std::shared_ptr<const core::Matrix> matrix_;
   const FormatTraits* traits_;
   Workspace ws_;
+  std::atomic<bool> in_use_{false};
 };
 
 /// Convenience: take ownership of a facade and plan it in one step.

@@ -1,0 +1,200 @@
+#include "kernels/native_spmm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "bits/bitwidth.h"
+#include "bits/delta.h"
+#include "util/error.h"
+
+namespace bro::kernels {
+
+namespace {
+
+void check_spmm_shapes(index_t rows, index_t cols, std::span<const value_t> x,
+                       std::span<value_t> y, int k) {
+  BRO_CHECK_MSG(k >= 1, "SpMM batch size must be >= 1");
+  BRO_CHECK(x.size() == static_cast<std::size_t>(cols) *
+                            static_cast<std::size_t>(k));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(rows) *
+                            static_cast<std::size_t>(k));
+}
+
+} // namespace
+
+void native_spmm_csr(const sparse::Csr& a, std::span<const value_t> x,
+                     std::span<value_t> y, int k) {
+  check_spmm_shapes(a.rows, a.cols, x, y, k);
+  const std::size_t uk = static_cast<std::size_t>(k);
+#pragma omp parallel for schedule(guided)
+  for (index_t r = 0; r < a.rows; ++r) {
+    value_t* yr = y.data() + static_cast<std::size_t>(r) * uk;
+    std::fill(yr, yr + uk, value_t{0});
+    for (index_t p = a.row_ptr[r]; p < a.row_ptr[r + 1]; ++p) {
+      const value_t v = a.vals[p];
+      const value_t* xc = x.data() + static_cast<std::size_t>(a.col_idx[p]) * uk;
+      for (std::size_t j = 0; j < uk; ++j) yr[j] += v * xc[j];
+    }
+  }
+}
+
+void native_spmm_ell(const sparse::Ell& a, std::span<const value_t> x,
+                     std::span<value_t> y, int k) {
+  check_spmm_shapes(a.rows, a.cols, x, y, k);
+  const std::size_t uk = static_cast<std::size_t>(k);
+#pragma omp parallel for schedule(static)
+  for (index_t r = 0; r < a.rows; ++r) {
+    value_t* yr = y.data() + static_cast<std::size_t>(r) * uk;
+    std::fill(yr, yr + uk, value_t{0});
+    for (index_t j = 0; j < a.width; ++j) {
+      const index_t c = a.col_at(r, j);
+      if (c == sparse::kPad) break; // rows are left-packed
+      const value_t v = a.val_at(r, j);
+      const value_t* xc = x.data() + static_cast<std::size_t>(c) * uk;
+      for (std::size_t b = 0; b < uk; ++b) yr[b] += v * xc[b];
+    }
+  }
+}
+
+void native_spmm_bro_ell(const core::BroEll& a, std::span<const value_t> x,
+                         std::span<value_t> y, int k) {
+  check_spmm_shapes(a.rows(), a.cols(), x, y, k);
+  const std::size_t uk = static_cast<std::size_t>(k);
+  const auto& slices = a.slices();
+  const int sym_len = a.options().sym_len;
+  const index_t m = a.rows();
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::size_t si = 0; si < slices.size(); ++si) {
+    const core::BroEllSlice& slice = slices[si];
+    for (index_t t = 0; t < slice.height; ++t) {
+      const index_t r = slice.first_row + t;
+      core::RowStreamDecoder dec(slice, t, sym_len);
+      index_t col = -1;
+      value_t* yr = y.data() + static_cast<std::size_t>(r) * uk;
+      std::fill(yr, yr + uk, value_t{0});
+      // One decode per column index, k FMAs per decode: the unpacking cost
+      // of Algorithm 1 is amortized over the batch.
+      for (index_t c = 0; c < slice.num_col; ++c) {
+        const std::uint32_t d =
+            dec.next(slice.bit_alloc[static_cast<std::size_t>(c)]);
+        if (d != bits::kInvalidDelta) {
+          col += static_cast<index_t>(d);
+          const value_t v = a.vals()[static_cast<std::size_t>(c) * m + r];
+          const value_t* xc =
+              x.data() + static_cast<std::size_t>(col) * uk;
+          for (std::size_t b = 0; b < uk; ++b) yr[b] += v * xc[b];
+        }
+      }
+    }
+  }
+}
+
+void native_spmm_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
+                         std::span<value_t> y, int k) {
+  std::vector<BroCooCarry> carries(a.intervals().size());
+  std::vector<value_t> carry_sums(a.intervals().size() * 2 *
+                                  static_cast<std::size_t>(k));
+  native_spmm_bro_coo(a, x, y, k, carries, carry_sums);
+}
+
+void native_spmm_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
+                         std::span<value_t> y, int k,
+                         std::span<BroCooCarry> carries,
+                         std::span<value_t> carry_sums) {
+  check_spmm_shapes(a.rows(), a.cols(), x, y, k);
+  std::fill(y.begin(), y.end(), value_t{0});
+  const auto& intervals = a.intervals();
+  if (intervals.empty()) return;
+  const std::size_t uk = static_cast<std::size_t>(k);
+  BRO_CHECK(carries.size() >= intervals.size());
+  BRO_CHECK(carry_sums.size() >= intervals.size() * 2 * uk);
+
+  const int w = a.options().warp_size;
+  const int cols = a.options().interval_cols;
+  const int sym_len = a.options().sym_len;
+  const std::size_t interval_size =
+      static_cast<std::size_t>(w) * static_cast<std::size_t>(cols);
+
+  // Same carry discipline as the single-vector kernel (native_spmv.cpp),
+  // with the two boundary-row partial sums widened to k values each.
+#pragma omp parallel for schedule(dynamic, 4)
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const auto& iv = intervals[i];
+    const std::size_t base = i * interval_size;
+    value_t* first_sum = carry_sums.data() + i * 2 * uk;
+    value_t* last_sum = first_sum + uk;
+    std::fill(first_sum, first_sum + 2 * uk, value_t{0});
+    BroCooCarry carry;
+    carry.first_row = iv.start_row;
+
+    index_t last_row = iv.start_row;
+    for (int j = 0; j < w; ++j) {
+      std::uint64_t sym = 0;
+      int rb = 0;
+      index_t loads = 0;
+      index_t row = iv.start_row;
+      for (int c = 0; c < cols; ++c) {
+        std::uint64_t d;
+        if (iv.bits <= rb) {
+          d = (sym >> (rb - iv.bits)) & bits::max_value_for_bits(iv.bits);
+          rb -= iv.bits;
+        } else {
+          const int high = rb;
+          d = high > 0 ? (sym & bits::max_value_for_bits(high)) : 0;
+          sym = iv.stream.at(static_cast<std::size_t>(loads),
+                             static_cast<std::size_t>(j));
+          ++loads;
+          rb = sym_len;
+          const int low = iv.bits - high;
+          d = (d << low) |
+              ((sym >> (rb - low)) & bits::max_value_for_bits(low));
+          rb -= low;
+        }
+        row += static_cast<index_t>(d);
+        const std::size_t e = base + static_cast<std::size_t>(c) * w +
+                              static_cast<std::size_t>(j);
+        const value_t v = a.vals()[e];
+        const value_t* xc =
+            x.data() + static_cast<std::size_t>(a.col_idx()[e]) * uk;
+        if (row == iv.start_row) {
+          for (std::size_t b = 0; b < uk; ++b) first_sum[b] += v * xc[b];
+        } else {
+          if (row > last_row) {
+            // Flush the previous candidate "last row" into y: it turned out
+            // not to be the final row of the interval.
+            if (last_row != iv.start_row) {
+              value_t* yl = y.data() + static_cast<std::size_t>(last_row) * uk;
+              for (std::size_t b = 0; b < uk; ++b) yl[b] += last_sum[b];
+            }
+            std::fill(last_sum, last_sum + uk, value_t{0});
+            last_row = row;
+          }
+          if (row == last_row) {
+            for (std::size_t b = 0; b < uk; ++b) last_sum[b] += v * xc[b];
+          } else {
+            value_t* yr = y.data() + static_cast<std::size_t>(row) * uk;
+            for (std::size_t b = 0; b < uk; ++b) yr[b] += v * xc[b];
+          }
+        }
+      }
+    }
+    carry.last_row = last_row;
+    carries[i] = carry;
+  }
+
+  // Sequential carry resolution, in interval order as the single-vector
+  // kernel does it.
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const BroCooCarry& c = carries[i];
+    const value_t* first_sum = carry_sums.data() + i * 2 * uk;
+    const value_t* last_sum = first_sum + uk;
+    value_t* yf = y.data() + static_cast<std::size_t>(c.first_row) * uk;
+    for (std::size_t b = 0; b < uk; ++b) yf[b] += first_sum[b];
+    if (c.last_row != c.first_row) {
+      value_t* yl = y.data() + static_cast<std::size_t>(c.last_row) * uk;
+      for (std::size_t b = 0; b < uk; ++b) yl[b] += last_sum[b];
+    }
+  }
+}
+
+} // namespace bro::kernels

@@ -1,0 +1,224 @@
+#include "serve/server.h"
+
+#include "engine/format_registry.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace bro::serve {
+
+namespace {
+
+// Latency buckets: 1 µs .. 10 s, doubling — 24 buckets covers every host
+// kernel this repo runs.
+Histogram latency_histogram() {
+  return Histogram::exponential(1e-6, 10.0, 2.0);
+}
+
+} // namespace
+
+ServerMetrics::ServerMetrics()
+    : batch_sizes(Histogram::linear(0.5, 64.5, 64)) {}
+
+SpmvServer::SpmvServer(ServerOptions opts)
+    : opts_(opts), cache_(opts.cache_bytes) {
+  BRO_CHECK_MSG(opts_.threads >= 0, "SpmvServer threads must be >= 0");
+  BRO_CHECK_MSG(opts_.max_batch >= 1, "SpmvServer max_batch must be >= 1");
+  BRO_CHECK_MSG(opts_.max_queue >= 1, "SpmvServer max_queue must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(opts_.threads));
+  for (int i = 0; i < opts_.threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+SpmvServer::~SpmvServer() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+  // Synchronous servers have no workers to drain the queue; serve what is
+  // left so no promise is silently broken.
+  while (poll_once()) {
+  }
+}
+
+void SpmvServer::add_matrix(const std::string& id, core::Matrix matrix) {
+  add_matrix(id,
+             std::make_shared<const core::Matrix>(std::move(matrix)));
+}
+
+void SpmvServer::add_matrix(const std::string& id,
+                            std::shared_ptr<const core::Matrix> matrix) {
+  BRO_CHECK_MSG(matrix != nullptr, "add_matrix requires a matrix");
+  auto entry = std::make_shared<MatrixEntry>();
+  entry->matrix = std::move(matrix);
+  std::lock_guard lk(mu_);
+  matrices_[id] = std::move(entry);
+}
+
+std::shared_ptr<const core::Matrix> SpmvServer::matrix(
+    const std::string& id) const {
+  std::lock_guard lk(mu_);
+  const auto it = matrices_.find(id);
+  return it == matrices_.end() ? nullptr : it->second->matrix;
+}
+
+std::future<std::vector<value_t>> SpmvServer::submit(
+    const std::string& id, std::vector<value_t> x) {
+  std::unique_lock lk(mu_);
+  const auto it = matrices_.find(id);
+  BRO_CHECK_MSG(it != matrices_.end(), "unknown matrix id '" << id << "'");
+  const auto cols =
+      static_cast<std::size_t>(it->second->matrix->cols());
+  BRO_CHECK_MSG(x.size() == cols, "matrix '" << id << "' needs x of size "
+                                             << cols << ", got " << x.size());
+  if (queue_.size() >= opts_.max_queue) {
+    lk.unlock();
+    {
+      std::lock_guard mlk(metrics_mu_);
+      ++metrics_.rejected;
+    }
+    throw RejectedError("serve queue full (" +
+                        std::to_string(opts_.max_queue) +
+                        " pending); retry later");
+  }
+  Request req;
+  req.id = id;
+  req.x = std::move(x);
+  auto future = req.result.get_future();
+  queue_.push_back(std::move(req));
+  lk.unlock();
+  {
+    std::lock_guard mlk(metrics_mu_);
+    ++metrics_.submitted;
+  }
+  work_ready_.notify_one();
+  return future;
+}
+
+std::vector<SpmvServer::Request> SpmvServer::take_batch_locked() {
+  std::vector<Request> batch;
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  // Coalesce: pull every queued request for the same matrix (submission
+  // order preserved) up to max_batch — they become one SpMM.
+  for (auto it = queue_.begin();
+       it != queue_.end() &&
+       batch.size() < static_cast<std::size_t>(opts_.max_batch);) {
+    if (it->id == batch.front().id) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return batch;
+}
+
+bool SpmvServer::poll_once() {
+  std::unique_lock lk(mu_);
+  if (queue_.empty()) return false;
+  auto batch = take_batch_locked();
+  ++in_flight_;
+  lk.unlock();
+  serve_batch(std::move(batch));
+  lk.lock();
+  --in_flight_;
+  if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+  return true;
+}
+
+void SpmvServer::worker_loop() {
+  for (;;) {
+    std::unique_lock lk(mu_);
+    work_ready_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    auto batch = take_batch_locked();
+    ++in_flight_;
+    lk.unlock();
+    serve_batch(std::move(batch));
+    lk.lock();
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+  }
+}
+
+bool SpmvServer::serve_batch(std::vector<Request> batch) {
+  const std::string& id = batch.front().id;
+  std::shared_ptr<MatrixEntry> entry;
+  {
+    std::lock_guard lk(mu_);
+    entry = matrices_.at(id); // submit() validated the id
+  }
+  const int k = static_cast<int>(batch.size());
+  const std::size_t uk = batch.size();
+  try {
+    auto plan = cache_.get_or_build(id, entry->matrix, opts_.format);
+    const auto rows = static_cast<std::size_t>(plan->rows());
+    const auto cols = static_cast<std::size_t>(plan->cols());
+
+    std::vector<value_t> x_batch(cols * uk);
+    for (std::size_t j = 0; j < uk; ++j) {
+      BRO_CHECK_MSG(batch[j].x.size() == cols,
+                    "matrix '" << id << "' changed shape mid-flight");
+      for (std::size_t c = 0; c < cols; ++c)
+        x_batch[c * uk + j] = batch[j].x[c];
+    }
+    std::vector<value_t> y_batch(rows * uk);
+
+    double secs;
+    {
+      // One executor per plan at a time (the SpmvPlan contract).
+      std::lock_guard ex(entry->exec_mu);
+      Timer t;
+      plan->execute_multi(x_batch, y_batch, k);
+      secs = t.seconds();
+    }
+
+    for (std::size_t j = 0; j < uk; ++j) {
+      std::vector<value_t> y(rows);
+      for (std::size_t r = 0; r < rows; ++r) y[r] = y_batch[r * uk + j];
+      batch[j].result.set_value(std::move(y));
+    }
+
+    std::lock_guard mlk(metrics_mu_);
+    ++metrics_.batches;
+    metrics_.served += uk;
+    metrics_.batch_sizes.add(static_cast<double>(k));
+    auto [hit, inserted] = metrics_.latency_by_format.try_emplace(
+        plan->format_traits().name, latency_histogram());
+    (void)inserted;
+    hit->second.add(secs);
+    return true;
+  } catch (...) {
+    const auto error = std::current_exception();
+    for (auto& req : batch) req.result.set_exception(error);
+    std::lock_guard mlk(metrics_mu_);
+    metrics_.failed += uk;
+    return false;
+  }
+}
+
+void SpmvServer::drain() {
+  if (opts_.threads == 0) {
+    // Synchronous mode: the caller is the worker.
+    while (poll_once()) {
+    }
+  }
+  std::unique_lock lk(mu_);
+  idle_.wait(lk, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+ServerMetrics SpmvServer::metrics() const {
+  ServerMetrics m = [&] {
+    std::lock_guard mlk(metrics_mu_);
+    return metrics_;
+  }();
+  m.cache = cache_.stats();
+  return m;
+}
+
+} // namespace bro::serve

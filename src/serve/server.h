@@ -1,0 +1,142 @@
+// bro::serve::SpmvServer — the concurrent multi-matrix serving layer.
+//
+// The repo's north star is a service, not a library: many callers, a
+// working set of matrices, each request a right-hand side. The server
+// composes the pieces the engine already provides into that shape:
+//
+//   * a PlanCache so a request never rebuilds a compressed plan another
+//     request already paid for,
+//   * request coalescing: queued requests against the same matrix are
+//     folded into one execute_multi() batch, so every decoded index feeds
+//     k FMAs (kernels/native_spmm.h) — the paper's bits-per-flop win
+//     applied across requests,
+//   * a fixed worker pool with a bounded queue and explicit backpressure:
+//     submit() throws RejectedError when the queue is full; the queue can
+//     never grow without bound,
+//   * serve metrics: cache hits/misses/evictions, a batch-size histogram,
+//     and per-format batch-latency percentiles (util/histogram.h), exposed
+//     through `brospmv serve-bench`.
+//
+// With threads == 0 the server runs synchronously: no workers are started
+// and the caller drives batches with poll_once() — deterministic, which is
+// what the batching tests and benches need.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+#include <deque>
+
+#include "serve/plan_cache.h"
+#include "util/histogram.h"
+
+namespace bro::serve {
+
+struct ServerOptions {
+  int threads = 2;          // workers; 0 = synchronous (poll_once drives)
+  std::size_t max_queue = 256; // pending-request bound (backpressure)
+  int max_batch = 8;        // most right-hand sides folded into one SpMM
+  std::size_t cache_bytes = std::size_t{256} << 20; // plan-cache budget
+  // Force one format for every matrix; default auto-selects per matrix.
+  std::optional<core::Format> format;
+};
+
+/// Backpressure signal: the pending queue is at max_queue. Retry later or
+/// shed load; the server never queues unboundedly.
+class RejectedError : public std::runtime_error {
+ public:
+  explicit RejectedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct ServerMetrics {
+  std::uint64_t submitted = 0; // accepted into the queue
+  std::uint64_t rejected = 0;  // refused with RejectedError
+  std::uint64_t served = 0;    // requests whose future got a value
+  std::uint64_t failed = 0;    // requests whose future got an exception
+  std::uint64_t batches = 0;   // execute_multi invocations
+  PlanCacheStats cache;
+  Histogram batch_sizes;       // one sample per batch
+  // One histogram of per-batch execute seconds per canonical format name.
+  std::unordered_map<std::string, Histogram> latency_by_format;
+
+  ServerMetrics();
+};
+
+class SpmvServer {
+ public:
+  explicit SpmvServer(ServerOptions opts = {});
+  /// Drains the queue, then joins the workers.
+  ~SpmvServer();
+
+  SpmvServer(const SpmvServer&) = delete;
+  SpmvServer& operator=(const SpmvServer&) = delete;
+
+  /// Register a matrix under `id` (replacing any previous registration for
+  /// new requests; in-flight batches keep the plan they resolved).
+  void add_matrix(const std::string& id, core::Matrix matrix);
+  void add_matrix(const std::string& id,
+                  std::shared_ptr<const core::Matrix> matrix);
+
+  /// The registered matrix, or null.
+  std::shared_ptr<const core::Matrix> matrix(const std::string& id) const;
+
+  /// Enqueue y = A[id] * x; the future delivers y (or the serving error).
+  /// Throws std::runtime_error for an unknown id or wrong-sized x, and
+  /// RejectedError when the queue is full.
+  std::future<std::vector<value_t>> submit(const std::string& id,
+                                           std::vector<value_t> x);
+
+  /// Serve one coalesced batch on the calling thread. Returns false when
+  /// the queue is empty. The synchronous driver for threads == 0 setups
+  /// (also usable alongside workers).
+  bool poll_once();
+
+  /// Block until the queue is empty and no batch is in flight.
+  void drain();
+
+  ServerMetrics metrics() const;
+  const ServerOptions& options() const { return opts_; }
+
+ private:
+  struct Request {
+    std::string id;
+    std::vector<value_t> x;
+    std::promise<std::vector<value_t>> result;
+  };
+  struct MatrixEntry {
+    std::shared_ptr<const core::Matrix> matrix;
+    // SpmvPlan is a single-executor object (engine/plan.h); batches for
+    // the same matrix serialize on this so two workers never share the
+    // plan's workspace concurrently.
+    std::mutex exec_mu;
+  };
+
+  void worker_loop();
+  bool serve_batch(std::vector<Request> batch);
+  std::vector<Request> take_batch_locked();
+
+  ServerOptions opts_;
+  PlanCache cache_;
+
+  mutable std::mutex mu_; // guards matrices_, queue_, in_flight_, stop_
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::unordered_map<std::string, std::shared_ptr<MatrixEntry>> matrices_;
+  std::deque<Request> queue_;
+  int in_flight_ = 0;
+  bool stop_ = false;
+
+  mutable std::mutex metrics_mu_;
+  ServerMetrics metrics_;
+
+  std::vector<std::thread> workers_;
+};
+
+} // namespace bro::serve

@@ -1,0 +1,85 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace bro {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  BRO_CHECK_MSG(!bounds_.empty(), "Histogram needs at least one bucket");
+  BRO_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "Histogram bounds must be sorted");
+}
+
+Histogram Histogram::linear(double lo, double hi, std::size_t buckets) {
+  BRO_CHECK_MSG(buckets > 0 && hi > lo, "bad linear histogram shape");
+  std::vector<double> bounds(buckets);
+  const double step = (hi - lo) / static_cast<double>(buckets);
+  for (std::size_t i = 0; i < buckets; ++i)
+    bounds[i] = lo + step * static_cast<double>(i + 1);
+  return Histogram(std::move(bounds));
+}
+
+Histogram Histogram::exponential(double lo, double hi, double factor) {
+  BRO_CHECK_MSG(lo > 0 && hi > lo && factor > 1,
+                "bad exponential histogram shape");
+  std::vector<double> bounds;
+  for (double b = lo; b < hi; b *= factor) bounds.push_back(b);
+  bounds.push_back(hi);
+  return Histogram(std::move(bounds));
+}
+
+void Histogram::add(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  BRO_CHECK_MSG(other.bounds_ == bounds_,
+                "Histogram::merge requires identical bucket bounds");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  if (other.count_ > 0) {
+    min_ = count_ ? std::min(min_, other.min_) : other.min_;
+    max_ = count_ ? std::max(max_, other.max_) : other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(clamped / 100.0 * static_cast<double>(count_))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= rank)
+      return i < bounds_.size() ? bounds_[i] : max_;
+  }
+  return max_;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << "p50=" << percentile(50) << " p95=" << percentile(95)
+     << " p99=" << percentile(99) << " max=" << max();
+  return os.str();
+}
+
+} // namespace bro

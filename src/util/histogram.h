@@ -1,0 +1,59 @@
+// Fixed-bucket histogram for serve metrics: batch-size distributions and
+// latency percentiles. Buckets are chosen at construction (linear or
+// exponential edges), add() is O(log buckets), and percentile() answers
+// from bucket counts — accurate to one bucket width, which is what a
+// serving dashboard needs without unbounded memory.
+//
+// Not internally synchronized; the serve layer guards its histograms with
+// the metrics mutex.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bro {
+
+class Histogram {
+ public:
+  /// `buckets` evenly spaced upper bounds over (lo, hi]; values above hi
+  /// land in an implicit overflow bucket.
+  static Histogram linear(double lo, double hi, std::size_t buckets);
+
+  /// Upper bounds lo, lo*factor, lo*factor^2, ... up to and including the
+  /// first bound >= hi (factor > 1). The right shape for latencies.
+  static Histogram exponential(double lo, double hi, double factor);
+
+  void add(double v);
+  void merge(const Histogram& other); // other must share this bucket shape
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Value at or below which p percent (0 < p <= 100) of the samples fall,
+  /// reported as the containing bucket's upper bound (the overflow bucket
+  /// reports the observed maximum). 0 when empty.
+  double percentile(double p) const;
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket counts; one extra trailing entry is the overflow bucket.
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// "p50=1.2e-04 p95=3.1e-04 p99=3.1e-04 max=4.0e-04" — log-line form.
+  std::string summary() const;
+
+ private:
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;        // sorted upper bounds
+  std::vector<std::uint64_t> counts_; // bounds_.size() + 1 (overflow)
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+} // namespace bro

@@ -1,0 +1,309 @@
+// Serving-layer tests: PlanCache hit/miss/eviction accounting (including
+// the N-threads-by-M-matrices contention case), SpmvServer correctness,
+// deterministic batching through the synchronous poll_once path,
+// backpressure, and the SpmvPlan single-executor guard.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/plan.h"
+#include "serve/plan_cache.h"
+#include "serve/server.h"
+#include "sparse/convert.h"
+#include "sparse/matgen/generators.h"
+#include "util/rng.h"
+
+namespace bs = bro::sparse;
+namespace bc = bro::core;
+namespace be = bro::engine;
+namespace bv = bro::serve;
+using bro::index_t;
+using bro::value_t;
+
+namespace {
+
+std::shared_ptr<bc::Matrix> make_matrix(index_t rows, index_t cols,
+                                        std::uint64_t seed) {
+  bs::GenSpec spec;
+  spec.rows = rows;
+  spec.cols = cols;
+  spec.mu = 7;
+  spec.sigma = 3;
+  spec.seed = seed;
+  return std::make_shared<bc::Matrix>(bc::Matrix::from_csr(bs::generate(spec)));
+}
+
+std::vector<value_t> random_x(index_t n, std::uint64_t seed) {
+  bro::Rng rng(seed);
+  std::vector<value_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform() * 2 - 1;
+  return x;
+}
+
+std::vector<value_t> reference(const bc::Matrix& m,
+                               const std::vector<value_t>& x) {
+  std::vector<value_t> y(static_cast<std::size_t>(m.rows()));
+  bs::spmv_csr_reference(m.csr(), x, y);
+  return y;
+}
+
+void expect_near_ref(const std::vector<value_t>& y,
+                     const std::vector<value_t>& ref) {
+  ASSERT_EQ(y.size(), ref.size());
+  for (std::size_t r = 0; r < ref.size(); ++r)
+    ASSERT_NEAR(y[r], ref[r], 1e-10 * (1.0 + std::abs(ref[r]))) << "row " << r;
+}
+
+} // namespace
+
+TEST(PlanCache, HitsMissesAndSharing) {
+  bv::PlanCache cache(std::size_t{64} << 20);
+  auto m = make_matrix(120, 110, 1);
+
+  auto p1 = cache.get_or_build("a", m, bc::Format::kCsr);
+  auto p2 = cache.get_or_build("a", m, bc::Format::kCsr);
+  EXPECT_EQ(p1.get(), p2.get()); // same cached plan, not a rebuild
+  auto p3 = cache.get_or_build("a", m, bc::Format::kBroEll);
+  EXPECT_NE(p1.get(), p3.get()); // format is part of the key
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_GT(s.resident_bytes, 0u);
+  EXPECT_EQ(s.resident_bytes, p1->resident_bytes() + p3->resident_bytes());
+}
+
+TEST(PlanCache, LruEvictionKeepsMostRecent) {
+  // A 1-byte budget admits exactly one (MRU) entry at a time.
+  bv::PlanCache cache(1);
+  auto ma = make_matrix(100, 100, 2);
+  auto mb = make_matrix(100, 100, 3);
+
+  auto pa = cache.get_or_build("a", ma, bc::Format::kCsr);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  cache.get_or_build("b", mb, bc::Format::kCsr); // evicts "a"
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // "a" was evicted, so this is a miss; our shared_ptr kept pa alive.
+  auto pa2 = cache.get_or_build("a", ma, bc::Format::kCsr);
+  EXPECT_NE(pa.get(), pa2.get());
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.evictions, 2u);
+
+  // The evicted plan is still usable through the caller's reference.
+  const auto x = random_x(ma->cols(), 7);
+  std::vector<value_t> y(static_cast<std::size_t>(ma->rows()));
+  pa->execute(x, y);
+  expect_near_ref(y, reference(*ma, x));
+}
+
+TEST(PlanCache, ClearDropsEntries) {
+  bv::PlanCache cache(std::size_t{64} << 20);
+  auto m = make_matrix(60, 60, 4);
+  cache.get_or_build("a", m);
+  cache.get_or_build("b", m);
+  cache.clear();
+  const auto s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.resident_bytes, 0u);
+}
+
+// The contention satellite: N threads hammer M matrices through one cache
+// whose budget forces continual eviction. Counters must reconcile exactly
+// and every result must match the sequential CSR reference.
+TEST(PlanCache, ContendedCountersReconcileAndResultsMatch) {
+  constexpr int kThreads = 4;
+  constexpr int kMatrices = 3;
+  constexpr int kIters = 25;
+
+  std::vector<std::shared_ptr<bc::Matrix>> matrices;
+  std::vector<std::vector<value_t>> xs, refs;
+  for (int i = 0; i < kMatrices; ++i) {
+    matrices.push_back(make_matrix(150 + 10 * i, 140 + 10 * i,
+                                   static_cast<std::uint64_t>(100 + i)));
+    xs.push_back(random_x(matrices.back()->cols(),
+                          static_cast<std::uint64_t>(200 + i)));
+    refs.push_back(reference(*matrices.back(), xs.back()));
+  }
+
+  // Budget of one plan: threads constantly evict each other's entries.
+  bv::PlanCache cache(be::SpmvPlan(matrices[0], bc::Format::kCsr)
+                          .resident_bytes());
+  // Returned plans are single-executor objects shared between threads that
+  // hit the same cache entry; executes serialize per matrix id, exactly as
+  // SpmvServer does.
+  std::mutex exec_mu[kMatrices];
+
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string ids[] = {"m0", "m1", "m2"};
+      for (int it = 0; it < kIters; ++it) {
+        const int i = (t + it) % kMatrices;
+        auto plan = cache.get_or_build(
+            ids[i], matrices[static_cast<std::size_t>(i)], bc::Format::kCsr);
+        std::vector<value_t> y(refs[static_cast<std::size_t>(i)].size());
+        {
+          std::lock_guard<std::mutex> lock(exec_mu[i]);
+          plan->execute(xs[static_cast<std::size_t>(i)], y);
+        }
+        const auto& ref = refs[static_cast<std::size_t>(i)];
+        for (std::size_t r = 0; r < ref.size(); ++r)
+          if (std::abs(y[r] - ref[r]) > 1e-10 * (1.0 + std::abs(ref[r]))) {
+            ++failures;
+            break;
+          }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, std::uint64_t{kThreads} * kIters);
+  EXPECT_EQ(s.build_failures, 0u);
+  EXPECT_GT(s.evictions, 0u); // the tiny budget must have evicted
+  EXPECT_EQ(s.entries, s.misses - s.evictions - s.build_failures);
+  EXPECT_LE(s.resident_bytes, 2 * cache.max_resident_bytes());
+}
+
+TEST(SpmvPlan, ConcurrentExecuteThrowsInsteadOfRacing) {
+  auto m = make_matrix(80, 80, 5);
+  be::SpmvPlan plan(m, bc::Format::kCsr);
+  const auto x = random_x(m->cols(), 9);
+  std::vector<value_t> y(static_cast<std::size_t>(m->rows()));
+
+  plan.debug_acquire(); // simulate another thread mid-execute
+  EXPECT_THROW(plan.execute(x, y), std::runtime_error);
+  EXPECT_THROW(plan.execute_multi(x, y, 1), std::runtime_error);
+  plan.debug_release();
+  plan.execute(x, y); // usable again after the guard is released
+  expect_near_ref(y, reference(*m, x));
+}
+
+TEST(SpmvServer, ServesCorrectResults) {
+  bv::ServerOptions opts;
+  opts.threads = 2;
+  bv::SpmvServer server(opts);
+  auto ma = make_matrix(130, 120, 6);
+  auto mb = make_matrix(90, 95, 7);
+  server.add_matrix("a", ma);
+  server.add_matrix("b", mb);
+
+  std::vector<std::future<std::vector<value_t>>> futures;
+  std::vector<std::vector<value_t>> expected;
+  for (int i = 0; i < 20; ++i) {
+    const bool use_a = i % 2 == 0;
+    const auto& m = use_a ? ma : mb;
+    const auto x = random_x(m->cols(), static_cast<std::uint64_t>(400 + i));
+    expected.push_back(reference(*m, x));
+    futures.push_back(server.submit(use_a ? "a" : "b", x));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_near_ref(futures[i].get(), expected[i]);
+  }
+
+  const auto metrics = server.metrics();
+  EXPECT_EQ(metrics.submitted, 20u);
+  EXPECT_EQ(metrics.served, 20u);
+  EXPECT_EQ(metrics.failed, 0u);
+  EXPECT_GE(metrics.cache.misses, 1u);
+  EXPECT_FALSE(metrics.latency_by_format.empty());
+}
+
+TEST(SpmvServer, SynchronousModeCoalescesBatches) {
+  bv::ServerOptions opts;
+  opts.threads = 0; // caller drives with poll_once: fully deterministic
+  opts.max_batch = 4;
+  opts.format = bc::Format::kBroEll;
+  bv::SpmvServer server(opts);
+  auto m = make_matrix(100, 100, 8);
+  server.add_matrix("a", m);
+
+  std::vector<std::future<std::vector<value_t>>> futures;
+  std::vector<std::vector<value_t>> expected;
+  for (int i = 0; i < 8; ++i) {
+    const auto x = random_x(m->cols(), static_cast<std::uint64_t>(500 + i));
+    expected.push_back(reference(*m, x));
+    futures.push_back(server.submit("a", x));
+  }
+
+  EXPECT_TRUE(server.poll_once());  // serves requests 0..3 as one batch
+  EXPECT_TRUE(server.poll_once());  // serves requests 4..7
+  EXPECT_FALSE(server.poll_once()); // queue is empty
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_near_ref(futures[i].get(), expected[i]);
+  }
+
+  const auto metrics = server.metrics();
+  EXPECT_EQ(metrics.batches, 2u);
+  EXPECT_EQ(metrics.served, 8u);
+  EXPECT_DOUBLE_EQ(metrics.batch_sizes.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(metrics.batch_sizes.max(), 4.0);
+  ASSERT_EQ(metrics.latency_by_format.count("BRO-ELL"), 1u);
+  EXPECT_EQ(metrics.latency_by_format.at("BRO-ELL").count(), 2u);
+}
+
+TEST(SpmvServer, BackpressureRejectsWhenQueueFull) {
+  bv::ServerOptions opts;
+  opts.threads = 0;
+  opts.max_queue = 2;
+  bv::SpmvServer server(opts);
+  auto m = make_matrix(50, 50, 9);
+  server.add_matrix("a", m);
+  const auto x = random_x(m->cols(), 10);
+
+  auto f1 = server.submit("a", x);
+  auto f2 = server.submit("a", x);
+  EXPECT_THROW(server.submit("a", x), bv::RejectedError);
+  EXPECT_EQ(server.metrics().rejected, 1u);
+
+  server.drain(); // synchronous drain serves the two queued requests
+  expect_near_ref(f1.get(), reference(*m, x));
+  expect_near_ref(f2.get(), reference(*m, x));
+  // With room again, the same submit is accepted.
+  auto f3 = server.submit("a", x);
+  server.drain();
+  expect_near_ref(f3.get(), reference(*m, x));
+}
+
+TEST(SpmvServer, RejectsBadRequestsEagerly) {
+  bv::SpmvServer server({.threads = 0});
+  auto m = make_matrix(40, 40, 11);
+  server.add_matrix("a", m);
+
+  std::vector<value_t> wrong(static_cast<std::size_t>(m->cols()) + 1, 1.0);
+  EXPECT_THROW(server.submit("a", wrong), std::runtime_error);
+  EXPECT_THROW(server.submit("nope", random_x(40, 12)), std::runtime_error);
+  EXPECT_EQ(server.metrics().submitted, 0u);
+  EXPECT_EQ(server.matrix("a").get(), m.get());
+  EXPECT_EQ(server.matrix("nope"), nullptr);
+}
+
+TEST(SpmvServer, DestructorDrainsPendingRequests) {
+  auto m = make_matrix(60, 60, 13);
+  const auto x = random_x(m->cols(), 14);
+  std::future<std::vector<value_t>> f;
+  {
+    bv::SpmvServer server({.threads = 0});
+    server.add_matrix("a", m);
+    f = server.submit("a", x);
+  } // destructor must serve the queued request, not abandon the promise
+  expect_near_ref(f.get(), reference(*m, x));
+}

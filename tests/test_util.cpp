@@ -7,6 +7,7 @@
 
 #include "util/env.h"
 #include "util/error.h"
+#include "util/histogram.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -118,4 +119,69 @@ TEST(Timer, MeasuresElapsedTime) {
   EXPECT_GT(t.seconds(), 0.0);
   t.reset();
   EXPECT_LT(t.seconds(), 1.0);
+}
+
+TEST(Histogram, LinearBucketsAndPercentiles) {
+  auto h = bro::Histogram::linear(0.0, 10.0, 10); // bounds 1, 2, ..., 10
+  for (int v = 1; v <= 100; ++v) h.add(v * 0.1);  // 0.1 .. 10.0, uniform
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.mean(), 5.05, 1e-9);
+  EXPECT_DOUBLE_EQ(h.min(), 0.1);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  // Uniform over (0, 10] with unit buckets: p50 lands in the (4, 5] bucket.
+  EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(95), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 10.0);
+}
+
+TEST(Histogram, OverflowReportsObservedMax) {
+  auto h = bro::Histogram::linear(0.0, 1.0, 4);
+  h.add(0.5);
+  h.add(123.0); // overflow bucket
+  EXPECT_EQ(h.counts().back(), 1u);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 123.0);
+}
+
+TEST(Histogram, ExponentialBoundsCoverRange) {
+  auto h = bro::Histogram::exponential(1e-6, 1.0, 10.0);
+  const auto& b = h.upper_bounds();
+  ASSERT_FALSE(b.empty());
+  EXPECT_DOUBLE_EQ(b.front(), 1e-6);
+  EXPECT_GE(b.back(), 1.0);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_GT(b[i], b[i - 1]);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  auto h = bro::Histogram::linear(0.0, 1.0, 2);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, MergeCombinesCounts) {
+  auto a = bro::Histogram::linear(0.0, 10.0, 10);
+  auto b = bro::Histogram::linear(0.0, 10.0, 10);
+  a.add(1.5);
+  b.add(7.5);
+  b.add(20.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.max(), 20.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.5);
+  // Mismatched shapes are rejected loudly.
+  auto c = bro::Histogram::linear(0.0, 5.0, 10);
+  EXPECT_THROW(a.merge(c), std::runtime_error);
+}
+
+TEST(Histogram, SummaryMentionsPercentiles) {
+  auto h = bro::Histogram::exponential(1e-6, 10.0, 2.0);
+  h.add(0.001);
+  h.add(0.002);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p95="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+  EXPECT_NE(s.find("max="), std::string::npos);
 }

@@ -7,16 +7,20 @@
 //   brospmv tune <matrix> [--device D]        simulated format ranking
 //   brospmv bench <matrix> [--device D]       per-format simulated GFlop/s
 //   brospmv fuzz [--rounds N] [--seed S]      differential fuzz all formats
+//   brospmv serve-bench [--clients N] ...     drive the serving layer
 //
 // <matrix> is a Matrix Market file, a named suite matrix (with optional
 // --scale, default 0.125), or a .bro file where noted. --device is one of
 // c2070 / gtx680 / k20 (default k20). --format takes any name printed by
 // `brospmv formats`; unknown names are a hard error.
+#include <atomic>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "check/differential.h"
@@ -28,7 +32,9 @@
 #include "sparse/convert.h"
 #include "sparse/matgen/suite.h"
 #include "sparse/mmio.h"
+#include "serve/server.h"
 #include "util/args.h"
+#include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -47,7 +53,12 @@ int usage() {
          "  tune <matrix> [--device D]         simulated format ranking\n"
          "  bench <matrix> [--device D]        per-format simulated GFlop/s\n"
          "  fuzz [--rounds N] [--seed S]       differential-test every format\n"
-         "       [--eps E] [--device D] [--no-sim] [--quiet]\n"
+         "       [--eps E] [--device D] [--no-sim] [--quiet] [--spmm-k K]\n"
+         "  serve-bench [--threads N] [--clients C] [--requests R]\n"
+         "       [--matrices M] [--max-batch K] [--cache-mb B]\n"
+         "       [--format F] [--scale S] [--seed S]\n"
+         "                                     drive the serving layer and\n"
+         "                                     report throughput + metrics\n"
          "matrix: a .mtx path or a suite name (cant, pwtk, ...);\n"
          "options: --scale S (suite matrices, default 0.125),\n"
          "         --device c2070|gtx680|k20 (default k20),\n"
@@ -227,6 +238,8 @@ int cmd_fuzz(const Args& args) {
   opts.eps = args.get_double("eps", opts.eps);
   opts.simulate = !args.has("no-sim");
   opts.device = device_from(args);
+  opts.spmm_k = static_cast<int>(args.get_long("spmm-k", opts.spmm_k));
+  if (opts.spmm_k < 0) throw std::runtime_error("--spmm-k must be >= 0");
 
   std::ostream* log = args.has("quiet") ? nullptr : &std::cout;
   const auto report = check::run_fuzz(opts, log);
@@ -240,6 +253,116 @@ int cmd_fuzz(const Args& args) {
   std::cout << "fuzz OK: " << report.matrices << " matrices, "
             << report.comparisons << " comparisons against the CSR reference"
             << '\n';
+  return 0;
+}
+
+int cmd_serve_bench(const Args& args) {
+  serve::ServerOptions opts;
+  opts.threads = static_cast<int>(args.get_long("threads", opts.threads));
+  if (opts.threads < 0) throw std::runtime_error("--threads must be >= 0");
+  opts.max_batch = static_cast<int>(args.get_long("max-batch", opts.max_batch));
+  opts.cache_bytes =
+      static_cast<std::size_t>(args.get_long("cache-mb", 256)) << 20;
+  if (args.has("format")) opts.format = parse_format(args.get("format", "")).format;
+
+  const int clients = static_cast<int>(args.get_long("clients", 4));
+  const long requests = args.get_long("requests", 200); // per client
+  const int n_matrices = static_cast<int>(args.get_long("matrices", 4));
+  const double scale = args.get_double("scale", 0.05);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_long("seed", 2013));
+  if (clients < 1 || requests < 1 || n_matrices < 1)
+    throw std::runtime_error(
+        "--clients, --requests and --matrices must be >= 1");
+
+  serve::SpmvServer server(opts);
+
+  // Working set: the first M suite matrices, scaled down so plan builds
+  // dominate only the first touch of each (matrix, format) pair.
+  const auto& suite = sparse::suite_entries();
+  std::vector<std::string> ids;
+  std::vector<index_t> cols;
+  std::size_t total_rows = 0;
+  for (int i = 0; i < n_matrices; ++i) {
+    const auto& entry = suite[static_cast<std::size_t>(i) % suite.size()];
+    auto m = std::make_shared<core::Matrix>(core::Matrix::from_csr(
+        sparse::generate_suite_matrix(entry, scale)));
+    std::cout << "matrix " << entry.name << ": " << m->rows() << " x "
+              << m->cols() << ", nnz " << m->nnz() << '\n';
+    ids.push_back(entry.name);
+    cols.push_back(m->cols());
+    total_rows += static_cast<std::size_t>(m->rows());
+    server.add_matrix(entry.name, std::move(m));
+  }
+  (void)total_rows;
+
+  std::atomic<std::size_t> served_rows{0};
+  std::atomic<int> submitting{clients};
+  auto client = [&](int c) {
+    Rng rng(seed + static_cast<std::uint64_t>(c) * 7919);
+    std::vector<std::future<std::vector<value_t>>> pending;
+    for (long r = 0; r < requests; ++r) {
+      const std::size_t m = static_cast<std::size_t>(r) % ids.size();
+      std::vector<value_t> x(static_cast<std::size_t>(cols[m]));
+      for (auto& v : x) v = rng.uniform() * 2 - 1;
+      for (;;) {
+        try {
+          pending.push_back(server.submit(ids[m], std::move(x)));
+          break;
+        } catch (const serve::RejectedError&) {
+          // Backpressure: help (synchronous mode) or back off and retry.
+          if (opts.threads == 0)
+            server.poll_once();
+          else
+            std::this_thread::yield();
+        }
+      }
+      if (opts.threads == 0 && pending.size() % 16 == 0) server.poll_once();
+    }
+    submitting.fetch_sub(1);
+    // Synchronous mode: serve whatever is still queued before waiting, or
+    // f.get() below would block on a future nobody is going to fulfil.
+    if (opts.threads == 0)
+      while (server.poll_once()) {}
+    for (auto& f : pending) served_rows += f.get().size();
+  };
+
+  Timer wall;
+  if (opts.threads == 0 && clients == 1) {
+    client(0); // fully deterministic single-threaded mode
+    server.drain();
+  } else {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) threads.emplace_back(client, c);
+    if (opts.threads == 0) {
+      // Clients only enqueue; serve here until every submit has landed and
+      // the queue stays empty (once submitting hits 0 it can only shrink).
+      while (submitting.load() > 0 || server.poll_once())
+        if (!server.poll_once()) std::this_thread::yield();
+      server.drain();
+    }
+    for (auto& t : threads) t.join();
+    if (opts.threads > 0) server.drain();
+  }
+  const double secs = wall.seconds();
+
+  const auto m = server.metrics();
+  const long total = static_cast<long>(clients) * requests;
+  std::cout << "\nserved    " << m.served << " / " << total << " requests in "
+            << secs << " s (" << double(m.served) / secs << " req/s, "
+            << double(served_rows.load()) / secs << " rows/s)\n"
+            << "rejected  " << m.rejected << " submits bounced (retried)\n"
+            << "batches   " << m.batches << ", mean size "
+            << m.batch_sizes.mean() << ", max " << m.batch_sizes.max() << '\n'
+            << "cache     " << m.cache.hits << " hits, " << m.cache.misses
+            << " misses, " << m.cache.evictions << " evictions, "
+            << m.cache.resident_bytes << " B resident\n";
+  for (const auto& [name, h] : m.latency_by_format)
+    std::cout << "latency   " << name << " batch " << h.summary() << '\n';
+  if (m.failed) {
+    std::cerr << m.failed << " requests failed\n";
+    return 1;
+  }
   return 0;
 }
 
@@ -259,6 +382,8 @@ int main(int argc, char** argv) {
     if (cmd == "tune" && args.positional().size() == 2) return cmd_tune(args);
     if (cmd == "bench" && args.positional().size() == 2) return cmd_bench(args);
     if (cmd == "fuzz" && args.positional().size() == 1) return cmd_fuzz(args);
+    if (cmd == "serve-bench" && args.positional().size() == 1)
+      return cmd_serve_bench(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "brospmv: " << e.what() << '\n';

@@ -1,0 +1,37 @@
+#!/bin/sh
+# End-to-end smoke of the serving layer through the CLI: a synchronous
+# (deterministic) run, a threaded run, and a tiny-queue run that must
+# exercise the RejectedError backpressure path without losing a request.
+# Usage: check_serve_bench.sh /path/to/brospmv
+set -eu
+
+BROSPMV=${1:?usage: check_serve_bench.sh /path/to/brospmv}
+
+echo "== serve-bench (synchronous, deterministic) =="
+"$BROSPMV" serve-bench --threads 0 --clients 1 --requests 48 --matrices 2 \
+    --scale 0.02 --seed 2013 >out.txt
+cat out.txt
+grep -q "served    48 / 48 requests" out.txt
+
+echo "== serve-bench (worker pool) =="
+"$BROSPMV" serve-bench --threads 2 --clients 3 --requests 40 --matrices 2 \
+    --scale 0.02 --seed 7 >out.txt
+cat out.txt
+grep -q "served    120 / 120 requests" out.txt
+
+echo "== serve-bench (forced format, pinned cache) =="
+"$BROSPMV" serve-bench --threads 1 --clients 2 --requests 30 --matrices 3 \
+    --scale 0.02 --format BRO-ELL --cache-mb 1 --seed 11 >out.txt
+cat out.txt
+grep -q "served    60 / 60 requests" out.txt
+grep -q "latency   BRO-ELL" out.txt
+
+echo "== unknown format must fail =="
+if "$BROSPMV" serve-bench --format NO-SUCH 2>err.txt; then
+  echo "FAIL: --format NO-SUCH was accepted"
+  exit 1
+fi
+grep -q "unknown --format" err.txt
+rm -f out.txt err.txt
+
+echo "check_serve_bench: OK"
