@@ -1,0 +1,69 @@
+// Decode-throughput microbenchmark (google-benchmark): pure symbol-stream
+// unpack speed per delta bit width, no values or x gather, for the three
+// decoder variants the width-specialization work compares:
+//
+//   spec    width-templated kernel over packed MuxedStream storage (what the
+//           plan's dispatch table selects for uniform-width slices/intervals)
+//   gen     runtime-width kernel over packed storage (the dispatch fallback)
+//   legacy  runtime-width decode over the old one-uint64-per-symbol slots
+//
+// Reported counter: deltas decoded per second. The same inner loops back
+// `brospmv bench --decode`, which cross-checks all variants for bitwise
+// parity before timing.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "kernels/decode_bench.h"
+
+namespace {
+
+using namespace bro;
+
+constexpr std::size_t kLanes = 64;
+constexpr std::size_t kDeltasPerLane = 16384;
+
+void BM_Decode(benchmark::State& state, kernels::DecodeVariant variant,
+               int sym_len) {
+  const int width = static_cast<int>(state.range(0));
+  const auto c = kernels::make_decode_bench_case(
+      width, sym_len, kLanes, kDeltasPerLane,
+      0x5eed0000u + static_cast<unsigned>(width));
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += kernels::decode_pass(c, variant);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["deltas/s"] = benchmark::Counter(
+      static_cast<double>(kernels::decode_pass_deltas(c)) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  static constexpr int kWidths[] = {1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 32};
+  static constexpr struct {
+    const char* name;
+    kernels::DecodeVariant variant;
+  } kVariants[] = {
+      {"spec", kernels::DecodeVariant::kSpecialized},
+      {"gen", kernels::DecodeVariant::kGeneric},
+      {"legacy", kernels::DecodeVariant::kLegacySlots},
+  };
+  for (const int sym_len : {32, 64}) {
+    for (const auto& v : kVariants) {
+      auto* b = benchmark::RegisterBenchmark(
+          ("decode-" + std::string(v.name) + "/sym" + std::to_string(sym_len))
+              .c_str(),
+          BM_Decode, v.variant, sym_len);
+      for (const int w : kWidths) b->Arg(w);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,12 +6,24 @@ namespace bro::bits {
 
 MuxedStream::MuxedStream(int sym_len, std::size_t height,
                          std::size_t symbols_per_row)
-    : sym_len_(sym_len),
-      height_(height),
-      symbols_per_row_(symbols_per_row),
-      slots_(height * symbols_per_row, 0) {
+    : sym_len_(sym_len), height_(height), symbols_per_row_(symbols_per_row) {
   BRO_CHECK_MSG(sym_len == 32 || sym_len == 64,
                 "sym_len must be 32 or 64, got " << sym_len);
+  const std::size_t n = height * symbols_per_row;
+  if (sym_len == 32)
+    slots32_.assign(n, 0);
+  else
+    slots64_.assign(n, 0);
+}
+
+void MuxedStream::set_slot(std::size_t i, std::uint64_t v) {
+  if (sym_len_ == 32) {
+    BRO_CHECK_MSG(v <= 0xffffffffull,
+                  "symbol value does not fit a 32-bit slot");
+    slots32_[i] = static_cast<std::uint32_t>(v);
+  } else {
+    slots64_[i] = v;
+  }
 }
 
 MuxedStream MuxedStream::interleave(std::span<const BitString> rows,
@@ -26,7 +38,7 @@ MuxedStream MuxedStream::interleave(std::span<const BitString> rows,
   MuxedStream out(sym_len, h, symbols);
   for (std::size_t c = 0; c < symbols; ++c)
     for (std::size_t t = 0; t < h; ++t)
-      out.slots_[c * h + t] = rows[t].symbol(c, sym_len);
+      out.set_slot(c * h + t, rows[t].symbol(c, sym_len));
   return out;
 }
 

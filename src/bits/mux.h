@@ -9,16 +9,21 @@
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "bits/bit_string.h"
 
 namespace bro::bits {
 
-/// A multiplexed stream of fixed-width symbols. Symbols are stored one per
-/// uint64 slot for decode speed on the host; byte_size() reports the true
-/// packed size (sym_len bits per symbol) used for space-savings accounting
-/// and for the simulator's memory addressing.
+/// A multiplexed stream of fixed-width symbols, stored at its true width:
+/// sym_len=32 streams keep one uint32 per symbol, sym_len=64 streams one
+/// uint64. The paper's entire premise is that SpMV is bandwidth-bound, so
+/// the host-side decode path must not re-inflate each 32-bit symbol into a
+/// 64-bit slot (2x the traffic the compression just saved). byte_size()
+/// reports the packed size (sym_len bits per symbol), which now coincides
+/// with the resident storage; the width-specialized kernels read the raw
+/// slot array through data<SymT>().
 class MuxedStream {
  public:
   MuxedStream() = default;
@@ -30,21 +35,50 @@ class MuxedStream {
   int sym_len() const { return sym_len_; }
   std::size_t height() const { return height_; }
   std::size_t symbols_per_row() const { return symbols_per_row_; }
-  std::size_t total_symbols() const { return slots_.size(); }
+  std::size_t total_symbols() const {
+    return sym_len_ == 32 ? slots32_.size() : slots64_.size();
+  }
 
   /// Symbol c of row t (the GPU access comp_str[c*h + t]).
   std::uint64_t at(std::size_t c, std::size_t t) const {
-    return slots_[c * height_ + t];
+    const std::size_t i = c * height_ + t;
+    return sym_len_ == 32 ? slots32_[i] : slots64_[i];
   }
 
   /// Linear access by flat symbol index.
-  std::uint64_t operator[](std::size_t i) const { return slots_[i]; }
-  std::uint64_t& slot(std::size_t i) { return slots_[i]; }
+  std::uint64_t operator[](std::size_t i) const {
+    return sym_len_ == 32 ? slots32_[i] : slots64_[i];
+  }
+
+  /// Store flat symbol i. The value must fit in sym_len bits.
+  void set_slot(std::size_t i, std::uint64_t v);
+
+  /// Raw slot array for the width-specialized decode kernels. SymT must
+  /// match the stream's symbol width (uint32_t for sym_len=32, uint64_t for
+  /// sym_len=64).
+  template <typename SymT>
+  const SymT* data() const {
+    static_assert(std::is_same_v<SymT, std::uint32_t> ||
+                  std::is_same_v<SymT, std::uint64_t>);
+    if constexpr (std::is_same_v<SymT, std::uint32_t>)
+      return slots32_.data();
+    else
+      return slots64_.data();
+  }
 
   /// True packed size in bytes (sym_len bits per symbol, byte-rounded
   /// per stream as a whole).
   std::size_t byte_size() const {
-    return (slots_.size() * static_cast<std::size_t>(sym_len_) + 7) / 8;
+    return (total_symbols() * static_cast<std::size_t>(sym_len_) + 7) / 8;
+  }
+
+  /// Actual heap bytes of the slot storage. Equal to byte_size() now that
+  /// symbols are stored at their true width — half the former one-uint64-
+  /// per-symbol footprint for sym_len=32 streams. Feeds the plan/PlanCache
+  /// resident-byte accounting.
+  std::size_t resident_bytes() const {
+    return slots32_.size() * sizeof(std::uint32_t) +
+           slots64_.size() * sizeof(std::uint64_t);
   }
 
   /// Simulated device address of flat symbol i relative to the stream base.
@@ -56,7 +90,8 @@ class MuxedStream {
   int sym_len_ = 32;
   std::size_t height_ = 0;
   std::size_t symbols_per_row_ = 0;
-  std::vector<std::uint64_t> slots_;
+  std::vector<std::uint32_t> slots32_; // used when sym_len == 32
+  std::vector<std::uint64_t> slots64_; // used when sym_len == 64
 };
 
 } // namespace bro::bits

@@ -185,6 +185,26 @@ class Driver {
       fail(name, t.name, "plan", os.str());
     }
 
+    // Decode parity: the plan's execute just filled y through the
+    // width-specialized dispatch table; the generic runtime-width decoder
+    // must reproduce it bit for bit (same algorithm, same traversal, same
+    // accumulation order — only the unpacking code differs).
+    if (opts_.decode_check && t.native_generic) {
+      std::vector<value_t> y_generic(ref.size());
+      t.native_generic(m, x, y_generic);
+      ++report_.comparisons;
+      for (std::size_t r = 0; r < y_generic.size(); ++r) {
+        if (y_generic[r] != y[r]) {
+          std::ostringstream os;
+          os << "y[" << r << "] = " << y[r]
+             << " from the specialized dispatch but " << y_generic[r]
+             << " from the generic decoder (must be bitwise-identical)";
+          fail(name, t.name, "decode", os.str());
+          break;
+        }
+      }
+    }
+
     if (opts_.simulate && t.sim_apply) {
       const std::vector<value_t> sim_y = t.sim_apply(opts_.device, m, x);
       ++report_.comparisons;

@@ -37,6 +37,10 @@ struct FuzzOptions {
   sim::DeviceSpec device = sim::tesla_k20();
   double max_ell_expand = 3.0; // the ELL applicability rule's bound
   int spmm_k = 3;              // right-hand sides in the SpMM sweep (0: off)
+  // Compare the dispatched (width-specialized) native kernel against the
+  // runtime-width generic decoder *bitwise* for formats that register a
+  // native_generic hook.
+  bool decode_check = true;
   // Matrices with rows or cols beyond this run the validate hook only: an
   // x vector of near-index_t-max size is not allocatable.
   index_t max_spmv_dim = index_t{1} << 24;
@@ -46,7 +50,7 @@ struct FuzzFailure {
   std::string matrix; // generated name, reproducible from (seed, round)
   std::string format; // canonical registry name
   std::string path;   // "validate" | "apply" | "plan" | "sim" | "spmm" |
-                      // "build"
+                      // "decode" | "build"
   std::string message;
 };
 

@@ -152,4 +152,13 @@ std::size_t BroCoo::compressed_row_bytes() const {
   return total;
 }
 
+std::size_t BroCoo::resident_row_bytes() const {
+  std::size_t total = 0;
+  for (const auto& iv : intervals_) {
+    total += iv.stream.resident_bytes();
+    total += sizeof(index_t) + 1;
+  }
+  return total;
+}
+
 } // namespace bro::core

@@ -62,6 +62,11 @@ class BroCoo {
   /// Compressed bytes of the row-index data (streams + per-interval header).
   std::size_t compressed_row_bytes() const;
 
+  /// Actual heap bytes of the row-index data as stored. Coincides with
+  /// compressed_row_bytes() now that MuxedStream packs symbols at their
+  /// true width; feeds the plan/PlanCache resident accounting.
+  std::size_t resident_row_bytes() const;
+
   /// Original row-index bytes (nnz * 4, unpadded).
   std::size_t original_row_bytes() const { return nnz_ * sizeof(index_t); }
 

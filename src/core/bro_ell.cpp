@@ -202,6 +202,16 @@ std::size_t BroEll::compressed_index_bytes() const {
   return total;
 }
 
+std::size_t BroEll::resident_index_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : slices_) {
+    total += s.stream.resident_bytes();
+    total += s.bit_alloc.size();
+    total += sizeof(index_t);
+  }
+  return total;
+}
+
 std::size_t BroEll::original_index_bytes() const {
   return static_cast<std::size_t>(rows_) * static_cast<std::size_t>(width_) *
          sizeof(index_t);

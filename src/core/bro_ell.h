@@ -67,6 +67,12 @@ class BroEll {
   /// Compressed size of the index data: streams + bit_alloc + num_col.
   std::size_t compressed_index_bytes() const;
 
+  /// Actual heap bytes of the index data as stored (streams at their true
+  /// symbol width + bit_alloc + per-slice header). Now that MuxedStream
+  /// packs symbols, this coincides with compressed_index_bytes(); it is the
+  /// number the plan/PlanCache resident accounting charges.
+  std::size_t resident_index_bytes() const;
+
   /// Original ELLPACK index size (m * k * 4 bytes).
   std::size_t original_index_bytes() const;
 

@@ -36,6 +36,11 @@ std::size_t BroHyb::compressed_index_bytes() const {
          coo_.nnz() * sizeof(index_t); // COO col_idx stays uncompressed
 }
 
+std::size_t BroHyb::resident_index_bytes() const {
+  return ell_.resident_index_bytes() + coo_.resident_row_bytes() +
+         coo_.padded_nnz() * sizeof(index_t);
+}
+
 std::size_t BroHyb::original_index_bytes() const {
   return ell_.original_index_bytes() + 2 * coo_.nnz() * sizeof(index_t);
 }

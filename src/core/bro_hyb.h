@@ -46,6 +46,10 @@ class BroHyb {
   /// COO part's uncompressed column indices.
   std::size_t compressed_index_bytes() const;
 
+  /// Actual heap bytes of the index data as stored (see
+  /// BroEll::resident_index_bytes / BroCoo::resident_row_bytes).
+  std::size_t resident_index_bytes() const;
+
   /// Uncompressed HYB index bytes: ELL col_idx + COO row_idx + COO col_idx.
   std::size_t original_index_bytes() const;
 

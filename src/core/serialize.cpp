@@ -151,7 +151,7 @@ bits::MuxedStream read_mux(std::istream& in) {
                 "implausible stream dimensions");
   bits::MuxedStream s(sym_len, height, spr);
   for (std::size_t i = 0; i < s.total_symbols(); ++i)
-    s.slot(i) = read_pod<std::uint64_t>(in);
+    s.set_slot(i, read_pod<std::uint64_t>(in));
   return s;
 }
 

@@ -146,12 +146,14 @@ const std::vector<FormatTraits>& build_registry() {
        }},
 
       {Format::kHyb, "HYB", false, false, true, -1, always_applicable,
-       [](const Matrix& m, Workspace&) { m.hyb(); },
+       [](const Matrix& m, Workspace& ws) { ws.coo_ranges(m.hyb().coo); },
        [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
          sparse::spmv_hyb(m.hyb(), x, y);
        },
-       [](const Matrix& m, Workspace&, std::span<const value_t> x,
-          std::span<value_t> y) { kernels::native_spmv_hyb(m.hyb(), x, y); },
+       [](const Matrix& m, Workspace& ws, std::span<const value_t> x,
+          std::span<value_t> y) {
+         kernels::native_spmv_hyb(m.hyb(), ws.coo_ranges(m.hyb().coo), x, y);
+       },
        [](const DeviceSpec& dev, const Matrix& m,
           std::span<const value_t> x) -> TuneOutcome {
          return {kernels::sim_spmv_hyb(dev, m.hyb(), x).time.gflops, 0.0};
@@ -172,13 +174,14 @@ const std::vector<FormatTraits>& build_registry() {
        }},
 
       {Format::kBroEll, "BRO-ELL", true, false, true, 0, ell_applicable,
-       [](const Matrix& m, Workspace&) { m.bro_ell(); },
+       [](const Matrix& m, Workspace& ws) { ws.bro_ell_kernels(m.bro_ell()); },
        [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
          m.bro_ell().spmv(x, y);
        },
-       [](const Matrix& m, Workspace&, std::span<const value_t> x,
+       [](const Matrix& m, Workspace& ws, std::span<const value_t> x,
           std::span<value_t> y) {
-         kernels::native_spmv_bro_ell(m.bro_ell(), x, y);
+         kernels::native_spmv_bro_ell(m.bro_ell(),
+                                      ws.bro_ell_kernels(m.bro_ell()), x, y);
        },
        [](const DeviceSpec& dev, const Matrix& m,
           std::span<const value_t> x) -> TuneOutcome {
@@ -202,18 +205,23 @@ const std::vector<FormatTraits>& build_registry() {
           std::span<const value_t> x) {
          return kernels::sim_spmv_bro_ell(dev, m.bro_ell(), x).y;
        },
-       [](const Matrix& m, Workspace&, std::span<const value_t> x,
+       [](const Matrix& m, Workspace& ws, std::span<const value_t> x,
           std::span<value_t> y, int k) {
-         kernels::native_spmm_bro_ell(m.bro_ell(), x, y, k);
+         kernels::native_spmm_bro_ell(
+             m.bro_ell(), ws.bro_ell_kernels(m.bro_ell()), x, y, k);
        },
        [](const Matrix& m) {
-         return m.bro_ell().compressed_index_bytes() +
+         return m.bro_ell().resident_index_bytes() +
                 m.bro_ell().vals().size() * sizeof(value_t);
+       },
+       [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
+         kernels::native_spmv_bro_ell_generic(m.bro_ell(), x, y);
        }},
 
       {Format::kBroCoo, "BRO-COO", true, false, true, -1, always_applicable,
        [](const Matrix& m, Workspace& ws) {
          ws.carries(m.bro_coo().intervals().size());
+         ws.bro_coo_kernels(m.bro_coo());
        },
        [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
          std::fill(y.begin(), y.end(), value_t{0});
@@ -221,8 +229,9 @@ const std::vector<FormatTraits>& build_registry() {
        },
        [](const Matrix& m, Workspace& ws, std::span<const value_t> x,
           std::span<value_t> y) {
-         kernels::native_spmv_bro_coo(
-             m.bro_coo(), x, y, ws.carries(m.bro_coo().intervals().size()));
+         const auto& bro = m.bro_coo();
+         kernels::native_spmv_bro_coo(bro, ws.bro_coo_kernels(bro), x, y,
+                                      ws.carries(bro.intervals().size()));
        },
        [](const DeviceSpec& dev, const Matrix& m,
           std::span<const value_t> x) -> TuneOutcome {
@@ -255,21 +264,26 @@ const std::vector<FormatTraits>& build_registry() {
          const auto& bro = m.bro_coo();
          const std::size_t n = bro.intervals().size();
          kernels::native_spmm_bro_coo(
-             bro, x, y, k, ws.carries(n),
+             bro, ws.bro_coo_kernels(bro), x, y, k, ws.carries(n),
              ws.carry_sums(n * 2 * static_cast<std::size_t>(k)));
        },
        [](const Matrix& m) {
-         return m.bro_coo().compressed_row_bytes() +
+         return m.bro_coo().resident_row_bytes() +
                 m.bro_coo().padded_nnz() *
                     (sizeof(index_t) + sizeof(value_t));
+       },
+       [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
+         kernels::native_spmv_bro_coo_generic(m.bro_coo(), x, y);
        }},
 
       {Format::kBroHyb, "BRO-HYB", true, false, true, 1, nonzero_applicable,
        [](const Matrix& m, Workspace& ws) {
          const auto& bro = m.bro_hyb();
+         ws.bro_ell_kernels(bro.ell_part());
          if (bro.coo_part().nnz() > 0) {
            ws.values(static_cast<std::size_t>(bro.rows()));
            ws.carries(bro.coo_part().intervals().size());
+           ws.bro_coo_kernels(bro.coo_part());
          }
        },
        [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
@@ -279,7 +293,8 @@ const std::vector<FormatTraits>& build_registry() {
           std::span<value_t> y) {
          const auto& bro = m.bro_hyb();
          kernels::native_spmv_bro_hyb(
-             bro, x, y, ws.values(y.size()),
+             bro, ws.bro_ell_kernels(bro.ell_part()),
+             ws.bro_coo_kernels(bro.coo_part()), x, y, ws.values(y.size()),
              ws.carries(bro.coo_part().intervals().size()));
        },
        [](const DeviceSpec& dev, const Matrix& m,
@@ -313,9 +328,12 @@ const std::vector<FormatTraits>& build_registry() {
        /*native_multi=*/nullptr,
        [](const Matrix& m) {
          const auto& bro = m.bro_hyb();
-         return bro.compressed_index_bytes() +
+         return bro.resident_index_bytes() +
                 bro.ell_part().vals().size() * sizeof(value_t) +
                 bro.coo_part().padded_nnz() * sizeof(value_t);
+       },
+       [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
+         kernels::native_spmv_bro_hyb_generic(m.bro_hyb(), x, y);
        }},
 
       {Format::kBroCsr, "BRO-CSR", true, /*extension=*/true, true, -1,

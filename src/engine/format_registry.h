@@ -98,6 +98,14 @@ struct FormatTraits {
   /// reference). Builds the representation on first call. Feeds the serve
   /// layer's PlanCache byte budget via SpmvPlan::resident_bytes().
   std::size_t (*resident_bytes)(const core::Matrix& m);
+
+  /// The same SpMV forced through the runtime-width (generic) decoder
+  /// instead of the plan's width-specialized dispatch table (null for
+  /// formats without bit-level decode). Decodes bit-for-bit identically, so
+  /// the differential fuzz driver compares it against native() *bitwise* —
+  /// the parity oracle for the specialized kernels.
+  void (*native_generic)(const core::Matrix& m, std::span<const value_t> x,
+                         std::span<value_t> y);
 };
 
 /// The registered formats, in core::Format enumeration order.

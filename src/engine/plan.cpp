@@ -90,6 +90,26 @@ std::span<const kernels::CooRange> Workspace::coo_ranges(
   return ranges_;
 }
 
+std::span<const kernels::BroEllKernel> Workspace::bro_ell_kernels(
+    const core::BroEll& a) {
+  if (ell_kernels_for_ != &a || ell_kernels_.size() != a.slices().size()) {
+    ell_kernels_ = kernels::plan_bro_ell_kernels(a);
+    ell_kernels_for_ = &a;
+    ++allocations_;
+  }
+  return ell_kernels_;
+}
+
+std::span<const kernels::BroCooKernel> Workspace::bro_coo_kernels(
+    const core::BroCoo& a) {
+  if (coo_kernels_for_ != &a || coo_kernels_.size() != a.intervals().size()) {
+    coo_kernels_ = kernels::plan_bro_coo_kernels(a);
+    coo_kernels_for_ = &a;
+    ++allocations_;
+  }
+  return coo_kernels_;
+}
+
 SpmvPlan::SpmvPlan(std::shared_ptr<const core::Matrix> matrix,
                    std::optional<core::Format> format)
     : matrix_(std::move(matrix)) {

@@ -65,6 +65,17 @@ class Workspace {
   /// recomputes the split instead of silently reusing stale ranges.
   std::span<const kernels::CooRange> coo_ranges(const sparse::Coo& a);
 
+  /// The per-slice / per-interval decode-kernel selection for a BRO
+  /// representation, computed on first request and cached (keyed on the
+  /// object address plus its slice/interval count, like coo_ranges). The
+  /// build hooks populate these so execute()/execute_multi() dispatch
+  /// through pre-selected width-specialized kernels with no per-call
+  /// selection scan or allocation.
+  std::span<const kernels::BroEllKernel> bro_ell_kernels(
+      const core::BroEll& a);
+  std::span<const kernels::BroCooKernel> bro_coo_kernels(
+      const core::BroCoo& a);
+
   /// Number of (re)allocations performed so far.
   std::size_t allocations() const { return allocations_; }
 
@@ -78,6 +89,10 @@ class Workspace {
   const sparse::Coo* ranges_for_ = nullptr;
   std::size_t ranges_nnz_ = 0;
   int ranges_threads_ = 0;
+  std::vector<kernels::BroEllKernel> ell_kernels_;
+  const core::BroEll* ell_kernels_for_ = nullptr;
+  std::vector<kernels::BroCooKernel> coo_kernels_;
+  const core::BroCoo* coo_kernels_for_ = nullptr;
   std::size_t allocations_ = 0;
 };
 

@@ -1,0 +1,208 @@
+#include "kernels/decode_bench.h"
+
+#include <array>
+#include <chrono>
+#include <utility>
+
+#include "bits/bit_string.h"
+#include "bits/bitwidth.h"
+#include "kernels/bro_decode.h"
+#include "util/error.h"
+
+namespace bro::kernels {
+
+namespace {
+
+using ChecksumFn = std::uint64_t (*)(const void* stream, std::size_t stride,
+                                     std::size_t lane, std::size_t count,
+                                     int runtime_b);
+
+template <typename SymT, int B>
+std::uint64_t checksum_thunk(const void* stream, std::size_t stride,
+                             std::size_t lane, std::size_t count,
+                             int runtime_b) {
+  return detail::decode_lane_checksum<SymT, B>(
+      static_cast<const SymT*>(stream), stride, lane, count, runtime_b);
+}
+
+template <typename SymT, std::size_t... Ws>
+constexpr auto checksum_table(std::index_sequence<Ws...>) {
+  return std::array<ChecksumFn, sizeof...(Ws)>{
+      &checksum_thunk<SymT, static_cast<int>(Ws)>...};
+}
+
+using Widths = std::make_index_sequence<kMaxSpecializedDecodeWidth + 1>;
+constexpr auto kChecksum32 = checksum_table<std::uint32_t>(Widths{});
+constexpr auto kChecksum64 = checksum_table<std::uint64_t>(Widths{});
+
+/// The pre-packing decode loop: runtime bit width AND runtime symbol length
+/// over one-uint64-per-symbol storage (each symbol right-aligned in its
+/// slot), exactly what the old MuxedStream forced on sym_len=32 streams.
+std::uint64_t legacy_lane_checksum(const std::uint64_t* slots,
+                                   std::size_t stride, std::size_t lane,
+                                   std::size_t count, int b, int sym_len) {
+  const std::uint64_t* next_load = slots + lane;
+  std::uint64_t sym = 0;
+  int rb = 0;
+  std::uint64_t sum = 0;
+  for (std::size_t c = 0; c < count; ++c) {
+    std::uint64_t d;
+    if (b <= rb) {
+      d = (sym >> (rb - b)) & bits::max_value_for_bits(b);
+      rb -= b;
+    } else {
+      const int high = rb;
+      d = high > 0 ? (sym & bits::max_value_for_bits(high)) : 0;
+      sym = *next_load;
+      next_load += stride;
+      const int low = b - high;
+      d = (d << low) |
+          ((sym >> (sym_len - low)) & bits::max_value_for_bits(low));
+      rb = sym_len - low;
+    }
+    sum += d;
+  }
+  return sum;
+}
+
+} // namespace
+
+DecodeBenchCase make_decode_bench_case(int width, int sym_len,
+                                       std::size_t lanes,
+                                       std::size_t deltas_per_lane,
+                                       std::uint64_t seed) {
+  BRO_CHECK_MSG(width >= 0 && width <= 32, "width must be in [0, 32]");
+  BRO_CHECK_MSG(sym_len == 32 || sym_len == 64, "sym_len must be 32 or 64");
+
+  DecodeBenchCase c;
+  c.width = width;
+  c.sym_len = sym_len;
+  c.lanes = lanes;
+  c.deltas_per_lane = deltas_per_lane;
+
+  // Deterministic splitmix-style generator: the bench must not depend on
+  // std::random_device and must reproduce across runs.
+  std::uint64_t state = seed;
+  const auto next_rand = [&state]() {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+
+  std::vector<bits::BitString> rows(lanes);
+  for (auto& bs : rows) {
+    for (std::size_t i = 0; i < deltas_per_lane; ++i)
+      bs.append(next_rand() & bits::max_value_for_bits(width), width);
+    bs.pad_to_multiple(sym_len);
+  }
+  c.stream = bits::MuxedStream::interleave(rows, sym_len);
+  c.legacy_slots.resize(c.stream.total_symbols());
+  for (std::size_t i = 0; i < c.legacy_slots.size(); ++i)
+    c.legacy_slots[i] = c.stream[i];
+  return c;
+}
+
+std::uint64_t decode_pass(const DecodeBenchCase& c, DecodeVariant variant) {
+  std::uint64_t sum = 0;
+  const std::size_t stride = c.stream.height();
+  switch (variant) {
+    case DecodeVariant::kSpecialized: {
+      if (c.width > kMaxSpecializedDecodeWidth)
+        return decode_pass(c, DecodeVariant::kGeneric);
+      const auto& table = c.sym_len == 32 ? kChecksum32 : kChecksum64;
+      const ChecksumFn fn = table[static_cast<std::size_t>(c.width)];
+      const void* stream = c.sym_len == 32
+                               ? static_cast<const void*>(
+                                     c.stream.data<std::uint32_t>())
+                               : static_cast<const void*>(
+                                     c.stream.data<std::uint64_t>());
+      for (std::size_t lane = 0; lane < c.lanes; ++lane)
+        sum += fn(stream, stride, lane, c.deltas_per_lane, c.width);
+      break;
+    }
+    case DecodeVariant::kGeneric: {
+      if (c.sym_len == 32) {
+        const std::uint32_t* stream = c.stream.data<std::uint32_t>();
+        for (std::size_t lane = 0; lane < c.lanes; ++lane)
+          sum += detail::decode_lane_checksum<std::uint32_t,
+                                              detail::kGenericWidth>(
+              stream, stride, lane, c.deltas_per_lane, c.width);
+      } else {
+        const std::uint64_t* stream = c.stream.data<std::uint64_t>();
+        for (std::size_t lane = 0; lane < c.lanes; ++lane)
+          sum += detail::decode_lane_checksum<std::uint64_t,
+                                              detail::kGenericWidth>(
+              stream, stride, lane, c.deltas_per_lane, c.width);
+      }
+      break;
+    }
+    case DecodeVariant::kLegacySlots: {
+      for (std::size_t lane = 0; lane < c.lanes; ++lane)
+        sum += legacy_lane_checksum(c.legacy_slots.data(), stride, lane,
+                                    c.deltas_per_lane, c.width, c.sym_len);
+      break;
+    }
+  }
+  return sum;
+}
+
+namespace {
+
+double time_variant(const DecodeBenchCase& c, DecodeVariant variant,
+                    double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  // Parity first: all variants must agree before we trust the numbers.
+  const std::uint64_t expect = decode_pass(c, DecodeVariant::kGeneric);
+  BRO_CHECK_MSG(decode_pass(c, variant) == expect,
+                "decode variants disagree at width " << c.width);
+
+  std::size_t passes = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    std::uint64_t sink = 0;
+    for (std::size_t p = 0; p < passes; ++p) {
+      sink += decode_pass(c, variant);
+      // decode_pass only reads memory, so without this clobber the compiler
+      // is entitled to hoist the call out of the loop and time nothing.
+#if defined(__GNUC__) || defined(__clang__)
+      asm volatile("" ::: "memory");
+#endif
+    }
+    const double secs = std::chrono::duration<double>(clock::now() - t0).count();
+    BRO_CHECK(sink == expect * passes); // keeps `sink` live
+    if (secs >= min_seconds || passes > (std::size_t{1} << 30))
+      return static_cast<double>(decode_pass_deltas(c)) *
+             static_cast<double>(passes) / (secs * 1e9);
+    passes *= 2;
+  }
+}
+
+} // namespace
+
+std::vector<DecodeThroughputRow> decode_throughput_sweep(
+    int sym_len, std::size_t lanes, std::size_t deltas_per_lane,
+    double min_seconds_per_cell) {
+  static constexpr int kWidths[] = {1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 32};
+  std::vector<DecodeThroughputRow> rows;
+  rows.reserve(std::size(kWidths));
+  for (const int w : kWidths) {
+    const DecodeBenchCase c =
+        make_decode_bench_case(w, sym_len, lanes, deltas_per_lane,
+                               /*seed=*/0x5eed0000u + static_cast<unsigned>(w));
+    DecodeThroughputRow row;
+    row.width = w;
+    row.sym_len = sym_len;
+    row.specialized_gdps =
+        time_variant(c, DecodeVariant::kSpecialized, min_seconds_per_cell);
+    row.generic_gdps =
+        time_variant(c, DecodeVariant::kGeneric, min_seconds_per_cell);
+    row.legacy_gdps =
+        time_variant(c, DecodeVariant::kLegacySlots, min_seconds_per_cell);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+} // namespace bro::kernels

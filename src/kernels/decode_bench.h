@@ -1,0 +1,66 @@
+// Decode-throughput microbenchmark support: synthetic BRO symbol streams and
+// a single-pass decode driver over the three decoder variants the PR's perf
+// claim compares — width-specialized over packed storage, runtime-width
+// (generic) over packed storage, and runtime-width over the legacy
+// one-uint64-per-symbol slot layout. Shared by bench_decode_throughput (the
+// google-benchmark binary) and `brospmv bench --decode` (the self-timed
+// table) so both report the same inner loops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/mux.h"
+
+namespace bro::kernels {
+
+/// One synthetic decode workload: `lanes` lanes of `deltas_per_lane` deltas,
+/// every delta `width` bits, multiplexed exactly like a BRO-ELL slice /
+/// BRO-COO interval stream. Held both in the current packed storage and in a
+/// copy of the legacy one-uint64-per-symbol layout.
+struct DecodeBenchCase {
+  int width = 1;
+  int sym_len = 32;
+  std::size_t lanes = 0;
+  std::size_t deltas_per_lane = 0;
+  bits::MuxedStream stream;
+  std::vector<std::uint64_t> legacy_slots; // symbol i right-aligned in slot i
+};
+
+DecodeBenchCase make_decode_bench_case(int width, int sym_len,
+                                       std::size_t lanes,
+                                       std::size_t deltas_per_lane,
+                                       std::uint64_t seed);
+
+enum class DecodeVariant {
+  kSpecialized, // width-templated kernel, packed storage (dispatch choice)
+  kGeneric,     // runtime-width kernel, packed storage
+  kLegacySlots, // runtime-width decode over one-uint64-per-symbol storage
+};
+
+/// One full decode pass over every lane. Returns the sum of all decoded
+/// deltas — consumed by the caller so the loop cannot be optimized away, and
+/// identical across variants (the parity check the throughput numbers rest
+/// on). For widths above kMaxSpecializedDecodeWidth the kSpecialized variant
+/// runs the generic kernel, mirroring what the dispatcher would select.
+std::uint64_t decode_pass(const DecodeBenchCase& c, DecodeVariant variant);
+
+inline std::size_t decode_pass_deltas(const DecodeBenchCase& c) {
+  return c.lanes * c.deltas_per_lane;
+}
+
+/// Self-timed sweep (steady_clock, >= min_seconds_per_cell per measurement)
+/// reporting decode throughput in giga-deltas per second for each variant.
+struct DecodeThroughputRow {
+  int width = 0;
+  int sym_len = 0;
+  double specialized_gdps = 0;
+  double generic_gdps = 0;
+  double legacy_gdps = 0;
+};
+
+std::vector<DecodeThroughputRow> decode_throughput_sweep(
+    int sym_len, std::size_t lanes, std::size_t deltas_per_lane,
+    double min_seconds_per_cell);
+
+} // namespace bro::kernels

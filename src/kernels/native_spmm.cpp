@@ -56,51 +56,40 @@ void native_spmm_ell(const sparse::Ell& a, std::span<const value_t> x,
   }
 }
 
+void native_spmm_bro_ell(const core::BroEll& a,
+                         std::span<const BroEllKernel> kernels,
+                         std::span<const value_t> x, std::span<value_t> y,
+                         int k) {
+  check_spmm_shapes(a.rows(), a.cols(), x, y, k);
+  const auto& slices = a.slices();
+  BRO_CHECK(kernels.size() == slices.size());
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::size_t si = 0; si < slices.size(); ++si)
+    kernels[si].spmm(a, slices[si], x, y, k);
+}
+
 void native_spmm_bro_ell(const core::BroEll& a, std::span<const value_t> x,
                          std::span<value_t> y, int k) {
   check_spmm_shapes(a.rows(), a.cols(), x, y, k);
-  const std::size_t uk = static_cast<std::size_t>(k);
   const auto& slices = a.slices();
   const int sym_len = a.options().sym_len;
-  const index_t m = a.rows();
 #pragma omp parallel for schedule(dynamic, 1)
   for (std::size_t si = 0; si < slices.size(); ++si) {
-    const core::BroEllSlice& slice = slices[si];
-    for (index_t t = 0; t < slice.height; ++t) {
-      const index_t r = slice.first_row + t;
-      core::RowStreamDecoder dec(slice, t, sym_len);
-      index_t col = -1;
-      value_t* yr = y.data() + static_cast<std::size_t>(r) * uk;
-      std::fill(yr, yr + uk, value_t{0});
-      // One decode per column index, k FMAs per decode: the unpacking cost
-      // of Algorithm 1 is amortized over the batch.
-      for (index_t c = 0; c < slice.num_col; ++c) {
-        const std::uint32_t d =
-            dec.next(slice.bit_alloc[static_cast<std::size_t>(c)]);
-        if (d != bits::kInvalidDelta) {
-          col += static_cast<index_t>(d);
-          const value_t v = a.vals()[static_cast<std::size_t>(c) * m + r];
-          const value_t* xc =
-              x.data() + static_cast<std::size_t>(col) * uk;
-          for (std::size_t b = 0; b < uk; ++b) yr[b] += v * xc[b];
-        }
-      }
-    }
+    const BroEllKernel kn = select_bro_ell_kernel(slices[si], sym_len);
+    kn.spmm(a, slices[si], x, y, k);
   }
 }
 
-void native_spmm_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
-                         std::span<value_t> y, int k) {
-  std::vector<BroCooCarry> carries(a.intervals().size());
-  std::vector<value_t> carry_sums(a.intervals().size() * 2 *
-                                  static_cast<std::size_t>(k));
-  native_spmm_bro_coo(a, x, y, k, carries, carry_sums);
-}
+namespace {
 
-void native_spmm_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
-                         std::span<value_t> y, int k,
-                         std::span<BroCooCarry> carries,
-                         std::span<value_t> carry_sums) {
+/// Shared outer loop of the BRO-COO SpMM kernels (see the single-vector
+/// bro_coo_spmv_impl in native_spmv.cpp for the carry discipline).
+template <typename KernelFor>
+void bro_coo_spmm_impl(const core::BroCoo& a, std::span<const value_t> x,
+                       std::span<value_t> y, int k,
+                       std::span<BroCooCarry> carries,
+                       std::span<value_t> carry_sums,
+                       KernelFor&& kernel_for) {
   check_spmm_shapes(a.rows(), a.cols(), x, y, k);
   std::fill(y.begin(), y.end(), value_t{0});
   const auto& intervals = a.intervals();
@@ -109,77 +98,10 @@ void native_spmm_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
   BRO_CHECK(carries.size() >= intervals.size());
   BRO_CHECK(carry_sums.size() >= intervals.size() * 2 * uk);
 
-  const int w = a.options().warp_size;
-  const int cols = a.options().interval_cols;
-  const int sym_len = a.options().sym_len;
-  const std::size_t interval_size =
-      static_cast<std::size_t>(w) * static_cast<std::size_t>(cols);
-
-  // Same carry discipline as the single-vector kernel (native_spmv.cpp),
-  // with the two boundary-row partial sums widened to k values each.
 #pragma omp parallel for schedule(dynamic, 4)
   for (std::size_t i = 0; i < intervals.size(); ++i) {
-    const auto& iv = intervals[i];
-    const std::size_t base = i * interval_size;
     value_t* first_sum = carry_sums.data() + i * 2 * uk;
-    value_t* last_sum = first_sum + uk;
-    std::fill(first_sum, first_sum + 2 * uk, value_t{0});
-    BroCooCarry carry;
-    carry.first_row = iv.start_row;
-
-    index_t last_row = iv.start_row;
-    for (int j = 0; j < w; ++j) {
-      std::uint64_t sym = 0;
-      int rb = 0;
-      index_t loads = 0;
-      index_t row = iv.start_row;
-      for (int c = 0; c < cols; ++c) {
-        std::uint64_t d;
-        if (iv.bits <= rb) {
-          d = (sym >> (rb - iv.bits)) & bits::max_value_for_bits(iv.bits);
-          rb -= iv.bits;
-        } else {
-          const int high = rb;
-          d = high > 0 ? (sym & bits::max_value_for_bits(high)) : 0;
-          sym = iv.stream.at(static_cast<std::size_t>(loads),
-                             static_cast<std::size_t>(j));
-          ++loads;
-          rb = sym_len;
-          const int low = iv.bits - high;
-          d = (d << low) |
-              ((sym >> (rb - low)) & bits::max_value_for_bits(low));
-          rb -= low;
-        }
-        row += static_cast<index_t>(d);
-        const std::size_t e = base + static_cast<std::size_t>(c) * w +
-                              static_cast<std::size_t>(j);
-        const value_t v = a.vals()[e];
-        const value_t* xc =
-            x.data() + static_cast<std::size_t>(a.col_idx()[e]) * uk;
-        if (row == iv.start_row) {
-          for (std::size_t b = 0; b < uk; ++b) first_sum[b] += v * xc[b];
-        } else {
-          if (row > last_row) {
-            // Flush the previous candidate "last row" into y: it turned out
-            // not to be the final row of the interval.
-            if (last_row != iv.start_row) {
-              value_t* yl = y.data() + static_cast<std::size_t>(last_row) * uk;
-              for (std::size_t b = 0; b < uk; ++b) yl[b] += last_sum[b];
-            }
-            std::fill(last_sum, last_sum + uk, value_t{0});
-            last_row = row;
-          }
-          if (row == last_row) {
-            for (std::size_t b = 0; b < uk; ++b) last_sum[b] += v * xc[b];
-          } else {
-            value_t* yr = y.data() + static_cast<std::size_t>(row) * uk;
-            for (std::size_t b = 0; b < uk; ++b) yr[b] += v * xc[b];
-          }
-        }
-      }
-    }
-    carry.last_row = last_row;
-    carries[i] = carry;
+    kernel_for(i).spmm(a, i, x, y, k, carries[i], first_sum, first_sum + uk);
   }
 
   // Sequential carry resolution, in interval order as the single-vector
@@ -195,6 +117,36 @@ void native_spmm_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
       for (std::size_t b = 0; b < uk; ++b) yl[b] += last_sum[b];
     }
   }
+}
+
+} // namespace
+
+void native_spmm_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
+                         std::span<value_t> y, int k) {
+  std::vector<BroCooCarry> carries(a.intervals().size());
+  std::vector<value_t> carry_sums(a.intervals().size() * 2 *
+                                  static_cast<std::size_t>(k));
+  native_spmm_bro_coo(a, x, y, k, carries, carry_sums);
+}
+
+void native_spmm_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
+                         std::span<value_t> y, int k,
+                         std::span<BroCooCarry> carries,
+                         std::span<value_t> carry_sums) {
+  const int sym_len = a.options().sym_len;
+  bro_coo_spmm_impl(a, x, y, k, carries, carry_sums, [&](std::size_t i) {
+    return select_bro_coo_kernel(a.intervals()[i], sym_len);
+  });
+}
+
+void native_spmm_bro_coo(const core::BroCoo& a,
+                         std::span<const BroCooKernel> kernels,
+                         std::span<const value_t> x, std::span<value_t> y,
+                         int k, std::span<BroCooCarry> carries,
+                         std::span<value_t> carry_sums) {
+  BRO_CHECK(kernels.size() == a.intervals().size());
+  bro_coo_spmm_impl(a, x, y, k, carries, carry_sums,
+                    [&](std::size_t i) { return kernels[i]; });
 }
 
 } // namespace bro::kernels

@@ -7,6 +7,11 @@
 // is amortized over the batch, the same bits-per-flop win the paper gets
 // from compression, now per batch.
 //
+// The BRO kernels dispatch through the same width-specialized decode tables
+// as the single-vector kernels (native_spmv.h): pass the plan-time
+// BroEllKernel / BroCooKernel choices for the branch-free plan path, or use
+// the table-free overloads which select inline per slice/interval.
+//
 // Layout: the k vectors are interleaved. X[c*k + j] is element c of
 // right-hand side j, Y[r*k + j] element r of result j, so one decoded column
 // index addresses k contiguous x values.
@@ -38,6 +43,12 @@ void native_spmm_ell(const sparse::Ell& a, std::span<const value_t> x,
 void native_spmm_bro_ell(const core::BroEll& a, std::span<const value_t> x,
                          std::span<value_t> y, int k);
 
+/// BRO-ELL over plan-time kernel choices (aligned with slices()).
+void native_spmm_bro_ell(const core::BroEll& a,
+                         std::span<const BroEllKernel> kernels,
+                         std::span<const value_t> x, std::span<value_t> y,
+                         int k);
+
 void native_spmm_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
                          std::span<value_t> y, int k);
 
@@ -46,10 +57,18 @@ void native_spmm_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
 /// here), `carry_sums` holds the k-wide partial sums for those two rows,
 /// laid out as [interval * 2k .. interval * 2k + k) for the first row and
 /// [interval * 2k + k .. (interval + 1) * 2k) for the last. The
-/// allocation-free plan path.
+/// allocation-free plan path; kernel selection is inline per interval.
 void native_spmm_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
                          std::span<value_t> y, int k,
                          std::span<BroCooCarry> carries,
+                         std::span<value_t> carry_sums);
+
+/// BRO-COO over plan-time kernel choices (aligned with intervals()): the
+/// allocation- and branch-free plan path.
+void native_spmm_bro_coo(const core::BroCoo& a,
+                         std::span<const BroCooKernel> kernels,
+                         std::span<const value_t> x, std::span<value_t> y,
+                         int k, std::span<BroCooCarry> carries,
                          std::span<value_t> carry_sums);
 
 } // namespace bro::kernels

@@ -13,24 +13,56 @@
 
 namespace bro::kernels {
 
-std::vector<CooRange> coo_thread_ranges(const sparse::Coo& a, int parts) {
-  std::vector<CooRange> ranges;
+CooRange coo_entry_range(const sparse::Coo& a, std::size_t part,
+                         std::size_t parts) {
   const std::size_t n = a.nnz();
-  if (n == 0 || parts < 1) return ranges;
+  if (n == 0 || parts == 0 || part >= parts) return {};
   const auto snap = [&](std::size_t i) {
     while (i > 0 && i < n && a.row_idx[i] == a.row_idx[i - 1]) ++i;
     return std::min(i, n);
   };
+  return {snap(n * part / parts), snap(n * (part + 1) / parts)};
+}
+
+std::vector<CooRange> coo_thread_ranges(const sparse::Coo& a, int parts) {
+  std::vector<CooRange> ranges;
+  if (a.nnz() == 0 || parts < 1) return ranges;
   ranges.reserve(static_cast<std::size_t>(parts));
   for (int p = 0; p < parts; ++p) {
-    const std::size_t lo = snap(n * static_cast<std::size_t>(p) /
-                                static_cast<std::size_t>(parts));
-    const std::size_t hi = snap(n * (static_cast<std::size_t>(p) + 1) /
-                                static_cast<std::size_t>(parts));
-    if (lo < hi) ranges.push_back({lo, hi});
+    const CooRange r = coo_entry_range(a, static_cast<std::size_t>(p),
+                                       static_cast<std::size_t>(parts));
+    if (r.lo < r.hi) ranges.push_back(r);
   }
   return ranges;
 }
+
+namespace {
+
+int runtime_threads() {
+#ifdef _OPENMP
+  return omp_get_num_threads();
+#else
+  return 1;
+#endif
+}
+
+int runtime_thread_id() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// Accumulate one row-complete chunk of a COO entry stream onto y.
+void accumulate_coo_range(const sparse::Coo& a, const CooRange& r,
+                          std::span<const value_t> x, std::span<value_t> y) {
+  for (std::size_t i = r.lo; i < r.hi; ++i)
+    y[static_cast<std::size_t>(a.row_idx[i])] +=
+        a.vals[i] * x[static_cast<std::size_t>(a.col_idx[i])];
+}
+
+} // namespace
 
 void native_spmv_csr(const sparse::Csr& a, std::span<const value_t> x,
                      std::span<value_t> y) {
@@ -81,31 +113,17 @@ void native_spmv_coo(const sparse::Coo& a, std::span<const value_t> x,
   BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols));
   BRO_CHECK(y.size() == static_cast<std::size_t>(a.rows));
   std::fill(y.begin(), y.end(), value_t{0});
-  const std::size_t n = a.nnz();
-  if (n == 0) return;
+  if (a.nnz() == 0) return;
 
 #pragma omp parallel
   {
-#ifdef _OPENMP
-    const int tid = omp_get_thread_num();
-    const int threads = omp_get_num_threads();
-#else
-    const int tid = 0;
-    const int threads = 1;
-#endif
-    // Balanced entry split with boundaries snapped forward to row changes,
-    // so each thread owns complete rows and writes race-free.
-    auto snap = [&](std::size_t i) {
-      while (i > 0 && i < n && a.row_idx[i] == a.row_idx[i - 1]) ++i;
-      return std::min(i, n);
-    };
-    const std::size_t lo = snap(n * static_cast<std::size_t>(tid) /
-                                static_cast<std::size_t>(threads));
-    const std::size_t hi = snap(n * (static_cast<std::size_t>(tid) + 1) /
-                                static_cast<std::size_t>(threads));
-    for (std::size_t i = lo; i < hi; ++i)
-      y[static_cast<std::size_t>(a.row_idx[i])] +=
-          a.vals[i] * x[static_cast<std::size_t>(a.col_idx[i])];
+    // Balanced entry split with boundaries snapped forward to row changes
+    // (coo_entry_range), so each thread owns complete rows and writes
+    // race-free.
+    const CooRange r =
+        coo_entry_range(a, static_cast<std::size_t>(runtime_thread_id()),
+                        static_cast<std::size_t>(runtime_threads()));
+    accumulate_coo_range(a, r, x, y);
   }
 }
 
@@ -117,21 +135,44 @@ void native_spmv_coo(const sparse::Coo& a, std::span<const CooRange> ranges,
   // Ranges are row-complete and disjoint, so chunks write race-free
   // regardless of how many threads the runtime actually provides.
 #pragma omp parallel for schedule(static)
-  for (std::size_t p = 0; p < ranges.size(); ++p) {
-    for (std::size_t i = ranges[p].lo; i < ranges[p].hi; ++i)
-      y[static_cast<std::size_t>(a.row_idx[i])] +=
-          a.vals[i] * x[static_cast<std::size_t>(a.col_idx[i])];
-  }
+  for (std::size_t p = 0; p < ranges.size(); ++p)
+    accumulate_coo_range(a, ranges[p], x, y);
 }
 
 void native_spmv_hyb(const sparse::Hyb& a, std::span<const value_t> x,
                      std::span<value_t> y) {
   native_spmv_ell(a.ell, x, y);
-  // Accumulate the COO overflow on top (sequential: the overflow is small
-  // by construction of the split heuristic).
-  for (std::size_t i = 0; i < a.coo.nnz(); ++i)
-    y[static_cast<std::size_t>(a.coo.row_idx[i])] +=
-        a.coo.vals[i] * x[static_cast<std::size_t>(a.coo.col_idx[i])];
+  if (a.coo.nnz() == 0) return;
+  // Accumulate the COO overflow on top, in parallel: the row-complete split
+  // touches disjoint y entries, so skewed matrices (where the overflow is
+  // anything but small) no longer serialize here.
+#pragma omp parallel
+  {
+    const CooRange r = coo_entry_range(
+        a.coo, static_cast<std::size_t>(runtime_thread_id()),
+        static_cast<std::size_t>(runtime_threads()));
+    accumulate_coo_range(a.coo, r, x, y);
+  }
+}
+
+void native_spmv_hyb(const sparse::Hyb& a, std::span<const CooRange> ranges,
+                     std::span<const value_t> x, std::span<value_t> y) {
+  native_spmv_ell(a.ell, x, y);
+#pragma omp parallel for schedule(static)
+  for (std::size_t p = 0; p < ranges.size(); ++p)
+    accumulate_coo_range(a.coo, ranges[p], x, y);
+}
+
+void native_spmv_bro_ell(const core::BroEll& a,
+                         std::span<const BroEllKernel> kernels,
+                         std::span<const value_t> x, std::span<value_t> y) {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols()));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(a.rows()));
+  const auto& slices = a.slices();
+  BRO_CHECK(kernels.size() == slices.size());
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::size_t si = 0; si < slices.size(); ++si)
+    kernels[si].spmv(a, slices[si], x, y);
 }
 
 void native_spmv_bro_ell(const core::BroEll& a, std::span<const value_t> x,
@@ -140,28 +181,56 @@ void native_spmv_bro_ell(const core::BroEll& a, std::span<const value_t> x,
   BRO_CHECK(y.size() == static_cast<std::size_t>(a.rows()));
   const auto& slices = a.slices();
   const int sym_len = a.options().sym_len;
-  const index_t m = a.rows();
 #pragma omp parallel for schedule(dynamic, 1)
   for (std::size_t si = 0; si < slices.size(); ++si) {
-    const core::BroEllSlice& slice = slices[si];
-    for (index_t t = 0; t < slice.height; ++t) {
-      const index_t r = slice.first_row + t;
-      core::RowStreamDecoder dec(slice, t, sym_len);
-      index_t col = -1;
-      value_t sum = 0;
-      for (index_t c = 0; c < slice.num_col; ++c) {
-        const std::uint32_t d =
-            dec.next(slice.bit_alloc[static_cast<std::size_t>(c)]);
-        if (d != bits::kInvalidDelta) {
-          col += static_cast<index_t>(d);
-          sum += a.vals()[static_cast<std::size_t>(c) * m + r] *
-                 x[static_cast<std::size_t>(col)];
-        }
-      }
-      y[static_cast<std::size_t>(r)] = sum;
-    }
+    const BroEllKernel k = select_bro_ell_kernel(slices[si], sym_len);
+    k.spmv(a, slices[si], x, y);
   }
 }
+
+void native_spmv_bro_ell_generic(const core::BroEll& a,
+                                 std::span<const value_t> x,
+                                 std::span<value_t> y) {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols()));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(a.rows()));
+  const auto& slices = a.slices();
+  const BroEllKernel k = generic_bro_ell_kernel(a.options().sym_len);
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::size_t si = 0; si < slices.size(); ++si)
+    k.spmv(a, slices[si], x, y);
+}
+
+namespace {
+
+/// Shared outer loop of the BRO-COO kernels: zero y, run one interval
+/// kernel per interval (interior rows written directly, boundary rows into
+/// carries), then merge the carries sequentially (tiny: two sums per
+/// interval) — interval-boundary rows may be shared with the neighbouring
+/// interval, so they cannot be written concurrently.
+template <typename KernelFor>
+void bro_coo_spmv_impl(const core::BroCoo& a, std::span<const value_t> x,
+                       std::span<value_t> y, std::span<BroCooCarry> carries,
+                       KernelFor&& kernel_for) {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols()));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(a.rows()));
+  std::fill(y.begin(), y.end(), value_t{0});
+  const auto& intervals = a.intervals();
+  if (intervals.empty()) return;
+  BRO_CHECK(carries.size() >= intervals.size());
+
+#pragma omp parallel for schedule(dynamic, 4)
+  for (std::size_t i = 0; i < intervals.size(); ++i)
+    kernel_for(i).spmv(a, i, x, y, carries[i]);
+
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const BroCooCarry& c = carries[i];
+    y[static_cast<std::size_t>(c.first_row)] += c.first_sum;
+    if (c.last_row != c.first_row)
+      y[static_cast<std::size_t>(c.last_row)] += c.last_sum;
+  }
+}
+
+} // namespace
 
 void native_spmv_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
                          std::span<value_t> y) {
@@ -172,90 +241,27 @@ void native_spmv_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
 void native_spmv_bro_coo(const core::BroCoo& a, std::span<const value_t> x,
                          std::span<value_t> y,
                          std::span<BroCooCarry> carries) {
-  BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols()));
-  BRO_CHECK(y.size() == static_cast<std::size_t>(a.rows()));
-  std::fill(y.begin(), y.end(), value_t{0});
-  const auto& intervals = a.intervals();
-  if (intervals.empty()) return;
-  BRO_CHECK(carries.size() >= intervals.size());
-
-  const int w = a.options().warp_size;
-  const int cols = a.options().interval_cols;
   const int sym_len = a.options().sym_len;
-  const std::size_t interval_size =
-      static_cast<std::size_t>(w) * static_cast<std::size_t>(cols);
+  bro_coo_spmv_impl(a, x, y, carries, [&](std::size_t i) {
+    return select_bro_coo_kernel(a.intervals()[i], sym_len);
+  });
+}
 
-  // Interval-boundary rows may be shared with the neighbouring interval;
-  // their partial sums go into per-interval carries, merged sequentially.
-#pragma omp parallel for schedule(dynamic, 4)
-  for (std::size_t i = 0; i < intervals.size(); ++i) {
-    const auto& iv = intervals[i];
-    const std::size_t base = i * interval_size;
-    BroCooCarry carry;
-    carry.first_row = iv.start_row;
+void native_spmv_bro_coo(const core::BroCoo& a,
+                         std::span<const BroCooKernel> kernels,
+                         std::span<const value_t> x, std::span<value_t> y,
+                         std::span<BroCooCarry> carries) {
+  BRO_CHECK(kernels.size() == a.intervals().size());
+  bro_coo_spmv_impl(a, x, y, carries,
+                    [&](std::size_t i) { return kernels[i]; });
+}
 
-    // Decode lanes and accumulate. Lane j covers entries base + c*w + j.
-    // Find the interval's last row first (lane w-1 ends the interval).
-    index_t last_row = iv.start_row;
-    for (int j = 0; j < w; ++j) {
-      std::uint64_t sym = 0;
-      int rb = 0;
-      index_t loads = 0;
-      index_t row = iv.start_row;
-      for (int c = 0; c < cols; ++c) {
-        std::uint64_t d;
-        if (iv.bits <= rb) {
-          d = (sym >> (rb - iv.bits)) & bits::max_value_for_bits(iv.bits);
-          rb -= iv.bits;
-        } else {
-          const int high = rb;
-          d = high > 0 ? (sym & bits::max_value_for_bits(high)) : 0;
-          sym = iv.stream.at(static_cast<std::size_t>(loads),
-                             static_cast<std::size_t>(j));
-          ++loads;
-          rb = sym_len;
-          const int low = iv.bits - high;
-          d = (d << low) |
-              ((sym >> (rb - low)) & bits::max_value_for_bits(low));
-          rb -= low;
-        }
-        row += static_cast<index_t>(d);
-        const std::size_t e = base + static_cast<std::size_t>(c) * w +
-                              static_cast<std::size_t>(j);
-        const value_t contrib =
-            a.vals()[e] * x[static_cast<std::size_t>(a.col_idx()[e])];
-        if (row == iv.start_row) {
-          carry.first_sum += contrib;
-        } else {
-          // Rows strictly inside the interval are exclusive to it; the
-          // interval's maximum row is carried (it may continue next door).
-          if (row > last_row) {
-            // Flush the previous candidate "last row" into y: it turned out
-            // not to be the final row of the interval.
-            if (last_row != iv.start_row)
-              y[static_cast<std::size_t>(last_row)] += carry.last_sum;
-            carry.last_sum = 0;
-            last_row = row;
-          }
-          if (row == last_row) {
-            carry.last_sum += contrib;
-          } else {
-            y[static_cast<std::size_t>(row)] += contrib;
-          }
-        }
-      }
-    }
-    carry.last_row = last_row;
-    carries[i] = carry;
-  }
-
-  // Sequential carry resolution (tiny: two sums per interval).
-  for (std::size_t i = 0; i < intervals.size(); ++i) {
-    const BroCooCarry& c = carries[i];
-    y[static_cast<std::size_t>(c.first_row)] += c.first_sum;
-    if (c.last_row != c.first_row)
-      y[static_cast<std::size_t>(c.last_row)] += c.last_sum;
-  }
+void native_spmv_bro_coo_generic(const core::BroCoo& a,
+                                 std::span<const value_t> x,
+                                 std::span<value_t> y) {
+  std::vector<BroCooCarry> carries(a.intervals().size());
+  const BroCooKernel k = generic_bro_coo_kernel(a.options().sym_len);
+  bro_coo_spmv_impl(a, x, y, carries, [&](std::size_t) { return k; });
 }
 
 void native_spmv_bro_hyb(const core::BroHyb& a, std::span<const value_t> x,
@@ -272,6 +278,32 @@ void native_spmv_bro_hyb(const core::BroHyb& a, std::span<const value_t> x,
   if (a.coo_part().nnz() > 0) {
     BRO_CHECK(y_coo.size() >= y.size());
     native_spmv_bro_coo(a.coo_part(), x, y_coo.first(y.size()), carries);
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] += y_coo[i];
+  }
+}
+
+void native_spmv_bro_hyb(const core::BroHyb& a,
+                         std::span<const BroEllKernel> ell_kernels,
+                         std::span<const BroCooKernel> coo_kernels,
+                         std::span<const value_t> x, std::span<value_t> y,
+                         std::span<value_t> y_coo,
+                         std::span<BroCooCarry> carries) {
+  native_spmv_bro_ell(a.ell_part(), ell_kernels, x, y);
+  if (a.coo_part().nnz() > 0) {
+    BRO_CHECK(y_coo.size() >= y.size());
+    native_spmv_bro_coo(a.coo_part(), coo_kernels, x, y_coo.first(y.size()),
+                        carries);
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] += y_coo[i];
+  }
+}
+
+void native_spmv_bro_hyb_generic(const core::BroHyb& a,
+                                 std::span<const value_t> x,
+                                 std::span<value_t> y) {
+  native_spmv_bro_ell_generic(a.ell_part(), x, y);
+  if (a.coo_part().nnz() > 0) {
+    std::vector<value_t> y_coo(y.size());
+    native_spmv_bro_coo_generic(a.coo_part(), x, y_coo);
     for (std::size_t i = 0; i < y.size(); ++i) y[i] += y_coo[i];
   }
 }

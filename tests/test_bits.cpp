@@ -181,6 +181,53 @@ TEST(Mux, Interleave32) {
   EXPECT_EQ(mux.byte_size(), 16u);
 }
 
+TEST(Mux, PackedStorageIsHalfSizeForSym32) {
+  // sym_len=32 streams live in uint32 slots: resident bytes must match the
+  // logical byte_size, i.e. half of what one-uint64-per-symbol storage cost.
+  bb::BitString r0, r1;
+  for (int i = 0; i < 8; ++i) {
+    r0.append(static_cast<std::uint64_t>(i), 32);
+    r1.append(static_cast<std::uint64_t>(i) << 16, 32);
+  }
+  std::vector<bb::BitString> rows;
+  rows.push_back(std::move(r0));
+  rows.push_back(std::move(r1));
+  const auto mux = bb::MuxedStream::interleave(rows, 32);
+  EXPECT_EQ(mux.total_symbols(), 16u);
+  EXPECT_EQ(mux.byte_size(), 16u * 4u);
+  EXPECT_EQ(mux.resident_bytes(), mux.byte_size());
+  // The typed view is the same memory the decoders walk.
+  const std::uint32_t* slots = mux.data<std::uint32_t>();
+  for (std::size_t i = 0; i < mux.total_symbols(); ++i)
+    EXPECT_EQ(slots[i], mux[i]) << "slot " << i;
+}
+
+TEST(Mux, ResidentBytesSym64) {
+  bb::BitString r0;
+  for (int i = 0; i < 4; ++i) r0.append(~0ull >> i, 64);
+  std::vector<bb::BitString> rows;
+  rows.push_back(std::move(r0));
+  const auto mux = bb::MuxedStream::interleave(rows, 64);
+  EXPECT_EQ(mux.byte_size(), 4u * 8u);
+  EXPECT_EQ(mux.resident_bytes(), mux.byte_size());
+  const std::uint64_t* slots = mux.data<std::uint64_t>();
+  for (std::size_t i = 0; i < mux.total_symbols(); ++i)
+    EXPECT_EQ(slots[i], mux[i]) << "slot " << i;
+}
+
+TEST(Mux, SetSlotRoundTripAndRangeCheck) {
+  bb::BitString r0;
+  r0.append(0, 32);
+  r0.append(0, 32);
+  std::vector<bb::BitString> rows;
+  rows.push_back(std::move(r0));
+  auto mux = bb::MuxedStream::interleave(rows, 32);
+  mux.set_slot(1, 0xDEADBEEFu);
+  EXPECT_EQ(mux[1], 0xDEADBEEFu);
+  // A value wider than the 32-bit slot must be rejected.
+  EXPECT_THROW(mux.set_slot(0, 0x1'0000'0000ull), std::runtime_error);
+}
+
 TEST(Mux, RejectsUnequalSymbolCounts) {
   bb::BitString r0, r1;
   r0.append(1, 32);

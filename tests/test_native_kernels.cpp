@@ -135,3 +135,91 @@ TEST(NativeKernels, BroCooCarriesAcrossIntervalBoundaries) {
     ASSERT_NEAR(y[static_cast<std::size_t>(r)],
                 y_ref[static_cast<std::size_t>(r)], 1e-9);
 }
+
+TEST(NativeKernels, CooEntryRangesAreRowCompleteAndCovering) {
+  // A skewed matrix so entry-count balancing actually has to snap: a few
+  // spike rows hold most of the non-zeros.
+  bs::GenSpec spec;
+  spec.rows = 400;
+  spec.cols = 2000;
+  spec.mu = 4;
+  spec.spike_rows = 3;
+  spec.spike_len = 800;
+  spec.seed = 17;
+  const bs::Coo coo = bs::csr_to_coo(bs::generate(spec));
+
+  for (const int parts : {1, 2, 3, 8, 64}) {
+    const auto ranges = bk::coo_thread_ranges(coo, parts);
+    ASSERT_FALSE(ranges.empty());
+    ASSERT_LE(ranges.size(), static_cast<std::size_t>(parts));
+    // Disjoint, ordered, covering [0, nnz).
+    ASSERT_EQ(ranges.front().lo, 0u);
+    ASSERT_EQ(ranges.back().hi, coo.nnz());
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      ASSERT_LT(ranges[i].lo, ranges[i].hi) << "empty part survived";
+      if (i > 0) ASSERT_EQ(ranges[i].lo, ranges[i - 1].hi);
+      // Row-complete: no row straddles a boundary.
+      if (ranges[i].hi < coo.nnz())
+        ASSERT_NE(coo.row_idx[ranges[i].hi - 1], coo.row_idx[ranges[i].hi])
+            << "part " << i << " splits a row";
+    }
+    // coo_entry_range is the same snap rule, part by part.
+    std::size_t cursor = 0;
+    for (int p = 0; p < parts; ++p) {
+      const bk::CooRange r =
+          bk::coo_entry_range(coo, static_cast<std::size_t>(p),
+                              static_cast<std::size_t>(parts));
+      ASSERT_EQ(r.lo, cursor) << "part " << p;
+      ASSERT_LE(r.hi, coo.nnz());
+      cursor = r.hi;
+    }
+    ASSERT_EQ(cursor, coo.nnz());
+  }
+}
+
+TEST(NativeKernels, CooEntryRangeSnapsWholeRowIntoOnePart) {
+  // All entries in a single row: however many parts are requested, the snap
+  // rule must hand the entire row to the first part and leave the rest empty.
+  bs::Coo coo;
+  coo.rows = 5;
+  coo.cols = 1000;
+  for (index_t c = 0; c < 1000; ++c) coo.push(2, c, 0.5);
+  coo.canonicalize();
+  const auto ranges = bk::coo_thread_ranges(coo, 8);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].lo, 0u);
+  EXPECT_EQ(ranges[0].hi, coo.nnz());
+  for (std::size_t p = 1; p < 8; ++p) {
+    const bk::CooRange r = bk::coo_entry_range(coo, p, 8);
+    EXPECT_EQ(r.lo, r.hi) << "part " << p << " should be empty";
+  }
+}
+
+TEST(NativeKernels, HybParallelOverflowMatchesReference) {
+  // Heavy spike rows push most entries into the HYB COO overflow; the
+  // ranges overload must agree with the reference (and with the inline
+  // split) while accumulating the overflow in parallel.
+  bs::GenSpec spec;
+  spec.rows = 600;
+  spec.cols = 3000;
+  spec.mu = 3;
+  spec.spike_rows = 4;
+  spec.spike_len = 1200;
+  spec.seed = 23;
+  const bs::Csr csr = bs::generate(spec);
+  const bs::Hyb hyb = bs::csr_to_hyb(csr);
+  ASSERT_GT(hyb.coo.nnz(), 0u);
+
+  const auto x = random_x(csr.cols);
+  std::vector<value_t> y_ref(static_cast<std::size_t>(csr.rows));
+  bs::spmv_csr_reference(csr, x, y_ref);
+
+  std::vector<value_t> y(static_cast<std::size_t>(csr.rows));
+  for (const int parts : {1, 4, 16}) {
+    const auto ranges = bk::coo_thread_ranges(hyb.coo, parts);
+    bk::native_spmv_hyb(hyb, ranges, x, y);
+    for (std::size_t r = 0; r < y.size(); ++r)
+      ASSERT_NEAR(y[r], y_ref[r], 1e-11 * (1.0 + std::abs(y_ref[r])))
+          << "parts " << parts << " row " << r;
+  }
+}

@@ -29,6 +29,7 @@
 #include "engine/autotune.h"
 #include "engine/format_registry.h"
 #include "engine/plan.h"
+#include "kernels/decode_bench.h"
 #include "sparse/convert.h"
 #include "sparse/matgen/suite.h"
 #include "sparse/mmio.h"
@@ -53,7 +54,11 @@ int usage() {
          "  tune <matrix> [--device D]         simulated format ranking\n"
          "  bench <matrix> [--device D]        per-format simulated GFlop/s\n"
          "  fuzz [--rounds N] [--seed S]       differential-test every format\n"
-         "       [--eps E] [--device D] [--no-sim] [--quiet] [--spmm-k K]\n"
+         "       [--eps E] [--device D] [--no-sim] [--no-decode] [--quiet]\n"
+         "       [--spmm-k K]\n"
+         "  bench --decode [--min-time S]      host decode-throughput sweep\n"
+         "                                     (specialized vs generic vs\n"
+         "                                     legacy uint64-slot storage)\n"
          "  serve-bench [--threads N] [--clients C] [--requests R]\n"
          "       [--matrices M] [--max-batch K] [--cache-mb B]\n"
          "       [--format F] [--scale S] [--seed S]\n"
@@ -200,7 +205,26 @@ int cmd_tune(const Args& args) {
   return 0;
 }
 
+/// `bench --decode`: host decode throughput per bit width, in giga-deltas
+/// per second, for the three decoder variants the PR's perf claim compares.
+int cmd_bench_decode(const Args& args) {
+  const double min_time = args.get_double("min-time", 0.02);
+  std::cout << "Decode throughput (Gdeltas/s), 64 lanes x 16384 deltas:\n";
+  Table t({"Width", "sym_len", "specialized", "generic", "legacy slots"});
+  for (const int sym_len : {32, 64}) {
+    const auto rows =
+        kernels::decode_throughput_sweep(sym_len, 64, 16384, min_time);
+    for (const auto& r : rows)
+      t.add_row({std::to_string(r.width), std::to_string(r.sym_len),
+                 Table::fmt(r.specialized_gdps, 3), Table::fmt(r.generic_gdps, 3),
+                 Table::fmt(r.legacy_gdps, 3)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
 int cmd_bench(const Args& args) {
+  if (args.has("decode")) return cmd_bench_decode(args);
   // Equivalent to tune but over all three devices, one column each.
   const auto m = core::Matrix::from_csr(
       load_matrix(args.positional().at(1), args));
@@ -240,6 +264,7 @@ int cmd_fuzz(const Args& args) {
   opts.device = device_from(args);
   opts.spmm_k = static_cast<int>(args.get_long("spmm-k", opts.spmm_k));
   if (opts.spmm_k < 0) throw std::runtime_error("--spmm-k must be >= 0");
+  opts.decode_check = !args.has("no-decode");
 
   std::ostream* log = args.has("quiet") ? nullptr : &std::cout;
   const auto report = check::run_fuzz(opts, log);
@@ -380,6 +405,8 @@ int main(int argc, char** argv) {
       return cmd_compress(args);
     if (cmd == "spmv" && args.positional().size() == 2) return cmd_spmv(args);
     if (cmd == "tune" && args.positional().size() == 2) return cmd_tune(args);
+    if (cmd == "bench" && args.positional().size() == 1 && args.has("decode"))
+      return cmd_bench_decode(args);
     if (cmd == "bench" && args.positional().size() == 2) return cmd_bench(args);
     if (cmd == "fuzz" && args.positional().size() == 1) return cmd_fuzz(args);
     if (cmd == "serve-bench" && args.positional().size() == 1)
