@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -37,9 +38,11 @@ inline void print_header(const std::string& title, const std::string& paper_ref)
 }
 
 /// Geometric mean helper for "average speedup" rows (the paper averages
-/// per-matrix speedups).
+/// per-matrix speedups). An empty input has no mean: NaN, which the table
+/// formatters render as "n/a" — a hard 0.0 would read as a measured
+/// 0x slowdown.
 inline double geomean(const std::vector<double>& v) {
-  if (v.empty()) return 0;
+  if (v.empty()) return std::numeric_limits<double>::quiet_NaN();
   double log_sum = 0;
   for (const double x : v) log_sum += std::log(x);
   return std::exp(log_sum / static_cast<double>(v.size()));

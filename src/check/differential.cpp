@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "engine/plan.h"
+#include "kernels/cpu_features.h"
 #include "sparse/matgen/adversarial.h"
 #include "sparse/matgen/generators.h"
 #include "util/rng.h"
@@ -200,6 +201,33 @@ class Driver {
              << " from the specialized dispatch but " << y_generic[r]
              << " from the generic decoder (must be bitwise-identical)";
           fail(name, t.name, "decode", os.str());
+          break;
+        }
+      }
+    }
+
+    // SIMD parity: when dispatch is running vectorized kernels, rebuild the
+    // plan with the ISA forced to scalar and compare against the SIMD
+    // execute bit for bit. Identical decode output and identical FP
+    // accumulation order are the SIMD backend's core contract — any
+    // divergence is a kernel bug, not rounding. Gated on native_generic so
+    // only formats with a bit-level decode path pay for the extra plan.
+    const kernels::SimdIsa simd_isa = kernels::active_simd_isa();
+    if (opts_.simd_check && t.native_generic &&
+        simd_isa != kernels::SimdIsa::kScalar) {
+      kernels::ScopedSimdIsa forced(kernels::SimdIsa::kScalar);
+      engine::SpmvPlan scalar_plan(matrix, t.format);
+      std::vector<value_t> y_scalar(ref.size());
+      scalar_plan.execute(x, y_scalar);
+      ++report_.comparisons;
+      for (std::size_t r = 0; r < y_scalar.size(); ++r) {
+        if (y_scalar[r] != y[r]) {
+          std::ostringstream os;
+          os << "y[" << r << "] = " << y[r] << " from the "
+             << kernels::simd_isa_name(simd_isa) << " kernels but "
+             << y_scalar[r]
+             << " from forced-scalar dispatch (must be bitwise-identical)";
+          fail(name, t.name, "simd", os.str());
           break;
         }
       }

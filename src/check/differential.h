@@ -41,6 +41,11 @@ struct FuzzOptions {
   // runtime-width generic decoder *bitwise* for formats that register a
   // native_generic hook.
   bool decode_check = true;
+  // When SIMD kernels are active (active_simd_isa() != scalar), rebuild the
+  // plan with dispatch forced to the scalar kernels and compare every
+  // planned execute *bitwise* against the SIMD result. No-op on hosts or
+  // builds without a SIMD backend.
+  bool simd_check = true;
   // Matrices with rows or cols beyond this run the validate hook only: an
   // x vector of near-index_t-max size is not allocatable.
   index_t max_spmv_dim = index_t{1} << 24;
@@ -50,7 +55,7 @@ struct FuzzFailure {
   std::string matrix; // generated name, reproducible from (seed, round)
   std::string format; // canonical registry name
   std::string path;   // "validate" | "apply" | "plan" | "sim" | "spmm" |
-                      // "decode" | "build"
+                      // "decode" | "simd" | "build"
   std::string message;
 };
 

@@ -63,7 +63,8 @@ const std::vector<FormatTraits>& build_registry() {
           std::span<value_t> y, int k) {
          kernels::native_spmm_csr(m.csr(), x, y, k);
        },
-       /*resident_bytes=*/nullptr},
+       /*resident_bytes=*/nullptr,
+       /*native_generic=*/nullptr},
 
       {Format::kCoo, "COO", false, false, true, -1, always_applicable,
        [](const Matrix& m, Workspace& ws) { ws.coo_ranges(m.coo()); },
@@ -90,7 +91,8 @@ const std::vector<FormatTraits>& build_registry() {
        /*native_multi=*/nullptr,
        [](const Matrix& m) {
          return m.coo().nnz() * (2 * sizeof(index_t) + sizeof(value_t));
-       }},
+       },
+       /*native_generic=*/nullptr},
 
       {Format::kEll, "ELLPACK", false, false, true, -1, ell_applicable,
        [](const Matrix& m, Workspace&) { m.ell(); },
@@ -117,7 +119,8 @@ const std::vector<FormatTraits>& build_registry() {
        },
        [](const Matrix& m) {
          return m.ell().entries() * (sizeof(index_t) + sizeof(value_t));
-       }},
+       },
+       /*native_generic=*/nullptr},
 
       {Format::kEllR, "ELLPACK-R", false, false, true, -1, ell_applicable,
        [](const Matrix& m, Workspace&) { m.ellr(); },
@@ -143,7 +146,8 @@ const std::vector<FormatTraits>& build_registry() {
          const auto& e = m.ellr();
          return e.ell.entries() * (sizeof(index_t) + sizeof(value_t)) +
                 e.row_length.size() * sizeof(index_t);
-       }},
+       },
+       /*native_generic=*/nullptr},
 
       {Format::kHyb, "HYB", false, false, true, -1, always_applicable,
        [](const Matrix& m, Workspace& ws) { ws.coo_ranges(m.hyb().coo); },
@@ -171,7 +175,8 @@ const std::vector<FormatTraits>& build_registry() {
          const auto& h = m.hyb();
          return h.ell.entries() * (sizeof(index_t) + sizeof(value_t)) +
                 h.coo.nnz() * (2 * sizeof(index_t) + sizeof(value_t));
-       }},
+       },
+       /*native_generic=*/nullptr},
 
       {Format::kBroEll, "BRO-ELL", true, false, true, 0, ell_applicable,
        [](const Matrix& m, Workspace& ws) { ws.bro_ell_kernels(m.bro_ell()); },
@@ -373,7 +378,8 @@ const std::vector<FormatTraits>& build_registry() {
          return bro.compressed_index_bytes() +
                 bro.row_ptr().size() * sizeof(index_t) +
                 bro.vals().size() * sizeof(value_t);
-       }},
+       },
+       /*native_generic=*/nullptr},
   };
   return registry;
 }

@@ -92,9 +92,12 @@ std::span<const kernels::CooRange> Workspace::coo_ranges(
 
 std::span<const kernels::BroEllKernel> Workspace::bro_ell_kernels(
     const core::BroEll& a) {
-  if (ell_kernels_for_ != &a || ell_kernels_.size() != a.slices().size()) {
-    ell_kernels_ = kernels::plan_bro_ell_kernels(a);
+  const kernels::SimdIsa isa = kernels::active_simd_isa();
+  if (ell_kernels_for_ != &a || ell_kernels_.size() != a.slices().size() ||
+      ell_kernels_isa_ != isa) {
+    ell_kernels_ = kernels::plan_bro_ell_kernels(a, isa);
     ell_kernels_for_ = &a;
+    ell_kernels_isa_ = isa;
     ++allocations_;
   }
   return ell_kernels_;
@@ -102,9 +105,12 @@ std::span<const kernels::BroEllKernel> Workspace::bro_ell_kernels(
 
 std::span<const kernels::BroCooKernel> Workspace::bro_coo_kernels(
     const core::BroCoo& a) {
-  if (coo_kernels_for_ != &a || coo_kernels_.size() != a.intervals().size()) {
-    coo_kernels_ = kernels::plan_bro_coo_kernels(a);
+  const kernels::SimdIsa isa = kernels::active_simd_isa();
+  if (coo_kernels_for_ != &a || coo_kernels_.size() != a.intervals().size() ||
+      coo_kernels_isa_ != isa) {
+    coo_kernels_ = kernels::plan_bro_coo_kernels(a, isa);
     coo_kernels_for_ = &a;
+    coo_kernels_isa_ = isa;
     ++allocations_;
   }
   return coo_kernels_;

@@ -67,10 +67,12 @@ class Workspace {
 
   /// The per-slice / per-interval decode-kernel selection for a BRO
   /// representation, computed on first request and cached (keyed on the
-  /// object address plus its slice/interval count, like coo_ranges). The
-  /// build hooks populate these so execute()/execute_multi() dispatch
-  /// through pre-selected width-specialized kernels with no per-call
-  /// selection scan or allocation.
+  /// object address plus its slice/interval count, like coo_ranges, plus
+  /// the active SIMD ISA so a ScopedSimdIsa/BRO_SIMD change re-selects
+  /// instead of reusing stale kernels). The build hooks populate these so
+  /// execute()/execute_multi() dispatch through pre-selected
+  /// width-specialized kernels with no per-call selection scan or
+  /// allocation.
   std::span<const kernels::BroEllKernel> bro_ell_kernels(
       const core::BroEll& a);
   std::span<const kernels::BroCooKernel> bro_coo_kernels(
@@ -91,8 +93,10 @@ class Workspace {
   int ranges_threads_ = 0;
   std::vector<kernels::BroEllKernel> ell_kernels_;
   const core::BroEll* ell_kernels_for_ = nullptr;
+  kernels::SimdIsa ell_kernels_isa_ = kernels::SimdIsa::kScalar;
   std::vector<kernels::BroCooKernel> coo_kernels_;
   const core::BroCoo* coo_kernels_for_ = nullptr;
+  kernels::SimdIsa coo_kernels_isa_ = kernels::SimdIsa::kScalar;
   std::size_t allocations_ = 0;
 };
 

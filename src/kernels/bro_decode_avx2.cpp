@@ -1,0 +1,25 @@
+// AVX2 BRO decode kernel set (8 x u32 / 4 x u64 lanes). Compiled with
+// -mavx2 -ffp-contract=off when the toolchain supports it (see
+// src/kernels/CMakeLists.txt); collapses to a stub exporting a null set
+// otherwise, so non-x86 builds link unchanged.
+#include "kernels/bro_decode_simd.h"
+
+#if defined(__AVX2__)
+
+#define BRO_SIMD_NS simd_avx2
+#define BRO_SIMD_ISA ::bro::kernels::SimdIsa::kAvx2
+#include "kernels/bro_decode_simd_impl.h"
+#undef BRO_SIMD_NS
+#undef BRO_SIMD_ISA
+
+namespace bro::kernels::detail {
+const SimdKernelSet* const kSimdSetAvx2 = &simd_avx2::kKernelSet;
+} // namespace bro::kernels::detail
+
+#else
+
+namespace bro::kernels::detail {
+const SimdKernelSet* const kSimdSetAvx2 = nullptr;
+} // namespace bro::kernels::detail
+
+#endif

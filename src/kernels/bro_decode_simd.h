@@ -1,0 +1,65 @@
+// The SIMD decode backend's link seam: one SimdKernelSet per ISA, defined by
+// the per-ISA translation units (bro_decode_sse4.cpp / bro_decode_avx2.cpp —
+// the only TUs in the tree compiled with ISA target flags) and consumed by
+// the baseline-ABI dispatch code (bro_decode.cpp, cpu_features.cpp).
+//
+// The seam is deliberately data, not code: each per-ISA TU exports a
+// constant-initialized pointer to its kernel set (nullptr when the
+// toolchain could not target the ISA and the TU collapsed to a stub), so
+// probing availability never executes an instruction from an ISA-flagged
+// TU on a host that may not support it.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/cpu_features.h"
+#include "kernels/native_spmv.h"
+
+namespace bro::kernels {
+
+/// Decode-only lockstep checksum over a muxed symbol stream with per-column
+/// bit widths (widths[c] bits for delta c, `cols` deltas per lane, `lanes`
+/// lanes): the SIMD counterpart of detail::decode_lane_checksum, summed over
+/// every lane. Used by the decode-throughput microbenchmark; the sum equals
+/// the scalar decoders' checksum bit for bit.
+template <typename SymT>
+using SimdChecksumFn = std::uint64_t (*)(const SymT* stream,
+                                         std::size_t lanes,
+                                         const std::uint8_t* widths,
+                                         std::size_t cols);
+
+/// Everything one ISA contributes to dispatch: BRO-ELL slice and BRO-COO
+/// interval kernels for both symbol lengths (runtime-width — the vector
+/// shift count is a register operand, so one kernel covers every width 0..32
+/// uniform or mixed), plus the bench checksum passes. All kernels decode the
+/// identical delta sequence and keep per-row/per-segment FP accumulation in
+/// scalar program order, so results are bitwise equal to the scalar kernels.
+struct SimdKernelSet {
+  SimdIsa isa = SimdIsa::kScalar;
+  decltype(BroEllKernel::spmv) ell_spmv32 = nullptr;
+  decltype(BroEllKernel::spmv) ell_spmv64 = nullptr;
+  decltype(BroEllKernel::spmm) ell_spmm32 = nullptr;
+  decltype(BroEllKernel::spmm) ell_spmm64 = nullptr;
+  decltype(BroCooKernel::spmv) coo_spmv32 = nullptr;
+  decltype(BroCooKernel::spmv) coo_spmv64 = nullptr;
+  decltype(BroCooKernel::spmm) coo_spmm32 = nullptr;
+  decltype(BroCooKernel::spmm) coo_spmm64 = nullptr;
+  SimdChecksumFn<std::uint32_t> checksum32 = nullptr;
+  SimdChecksumFn<std::uint64_t> checksum64 = nullptr;
+};
+
+/// The kernel set compiled for `isa`, or nullptr when the binary does not
+/// carry one (kScalar, or a toolchain that cannot target the ISA). Link-time
+/// availability only — whether the host can execute the set is
+/// cpu_features()'s side of the bargain, and active_simd_isa() combines the
+/// two.
+const SimdKernelSet* simd_kernel_set(SimdIsa isa);
+
+namespace detail {
+// Defined by the per-ISA TUs; read by simd_kernel_set(). Constant
+// initialized, so safe to read from any static initializer.
+extern const SimdKernelSet* const kSimdSetSse4;
+extern const SimdKernelSet* const kSimdSetAvx2;
+} // namespace detail
+
+} // namespace bro::kernels

@@ -1,0 +1,25 @@
+// SSE4 BRO decode kernel set (4 x u32 / 2 x u64 lanes — the portable x86-64
+// fallback below AVX2). Compiled with -msse4.2 -ffp-contract=off when the
+// toolchain supports it (see src/kernels/CMakeLists.txt); collapses to a
+// stub exporting a null set otherwise, so non-x86 builds link unchanged.
+#include "kernels/bro_decode_simd.h"
+
+#if defined(__SSE4_2__)
+
+#define BRO_SIMD_NS simd_sse4
+#define BRO_SIMD_ISA ::bro::kernels::SimdIsa::kSse4
+#include "kernels/bro_decode_simd_impl.h"
+#undef BRO_SIMD_NS
+#undef BRO_SIMD_ISA
+
+namespace bro::kernels::detail {
+const SimdKernelSet* const kSimdSetSse4 = &simd_sse4::kKernelSet;
+} // namespace bro::kernels::detail
+
+#else
+
+namespace bro::kernels::detail {
+const SimdKernelSet* const kSimdSetSse4 = nullptr;
+} // namespace bro::kernels::detail
+
+#endif

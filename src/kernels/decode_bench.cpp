@@ -1,12 +1,17 @@
 #include "kernels/decode_bench.h"
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <utility>
 
 #include "bits/bit_string.h"
 #include "bits/bitwidth.h"
+#include "core/bro_ell.h"
 #include "kernels/bro_decode.h"
+#include "kernels/bro_decode_simd.h"
+#include "sparse/convert.h"
+#include "sparse/matgen/suite.h"
 #include "util/error.h"
 
 namespace bro::kernels {
@@ -101,7 +106,20 @@ DecodeBenchCase make_decode_bench_case(int width, int sym_len,
   c.legacy_slots.resize(c.stream.total_symbols());
   for (std::size_t i = 0; i < c.legacy_slots.size(); ++i)
     c.legacy_slots[i] = c.stream[i];
+  c.widths.assign(deltas_per_lane, static_cast<std::uint8_t>(width));
   return c;
+}
+
+std::uint64_t simd_decode_pass(const DecodeBenchCase& c, SimdIsa isa) {
+  const SimdKernelSet* set = simd_kernel_set(isa);
+  BRO_CHECK_MSG(set != nullptr && simd_isa_runnable(isa),
+                "SIMD ISA " << simd_isa_name(isa)
+                            << " is not runnable in this process");
+  if (c.sym_len == 32)
+    return set->checksum32(c.stream.data<std::uint32_t>(), c.lanes,
+                           c.widths.data(), c.deltas_per_lane);
+  return set->checksum64(c.stream.data<std::uint64_t>(), c.lanes,
+                         c.widths.data(), c.deltas_per_lane);
 }
 
 std::uint64_t decode_pass(const DecodeBenchCase& c, DecodeVariant variant) {
@@ -150,21 +168,20 @@ std::uint64_t decode_pass(const DecodeBenchCase& c, DecodeVariant variant) {
 
 namespace {
 
-double time_variant(const DecodeBenchCase& c, DecodeVariant variant,
-                    double min_seconds) {
+/// Self-timed throughput of one decode pass `pass` known to return `expect`:
+/// doubling pass counts until a measurement spans min_seconds, reported in
+/// giga-deltas per second.
+template <typename PassFn>
+double time_pass(std::size_t deltas, std::uint64_t expect, PassFn&& pass,
+                 double min_seconds) {
   using clock = std::chrono::steady_clock;
-  // Parity first: all variants must agree before we trust the numbers.
-  const std::uint64_t expect = decode_pass(c, DecodeVariant::kGeneric);
-  BRO_CHECK_MSG(decode_pass(c, variant) == expect,
-                "decode variants disagree at width " << c.width);
-
   std::size_t passes = 1;
   for (;;) {
     const auto t0 = clock::now();
     std::uint64_t sink = 0;
     for (std::size_t p = 0; p < passes; ++p) {
-      sink += decode_pass(c, variant);
-      // decode_pass only reads memory, so without this clobber the compiler
+      sink += pass();
+      // The pass only reads memory, so without this clobber the compiler
       // is entitled to hoist the call out of the loop and time nothing.
 #if defined(__GNUC__) || defined(__clang__)
       asm volatile("" ::: "memory");
@@ -173,10 +190,31 @@ double time_variant(const DecodeBenchCase& c, DecodeVariant variant,
     const double secs = std::chrono::duration<double>(clock::now() - t0).count();
     BRO_CHECK(sink == expect * passes); // keeps `sink` live
     if (secs >= min_seconds || passes > (std::size_t{1} << 30))
-      return static_cast<double>(decode_pass_deltas(c)) *
-             static_cast<double>(passes) / (secs * 1e9);
+      return static_cast<double>(deltas) * static_cast<double>(passes) /
+             (secs * 1e9);
     passes *= 2;
   }
+}
+
+double time_variant(const DecodeBenchCase& c, DecodeVariant variant,
+                    double min_seconds) {
+  // Parity first: all variants must agree before we trust the numbers.
+  const std::uint64_t expect = decode_pass(c, DecodeVariant::kGeneric);
+  BRO_CHECK_MSG(decode_pass(c, variant) == expect,
+                "decode variants disagree at width " << c.width);
+  return time_pass(
+      decode_pass_deltas(c), expect, [&] { return decode_pass(c, variant); },
+      min_seconds);
+}
+
+double time_simd(const DecodeBenchCase& c, SimdIsa isa, double min_seconds) {
+  const std::uint64_t expect = decode_pass(c, DecodeVariant::kGeneric);
+  BRO_CHECK_MSG(simd_decode_pass(c, isa) == expect,
+                simd_isa_name(isa) << " decode disagrees with scalar at width "
+                                   << c.width);
+  return time_pass(
+      decode_pass_deltas(c), expect, [&] { return simd_decode_pass(c, isa); },
+      min_seconds);
 }
 
 } // namespace
@@ -200,7 +238,114 @@ std::vector<DecodeThroughputRow> decode_throughput_sweep(
         time_variant(c, DecodeVariant::kGeneric, min_seconds_per_cell);
     row.legacy_gdps =
         time_variant(c, DecodeVariant::kLegacySlots, min_seconds_per_cell);
+    if (simd_isa_runnable(SimdIsa::kSse4))
+      row.sse4_gdps = time_simd(c, SimdIsa::kSse4, min_seconds_per_cell);
+    if (simd_isa_runnable(SimdIsa::kAvx2))
+      row.avx2_gdps = time_simd(c, SimdIsa::kAvx2, min_seconds_per_cell);
     rows.push_back(row);
+  }
+  return rows;
+}
+
+namespace {
+
+/// Scalar decode checksum over every slice of a BRO-ELL compression, taking
+/// exactly the decode path PR 4's dispatch selected: the width-specialized
+/// kernel when the slice's bit allocation is uniform and within
+/// kMaxSpecializedDecodeWidth, the runtime-width generic decoder otherwise.
+template <typename SymT>
+std::uint64_t scalar_ell_checksum(const core::BroEll& a,
+                                  const std::array<ChecksumFn,
+                                      kMaxSpecializedDecodeWidth + 1>& table) {
+  std::uint64_t sum = 0;
+  for (const auto& s : a.slices()) {
+    if (s.height <= 0 || s.num_col <= 0) continue;
+    const SymT* stream = s.stream.template data<SymT>();
+    const std::size_t h = static_cast<std::size_t>(s.height);
+    const std::size_t cols = static_cast<std::size_t>(s.num_col);
+    const std::uint8_t* alloc = s.bit_alloc.data();
+    int uniform = alloc[0];
+    for (std::size_t c = 1; c < cols; ++c)
+      if (alloc[c] != uniform) { uniform = -1; break; }
+    if (uniform >= 0 && uniform <= kMaxSpecializedDecodeWidth) {
+      const ChecksumFn fn = table[static_cast<std::size_t>(uniform)];
+      for (std::size_t lane = 0; lane < h; ++lane)
+        sum += fn(stream, h, lane, cols, uniform);
+    } else {
+      for (std::size_t lane = 0; lane < h; ++lane) {
+        detail::LaneDecoder<SymT, detail::kGenericWidth> dec(stream, h, lane);
+        for (std::size_t c = 0; c < cols; ++c) sum += dec.next(alloc[c]);
+      }
+    }
+  }
+  return sum;
+}
+
+std::uint64_t scalar_ell_checksum(const core::BroEll& a) {
+  return a.options().sym_len == 32
+             ? scalar_ell_checksum<std::uint32_t>(a, kChecksum32)
+             : scalar_ell_checksum<std::uint64_t>(a, kChecksum64);
+}
+
+std::uint64_t simd_ell_checksum(const core::BroEll& a,
+                                const SimdKernelSet& set) {
+  std::uint64_t sum = 0;
+  for (const auto& s : a.slices()) {
+    if (s.height <= 0 || s.num_col <= 0) continue;
+    const std::size_t h = static_cast<std::size_t>(s.height);
+    const std::size_t cols = static_cast<std::size_t>(s.num_col);
+    if (a.options().sym_len == 32)
+      sum += set.checksum32(s.stream.data<std::uint32_t>(), h,
+                            s.bit_alloc.data(), cols);
+    else
+      sum += set.checksum64(s.stream.data<std::uint64_t>(), h,
+                            s.bit_alloc.data(), cols);
+  }
+  return sum;
+}
+
+} // namespace
+
+std::vector<EllSuiteDecodeRow> ell_suite_decode_sweep(
+    SimdIsa isa, double scale, double min_seconds_per_cell) {
+  const SimdKernelSet* set = simd_kernel_set(isa);
+  BRO_CHECK_MSG(set != nullptr && simd_isa_runnable(isa),
+                "SIMD ISA " << simd_isa_name(isa)
+                            << " is not runnable in this process");
+
+  std::vector<EllSuiteDecodeRow> rows;
+  for (const auto& entry : sparse::suite_test_set(1)) {
+    const sparse::Csr csr = sparse::generate_suite_matrix(entry, scale);
+    const core::BroEll bro = core::BroEll::compress(sparse::csr_to_ell(csr));
+
+    EllSuiteDecodeRow row;
+    row.matrix = entry.name;
+    for (const auto& s : bro.slices())
+      row.deltas += static_cast<std::size_t>(s.height) *
+                    static_cast<std::size_t>(s.num_col);
+    if (row.deltas == 0) continue;
+
+    const std::uint64_t expect = scalar_ell_checksum(bro);
+    BRO_CHECK_MSG(simd_ell_checksum(bro, *set) == expect,
+                  simd_isa_name(isa) << " decode disagrees with scalar on "
+                                     << entry.name);
+
+    // Alternate the two sides and keep each one's best throughput: the
+    // CPU-time-minima protocol the repo's experiments use, so a scheduling
+    // hiccup on one round cannot masquerade as a SIMD speedup.
+    for (int round = 0; round < 3; ++round) {
+      row.scalar_gdps = std::max(
+          row.scalar_gdps,
+          time_pass(row.deltas, expect,
+                    [&] { return scalar_ell_checksum(bro); },
+                    min_seconds_per_cell));
+      row.simd_gdps = std::max(
+          row.simd_gdps,
+          time_pass(row.deltas, expect,
+                    [&] { return simd_ell_checksum(bro, *set); },
+                    min_seconds_per_cell));
+    }
+    rows.push_back(std::move(row));
   }
   return rows;
 }

@@ -8,9 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "bits/mux.h"
+#include "kernels/cpu_features.h"
 
 namespace bro::kernels {
 
@@ -25,6 +28,8 @@ struct DecodeBenchCase {
   std::size_t deltas_per_lane = 0;
   bits::MuxedStream stream;
   std::vector<std::uint64_t> legacy_slots; // symbol i right-aligned in slot i
+  std::vector<std::uint8_t> widths; // per-column widths (all == width), the
+                                    // form the SIMD checksum kernels take
 };
 
 DecodeBenchCase make_decode_bench_case(int width, int sym_len,
@@ -45,22 +50,49 @@ enum class DecodeVariant {
 /// runs the generic kernel, mirroring what the dispatcher would select.
 std::uint64_t decode_pass(const DecodeBenchCase& c, DecodeVariant variant);
 
+/// One full decode pass through `isa`'s lockstep SIMD checksum kernel.
+/// Returns the same checksum as decode_pass (bitwise — the parity contract).
+/// Requires simd_isa_runnable(isa) and isa != kScalar.
+std::uint64_t simd_decode_pass(const DecodeBenchCase& c, SimdIsa isa);
+
 inline std::size_t decode_pass_deltas(const DecodeBenchCase& c) {
   return c.lanes * c.deltas_per_lane;
 }
 
 /// Self-timed sweep (steady_clock, >= min_seconds_per_cell per measurement)
 /// reporting decode throughput in giga-deltas per second for each variant.
+/// The per-ISA SIMD columns are NaN (rendered "n/a" by Table::fmt) when the
+/// ISA is not runnable on this host/binary.
 struct DecodeThroughputRow {
   int width = 0;
   int sym_len = 0;
   double specialized_gdps = 0;
   double generic_gdps = 0;
   double legacy_gdps = 0;
+  double sse4_gdps = std::numeric_limits<double>::quiet_NaN();
+  double avx2_gdps = std::numeric_limits<double>::quiet_NaN();
 };
 
 std::vector<DecodeThroughputRow> decode_throughput_sweep(
     int sym_len, std::size_t lanes, std::size_t deltas_per_lane,
     double min_seconds_per_cell);
+
+/// Scalar-vs-SIMD decode A/B over real BRO-ELL compressions of the matgen
+/// suite (Test Set 1): per matrix, one pass decodes every slice of the
+/// compressed index stream. The scalar side is exactly what PR 4's dispatch
+/// ran (width-specialized kernel for uniform slices <=
+/// kMaxSpecializedDecodeWidth, runtime-width generic otherwise); the SIMD
+/// side is `isa`'s lockstep checksum kernel. Measurements alternate
+/// scalar/SIMD rounds and keep each side's best throughput (CPU-time
+/// minima), the same protocol as the PR 4 decode experiments.
+struct EllSuiteDecodeRow {
+  std::string matrix;
+  std::size_t deltas = 0; // deltas decoded per pass (incl. padding slots)
+  double scalar_gdps = 0;
+  double simd_gdps = 0;
+};
+
+std::vector<EllSuiteDecodeRow> ell_suite_decode_sweep(
+    SimdIsa isa, double scale, double min_seconds_per_cell);
 
 } // namespace bro::kernels

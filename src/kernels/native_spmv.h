@@ -19,6 +19,7 @@
 #include "core/bro_coo.h"
 #include "core/bro_ell.h"
 #include "core/bro_hyb.h"
+#include "kernels/cpu_features.h"
 #include "sparse/coo.h"
 #include "sparse/csr.h"
 #include "sparse/ell.h"
@@ -60,9 +61,11 @@ struct BroCooCarry {
 inline constexpr int kMaxSpecializedDecodeWidth = 24;
 
 /// The decode-kernel choice for one BRO-ELL slice: the uniform bit width
-/// (-1 when the slice mixes widths and uses the generic decoder) and the
-/// SpMV/SpMM slice kernels to run. Selected once per slice at plan build
-/// time; both function pointers are always non-null.
+/// (-1 when the slice mixes widths; for scalar dispatch that selects the
+/// generic decoder), the SpMV/SpMM slice kernels to run, and the ISA the
+/// kernels were compiled for (SIMD kernels take the width at run time, so
+/// one kernel per ISA covers the whole table). Selected once per slice at
+/// plan build time; both function pointers are always non-null.
 struct BroEllKernel {
   int width = -1;
   void (*spmv)(const core::BroEll& a, const core::BroEllSlice& slice,
@@ -70,6 +73,7 @@ struct BroEllKernel {
   void (*spmm)(const core::BroEll& a, const core::BroEllSlice& slice,
                std::span<const value_t> x, std::span<value_t> y,
                int k) = nullptr;
+  SimdIsa isa = SimdIsa::kScalar;
 };
 
 /// The decode-kernel choice for one BRO-COO interval (intervals always have
@@ -86,12 +90,20 @@ struct BroCooKernel {
                std::span<const value_t> x, std::span<value_t> y, int k,
                BroCooCarry& carry, value_t* first_sum,
                value_t* last_sum) = nullptr;
+  SimdIsa isa = SimdIsa::kScalar;
 };
 
 /// Per-slice / per-interval kernel selection (the plan-time step). The
-/// returned vectors are index-aligned with slices() / intervals().
+/// returned vectors are index-aligned with slices() / intervals(). The
+/// overloads without an ISA parameter use active_simd_isa() — the BRO_SIMD
+/// override and host capability are folded in exactly once, here; execute()
+/// runs whatever the table says with no further branching.
 std::vector<BroEllKernel> plan_bro_ell_kernels(const core::BroEll& a);
 std::vector<BroCooKernel> plan_bro_coo_kernels(const core::BroCoo& a);
+std::vector<BroEllKernel> plan_bro_ell_kernels(const core::BroEll& a,
+                                               SimdIsa isa);
+std::vector<BroCooKernel> plan_bro_coo_kernels(const core::BroCoo& a,
+                                               SimdIsa isa);
 
 /// Selection for a single slice / interval (what plan_bro_*_kernels applies
 /// per element; exposed for tests and the table-free kernel overloads).
@@ -99,6 +111,10 @@ BroEllKernel select_bro_ell_kernel(const core::BroEllSlice& slice,
                                    int sym_len);
 BroCooKernel select_bro_coo_kernel(const core::BroCooInterval& iv,
                                    int sym_len);
+BroEllKernel select_bro_ell_kernel(const core::BroEllSlice& slice,
+                                   int sym_len, SimdIsa isa);
+BroCooKernel select_bro_coo_kernel(const core::BroCooInterval& iv,
+                                   int sym_len, SimdIsa isa);
 
 /// The generic variable-width kernels as a dispatch entry (width -1): the
 /// bitwise-parity baseline the specialized kernels are fuzzed against.

@@ -1,6 +1,7 @@
 #include "util/table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -42,12 +43,16 @@ void Table::print(std::ostream& os) const {
 }
 
 std::string Table::fmt(double v, int precision) {
+  // NaN marks "no measurement" (e.g. bench::geomean of an empty set, or an
+  // ISA the host lacks): render it honestly instead of printing "nan".
+  if (std::isnan(v)) return "n/a";
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << v;
   return os.str();
 }
 
 std::string Table::pct(double fraction, int precision) {
+  if (std::isnan(fraction)) return "n/a";
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << fraction * 100.0 << '%';
   return os.str();

@@ -1,9 +1,9 @@
 // Width-specialized decode dispatch tests: plan-time kernel selection rules
 // and the bitwise-parity property the dispatch rests on — for every forced
-// bit width, symbol length and adversarial matrix shape, the specialized
-// SpMV/SpMM kernels must reproduce the generic runtime-width decoder's
-// result bit for bit (same algorithm, same traversal, same accumulation
-// order; only the unpacking code differs).
+// bit width, symbol length, adversarial matrix shape AND every SIMD ISA this
+// host can run, the dispatched SpMV/SpMM kernels must reproduce the generic
+// runtime-width scalar decoder's result bit for bit (same algorithm, same
+// traversal, same accumulation order; only the unpacking code differs).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -13,6 +13,8 @@
 #include "core/bro_coo.h"
 #include "core/bro_ell.h"
 #include "core/bro_hyb.h"
+#include "kernels/bro_decode_simd.h"
+#include "kernels/cpu_features.h"
 #include "kernels/native_spmm.h"
 #include "kernels/native_spmv.h"
 #include "sparse/convert.h"
@@ -33,6 +35,15 @@ std::vector<value_t> random_x(index_t n, std::uint64_t seed) {
   std::vector<value_t> x(static_cast<std::size_t>(n));
   for (auto& v : x) v = rng.uniform() * 2 - 1;
   return x;
+}
+
+/// Every ISA the parity sweeps can actually force on this host/binary:
+/// scalar always, each SIMD set when compiled in and supported by the CPU.
+std::vector<bk::SimdIsa> host_isas() {
+  std::vector<bk::SimdIsa> isas = {bk::SimdIsa::kScalar};
+  for (const bk::SimdIsa isa : {bk::SimdIsa::kSse4, bk::SimdIsa::kAvx2})
+    if (bk::simd_isa_runnable(isa)) isas.push_back(isa);
+  return isas;
 }
 
 void expect_bitwise(const std::vector<value_t>& got,
@@ -117,8 +128,9 @@ TEST(DecodeDispatch, CooSelectionMatchesIntervalBits) {
   }
 }
 
-/// One (matrix, width, sym_len) parity probe: dispatched SpMV and SpMM
-/// against the generic decoder, bitwise.
+/// One (matrix, width, sym_len) parity probe, swept across every host ISA:
+/// dispatched SpMV and SpMM against the always-scalar generic decoder,
+/// bitwise. The compression is ISA-independent and done once.
 void check_parity(const bs::Csr& csr, int width, int sym_len,
                   const char* name) {
   if (csr.nnz() == 0 || csr.rows == 0) return;
@@ -133,23 +145,28 @@ void check_parity(const bs::Csr& csr, int width, int sym_len,
   eopt.sym_len = sym_len;
   eopt.forced_bit_width = width;
   const auto ell = bc::BroEll::compress(bs::csr_to_ell(csr), eopt);
-  bk::native_spmv_bro_ell(ell, x, y);
-  bk::native_spmv_bro_ell_generic(ell, x, y_gen);
-  expect_bitwise(y, y_gen, name);
 
   const int k = 3;
-  const auto table = bk::plan_bro_ell_kernels(ell);
-  std::vector<bk::BroEllKernel> generic_table(
-      table.size(), bk::generic_bro_ell_kernel(sym_len));
   std::vector<value_t> ym(rows * k), ym_gen(rows * k);
   std::vector<value_t> xm(static_cast<std::size_t>(csr.cols) * k);
   for (std::size_t c = 0; c < static_cast<std::size_t>(csr.cols); ++c)
     for (int j = 0; j < k; ++j)
       xm[c * k + static_cast<std::size_t>(j)] =
           x[(c + static_cast<std::size_t>(j)) % x.size()];
-  bk::native_spmm_bro_ell(ell, table, xm, ym, k);
-  bk::native_spmm_bro_ell(ell, generic_table, xm, ym_gen, k);
-  expect_bitwise(ym, ym_gen, name);
+
+  for (const bk::SimdIsa isa : host_isas()) {
+    bk::ScopedSimdIsa forced(isa);
+    bk::native_spmv_bro_ell(ell, x, y);
+    bk::native_spmv_bro_ell_generic(ell, x, y_gen);
+    expect_bitwise(y, y_gen, name);
+
+    const auto table = bk::plan_bro_ell_kernels(ell);
+    std::vector<bk::BroEllKernel> generic_table(
+        table.size(), bk::generic_bro_ell_kernel(sym_len));
+    bk::native_spmm_bro_ell(ell, table, xm, ym, k);
+    bk::native_spmm_bro_ell(ell, generic_table, xm, ym_gen, k);
+    expect_bitwise(ym, ym_gen, name);
+  }
 }
 
 TEST(DecodeDispatch, EllParityAcrossWidthsAndSymLens) {
@@ -179,24 +196,21 @@ TEST(DecodeDispatch, AdversarialParity) {
     std::vector<value_t> y(rows), y_gen(rows);
 
     for (const int sym_len : {32, 64}) {
-      // ELL blows up on spike shapes; gate like the registry does.
+      // ELL blows up on spike shapes; gate like the registry does. All
+      // compressions are ISA-independent, so build once per sym_len and
+      // sweep the dispatch ISA over the kernel calls only.
       const double expand = static_cast<double>(csr.rows) *
                             static_cast<double>(csr.max_row_length());
-      if (expand <= 3.0 * static_cast<double>(csr.nnz())) {
-        bc::BroEllOptions eopt;
-        eopt.sym_len = sym_len;
-        const auto ell = bc::BroEll::compress(bs::csr_to_ell(csr), eopt);
-        bk::native_spmv_bro_ell(ell, x, y);
-        bk::native_spmv_bro_ell_generic(ell, x, y_gen);
-        expect_bitwise(y, y_gen, adversarial.name.c_str());
-      }
+      const bool ell_ok = expand <= 3.0 * static_cast<double>(csr.nnz());
+      bc::BroEllOptions eopt;
+      eopt.sym_len = sym_len;
+      const auto ell = ell_ok ? bc::BroEll::compress(bs::csr_to_ell(csr), eopt)
+                              : bc::BroEll();
 
       bc::BroCooOptions copt;
       copt.sym_len = sym_len;
       const auto coo = bc::BroCoo::compress(bs::csr_to_coo(csr), copt);
-      bk::native_spmv_bro_coo(coo, x, y);
-      bk::native_spmv_bro_coo_generic(coo, x, y_gen);
-      expect_bitwise(y, y_gen, adversarial.name.c_str());
+      const auto hyb = bc::BroHyb::compress(csr);
 
       const int k = 2;
       const std::size_t n = coo.intervals().size();
@@ -208,18 +222,31 @@ TEST(DecodeDispatch, AdversarialParity) {
         for (int j = 0; j < k; ++j)
           xm[c * k + static_cast<std::size_t>(j)] =
               x[(c + static_cast<std::size_t>(j)) % x.size()];
-      const auto table = bk::plan_bro_coo_kernels(coo);
-      std::vector<bk::BroCooKernel> generic_table(
-          table.size(), bk::generic_bro_coo_kernel(sym_len));
-      bk::native_spmm_bro_coo(coo, table, xm, ym, k, carries, sums);
-      bk::native_spmm_bro_coo(coo, generic_table, xm, ym_gen, k, carries,
-                              sums);
-      expect_bitwise(ym, ym_gen, adversarial.name.c_str());
 
-      const auto hyb = bc::BroHyb::compress(csr);
-      bk::native_spmv_bro_hyb(hyb, x, y);
-      bk::native_spmv_bro_hyb_generic(hyb, x, y_gen);
-      expect_bitwise(y, y_gen, adversarial.name.c_str());
+      for (const bk::SimdIsa isa : host_isas()) {
+        bk::ScopedSimdIsa forced(isa);
+        if (ell_ok) {
+          bk::native_spmv_bro_ell(ell, x, y);
+          bk::native_spmv_bro_ell_generic(ell, x, y_gen);
+          expect_bitwise(y, y_gen, adversarial.name.c_str());
+        }
+
+        bk::native_spmv_bro_coo(coo, x, y);
+        bk::native_spmv_bro_coo_generic(coo, x, y_gen);
+        expect_bitwise(y, y_gen, adversarial.name.c_str());
+
+        const auto table = bk::plan_bro_coo_kernels(coo);
+        std::vector<bk::BroCooKernel> generic_table(
+            table.size(), bk::generic_bro_coo_kernel(sym_len));
+        bk::native_spmm_bro_coo(coo, table, xm, ym, k, carries, sums);
+        bk::native_spmm_bro_coo(coo, generic_table, xm, ym_gen, k, carries,
+                                sums);
+        expect_bitwise(ym, ym_gen, adversarial.name.c_str());
+
+        bk::native_spmv_bro_hyb(hyb, x, y);
+        bk::native_spmv_bro_hyb_generic(hyb, x, y_gen);
+        expect_bitwise(y, y_gen, adversarial.name.c_str());
+      }
     }
   }
 }
@@ -242,10 +269,94 @@ TEST(DecodeDispatch, CooParityAcrossWarpSizes) {
     opt.warp_size = warp;
     opt.interval_cols = 16;
     const auto coo = bc::BroCoo::compress(bs::csr_to_coo(csr), opt);
-    bk::native_spmv_bro_coo(coo, x, y);
-    bk::native_spmv_bro_coo_generic(coo, x, y_gen);
-    expect_bitwise(y, y_gen, "warp-sweep");
+    for (const bk::SimdIsa isa : host_isas()) {
+      bk::ScopedSimdIsa forced(isa);
+      bk::native_spmv_bro_coo(coo, x, y);
+      bk::native_spmv_bro_coo_generic(coo, x, y_gen);
+      expect_bitwise(y, y_gen, "warp-sweep");
+    }
   }
+}
+
+/// When a SIMD ISA is forced, every planned kernel-table entry must be
+/// tagged with it and point at that ISA's kernel set functions; forcing
+/// scalar must restore the baseline selection (isa tag kScalar).
+TEST(DecodeDispatch, SimdSelectionTagsKernels) {
+  const bs::Csr csr = bs::generate_poisson2d(40, 40);
+  for (const int sym_len : {32, 64}) {
+    bc::BroEllOptions eopt;
+    eopt.sym_len = sym_len;
+    const auto ell = bc::BroEll::compress(bs::csr_to_ell(csr), eopt);
+    bc::BroCooOptions copt;
+    copt.sym_len = sym_len;
+    const auto coo = bc::BroCoo::compress(bs::csr_to_coo(csr), copt);
+
+    for (const bk::SimdIsa isa : host_isas()) {
+      bk::ScopedSimdIsa forced(isa);
+      const auto* set = bk::simd_kernel_set(isa);
+      if (isa != bk::SimdIsa::kScalar) {
+        ASSERT_NE(set, nullptr);
+      }
+
+      for (const auto& kernel : bk::plan_bro_ell_kernels(ell)) {
+        EXPECT_EQ(kernel.isa, isa);
+        if (set != nullptr) {
+          EXPECT_EQ(kernel.spmv,
+                    sym_len == 32 ? set->ell_spmv32 : set->ell_spmv64);
+          EXPECT_EQ(kernel.spmm,
+                    sym_len == 32 ? set->ell_spmm32 : set->ell_spmm64);
+        }
+      }
+      for (const auto& kernel : bk::plan_bro_coo_kernels(coo)) {
+        EXPECT_EQ(kernel.isa, isa);
+        if (set != nullptr) {
+          EXPECT_EQ(kernel.spmv,
+                    sym_len == 32 ? set->coo_spmv32 : set->coo_spmv64);
+          EXPECT_EQ(kernel.spmm,
+                    sym_len == 32 ? set->coo_spmm32 : set->coo_spmm64);
+        }
+      }
+    }
+  }
+}
+
+/// The resolution rule is a pure clamp: explicit requests are honored but
+/// never exceed `best`, and no request takes `best` as-is.
+TEST(DecodeDispatch, ResolveSimdIsaClamps) {
+  using I = bk::SimdIsa;
+  EXPECT_EQ(bk::resolve_simd_isa(std::nullopt, I::kAvx2), I::kAvx2);
+  EXPECT_EQ(bk::resolve_simd_isa(std::nullopt, I::kScalar), I::kScalar);
+  EXPECT_EQ(bk::resolve_simd_isa(I::kAvx2, I::kAvx2), I::kAvx2);
+  EXPECT_EQ(bk::resolve_simd_isa(I::kAvx2, I::kSse4), I::kSse4);
+  EXPECT_EQ(bk::resolve_simd_isa(I::kAvx2, I::kScalar), I::kScalar);
+  EXPECT_EQ(bk::resolve_simd_isa(I::kSse4, I::kAvx2), I::kSse4);
+  EXPECT_EQ(bk::resolve_simd_isa(I::kScalar, I::kAvx2), I::kScalar);
+}
+
+TEST(DecodeDispatch, ParseSimdIsaNames) {
+  EXPECT_EQ(bk::parse_simd_isa("scalar"), bk::SimdIsa::kScalar);
+  EXPECT_EQ(bk::parse_simd_isa("sse4"), bk::SimdIsa::kSse4);
+  EXPECT_EQ(bk::parse_simd_isa("avx2"), bk::SimdIsa::kAvx2);
+  EXPECT_EQ(bk::parse_simd_isa("AVX2"), std::nullopt);
+  EXPECT_EQ(bk::parse_simd_isa(""), std::nullopt);
+  EXPECT_EQ(bk::parse_simd_isa("neon"), std::nullopt);
+  for (const bk::SimdIsa isa :
+       {bk::SimdIsa::kScalar, bk::SimdIsa::kSse4, bk::SimdIsa::kAvx2})
+    EXPECT_EQ(bk::parse_simd_isa(bk::simd_isa_name(isa)), isa);
+}
+
+/// With no ScopedSimdIsa live, the active ISA is exactly the env request
+/// resolved against the host's best — the documented layering.
+TEST(DecodeDispatch, ActiveIsaMatchesResolution) {
+  EXPECT_EQ(bk::active_simd_isa(),
+            bk::resolve_simd_isa(bk::simd_env_override(), bk::best_simd_isa()));
+  // A scoped force wins over the environment, and restores on exit.
+  const bk::SimdIsa before = bk::active_simd_isa();
+  {
+    bk::ScopedSimdIsa forced(bk::SimdIsa::kScalar);
+    EXPECT_EQ(bk::active_simd_isa(), bk::SimdIsa::kScalar);
+  }
+  EXPECT_EQ(bk::active_simd_isa(), before);
 }
 
 } // namespace

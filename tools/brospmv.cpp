@@ -14,6 +14,7 @@
 // c2070 / gtx680 / k20 (default k20). --format takes any name printed by
 // `brospmv formats`; unknown names are a hard error.
 #include <atomic>
+#include <cmath>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -24,13 +25,18 @@
 #include <vector>
 
 #include "check/differential.h"
+#include "core/bro_coo.h"
+#include "core/bro_ell.h"
 #include "core/matrix.h"
 #include "core/serialize.h"
 #include "engine/autotune.h"
 #include "engine/format_registry.h"
 #include "engine/plan.h"
+#include "kernels/cpu_features.h"
 #include "kernels/decode_bench.h"
+#include "kernels/native_spmv.h"
 #include "sparse/convert.h"
+#include "sparse/matgen/generators.h"
 #include "sparse/matgen/suite.h"
 #include "sparse/mmio.h"
 #include "serve/server.h"
@@ -54,11 +60,15 @@ int usage() {
          "  tune <matrix> [--device D]         simulated format ranking\n"
          "  bench <matrix> [--device D]        per-format simulated GFlop/s\n"
          "  fuzz [--rounds N] [--seed S]       differential-test every format\n"
-         "       [--eps E] [--device D] [--no-sim] [--no-decode] [--quiet]\n"
-         "       [--spmm-k K]\n"
+         "       [--eps E] [--device D] [--no-sim] [--no-decode] [--no-simd]\n"
+         "       [--quiet] [--spmm-k K]\n"
+         "  cpuinfo [--short]                  SIMD probe + dispatch report\n"
+         "                                     (--short: active ISA only)\n"
          "  bench --decode [--min-time S]      host decode-throughput sweep\n"
          "                                     (specialized vs generic vs\n"
-         "                                     legacy uint64-slot storage)\n"
+         "                                     legacy slots vs SIMD ISAs)\n"
+         "       [--suite [--scale S]]         add the BRO-ELL suite decode\n"
+         "                                     A/B (scalar vs active SIMD)\n"
          "  serve-bench [--threads N] [--clients C] [--requests R]\n"
          "       [--matrices M] [--max-batch K] [--cache-mb B]\n"
          "       [--format F] [--scale S] [--seed S]\n"
@@ -205,21 +215,116 @@ int cmd_tune(const Args& args) {
   return 0;
 }
 
+/// `cpuinfo`: the SIMD dispatch report — what the hardware offers, what the
+/// binary carries, what BRO_SIMD requests and what each BRO format's planned
+/// kernel table actually resolved to. `--short` prints just the active ISA
+/// name (the CI artifact-tagging hook).
+int cmd_cpuinfo(const Args& args) {
+  namespace bk = kernels;
+  const bk::SimdIsa active = bk::active_simd_isa();
+  if (args.has("short")) {
+    std::cout << bk::simd_isa_name(active) << '\n';
+    return 0;
+  }
+
+  const auto yn = [](bool b) { return b ? "yes" : "no"; };
+  const bk::CpuFeatures f = bk::cpu_features();
+  std::cout << "hardware   sse4.2=" << yn(f.sse4) << " avx2=" << yn(f.avx2)
+            << '\n'
+            << "compiled   sse4=" << yn(bk::simd_isa_compiled(bk::SimdIsa::kSse4))
+            << " avx2=" << yn(bk::simd_isa_compiled(bk::SimdIsa::kAvx2)) << '\n'
+            << "runnable   sse4=" << yn(bk::simd_isa_runnable(bk::SimdIsa::kSse4))
+            << " avx2=" << yn(bk::simd_isa_runnable(bk::SimdIsa::kAvx2)) << '\n';
+
+  const char* raw = bk::simd_env_raw();
+  std::cout << "BRO_SIMD   " << (raw ? raw : "(unset)");
+  if (raw && !bk::parse_simd_isa(raw))
+    std::cout << " (unparsable, treated as unset)";
+  std::cout << '\n'
+            << "best       " << bk::simd_isa_name(bk::best_simd_isa()) << '\n'
+            << "active     " << bk::simd_isa_name(active) << '\n';
+
+  // What plan-time selection resolves to right now, per BRO format: compress
+  // a tiny fixed matrix and read the ISA tag off the planned kernel tables.
+  sparse::GenSpec spec;
+  spec.seed = 2013;
+  spec.rows = 64;
+  spec.cols = 64;
+  spec.mu = 4.0;
+  const sparse::Csr csr = sparse::generate(spec);
+  const auto ell = core::BroEll::compress(sparse::csr_to_ell(csr));
+  const auto ell_kernels = kernels::plan_bro_ell_kernels(ell);
+  const auto coo = core::BroCoo::compress(sparse::csr_to_coo(csr));
+  const auto coo_kernels = kernels::plan_bro_coo_kernels(coo);
+  std::cout << "BRO-ELL    "
+            << (ell_kernels.empty()
+                    ? "(no slices)"
+                    : bk::simd_isa_name(ell_kernels.front().isa))
+            << '\n'
+            << "BRO-COO    "
+            << (coo_kernels.empty()
+                    ? "(no intervals)"
+                    : bk::simd_isa_name(coo_kernels.front().isa))
+            << '\n';
+  return 0;
+}
+
+/// `bench --decode --suite`: the scalar-vs-SIMD BRO-ELL suite decode A/B
+/// (the EXPERIMENTS.md protocol) on the active ISA.
+int cmd_bench_decode_suite(const Args& args, double min_time) {
+  const kernels::SimdIsa isa = kernels::active_simd_isa();
+  if (isa == kernels::SimdIsa::kScalar) {
+    std::cout << "\nSuite decode A/B skipped: no SIMD ISA is active "
+                 "(host support, compiled sets and BRO_SIMD all allow only "
+                 "scalar).\n";
+    return 0;
+  }
+  const double scale = args.get_double("scale", 0.125);
+  std::cout << "\nBRO-ELL suite decode throughput (Gdeltas/s), scalar vs "
+            << kernels::simd_isa_name(isa) << ", scale " << scale << ":\n";
+  const auto rows = kernels::ell_suite_decode_sweep(isa, scale, min_time);
+  Table t({"Matrix", "deltas", "scalar", kernels::simd_isa_name(isa),
+           "speedup"});
+  std::vector<double> speedups;
+  for (const auto& r : rows) {
+    const double speedup = r.simd_gdps / r.scalar_gdps;
+    speedups.push_back(speedup);
+    t.add_row({r.matrix, std::to_string(r.deltas),
+               Table::fmt(r.scalar_gdps, 3), Table::fmt(r.simd_gdps, 3),
+               Table::fmt(speedup, 2) + "x"});
+  }
+  t.print(std::cout);
+  double log_sum = 0;
+  for (const double s : speedups) log_sum += std::log(s);
+  if (!speedups.empty())
+    std::cout << "geomean speedup: "
+              << Table::fmt(
+                     std::exp(log_sum / static_cast<double>(speedups.size())),
+                     2)
+              << "x over " << speedups.size() << " matrices\n";
+  return 0;
+}
+
 /// `bench --decode`: host decode throughput per bit width, in giga-deltas
-/// per second, for the three decoder variants the PR's perf claim compares.
+/// per second, for the decoder variants the PR's perf claims compare (the
+/// scalar trio plus every SIMD ISA runnable on this host; ISA columns the
+/// host lacks print n/a).
 int cmd_bench_decode(const Args& args) {
   const double min_time = args.get_double("min-time", 0.02);
   std::cout << "Decode throughput (Gdeltas/s), 64 lanes x 16384 deltas:\n";
-  Table t({"Width", "sym_len", "specialized", "generic", "legacy slots"});
+  Table t({"Width", "sym_len", "specialized", "generic", "legacy slots",
+           "sse4", "avx2"});
   for (const int sym_len : {32, 64}) {
     const auto rows =
         kernels::decode_throughput_sweep(sym_len, 64, 16384, min_time);
     for (const auto& r : rows)
       t.add_row({std::to_string(r.width), std::to_string(r.sym_len),
                  Table::fmt(r.specialized_gdps, 3), Table::fmt(r.generic_gdps, 3),
-                 Table::fmt(r.legacy_gdps, 3)});
+                 Table::fmt(r.legacy_gdps, 3), Table::fmt(r.sse4_gdps, 3),
+                 Table::fmt(r.avx2_gdps, 3)});
   }
   t.print(std::cout);
+  if (args.has("suite")) return cmd_bench_decode_suite(args, min_time);
   return 0;
 }
 
@@ -265,6 +370,7 @@ int cmd_fuzz(const Args& args) {
   opts.spmm_k = static_cast<int>(args.get_long("spmm-k", opts.spmm_k));
   if (opts.spmm_k < 0) throw std::runtime_error("--spmm-k must be >= 0");
   opts.decode_check = !args.has("no-decode");
+  opts.simd_check = !args.has("no-simd");
 
   std::ostream* log = args.has("quiet") ? nullptr : &std::cout;
   const auto report = check::run_fuzz(opts, log);
@@ -409,6 +515,8 @@ int main(int argc, char** argv) {
       return cmd_bench_decode(args);
     if (cmd == "bench" && args.positional().size() == 2) return cmd_bench(args);
     if (cmd == "fuzz" && args.positional().size() == 1) return cmd_fuzz(args);
+    if (cmd == "cpuinfo" && args.positional().size() == 1)
+      return cmd_cpuinfo(args);
     if (cmd == "serve-bench" && args.positional().size() == 1)
       return cmd_serve_bench(args);
     return usage();
