@@ -64,7 +64,7 @@ const std::vector<FormatTraits>& build_registry() {
          kernels::native_spmm_csr(m.csr(), x, y, k);
        },
        /*resident_bytes=*/nullptr,
-       /*native_generic=*/nullptr},
+       /*native_generic=*/nullptr, /*row_shardable=*/true},
 
       {Format::kCoo, "COO", false, false, true, -1, always_applicable,
        [](const Matrix& m, Workspace& ws) { ws.coo_ranges(m.coo()); },
@@ -92,7 +92,7 @@ const std::vector<FormatTraits>& build_registry() {
        [](const Matrix& m) {
          return m.coo().nnz() * (2 * sizeof(index_t) + sizeof(value_t));
        },
-       /*native_generic=*/nullptr},
+       /*native_generic=*/nullptr, /*row_shardable=*/true},
 
       {Format::kEll, "ELLPACK", false, false, true, -1, ell_applicable,
        [](const Matrix& m, Workspace&) { m.ell(); },
@@ -120,7 +120,7 @@ const std::vector<FormatTraits>& build_registry() {
        [](const Matrix& m) {
          return m.ell().entries() * (sizeof(index_t) + sizeof(value_t));
        },
-       /*native_generic=*/nullptr},
+       /*native_generic=*/nullptr, /*row_shardable=*/true},
 
       {Format::kEllR, "ELLPACK-R", false, false, true, -1, ell_applicable,
        [](const Matrix& m, Workspace&) { m.ellr(); },
@@ -147,7 +147,7 @@ const std::vector<FormatTraits>& build_registry() {
          return e.ell.entries() * (sizeof(index_t) + sizeof(value_t)) +
                 e.row_length.size() * sizeof(index_t);
        },
-       /*native_generic=*/nullptr},
+       /*native_generic=*/nullptr, /*row_shardable=*/true},
 
       {Format::kHyb, "HYB", false, false, true, -1, always_applicable,
        [](const Matrix& m, Workspace& ws) { ws.coo_ranges(m.hyb().coo); },
@@ -176,7 +176,7 @@ const std::vector<FormatTraits>& build_registry() {
          return h.ell.entries() * (sizeof(index_t) + sizeof(value_t)) +
                 h.coo.nnz() * (2 * sizeof(index_t) + sizeof(value_t));
        },
-       /*native_generic=*/nullptr},
+       /*native_generic=*/nullptr, /*row_shardable=*/true},
 
       {Format::kBroEll, "BRO-ELL", true, false, true, 0, ell_applicable,
        [](const Matrix& m, Workspace& ws) { ws.bro_ell_kernels(m.bro_ell()); },
@@ -221,7 +221,8 @@ const std::vector<FormatTraits>& build_registry() {
        },
        [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
          kernels::native_spmv_bro_ell_generic(m.bro_ell(), x, y);
-       }},
+       },
+       /*row_shardable=*/true},
 
       {Format::kBroCoo, "BRO-COO", true, false, true, -1, always_applicable,
        [](const Matrix& m, Workspace& ws) {
@@ -279,7 +280,10 @@ const std::vector<FormatTraits>& build_registry() {
        },
        [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
          kernels::native_spmv_bro_coo_generic(m.bro_coo(), x, y);
-       }},
+       },
+       // Interval carries regroup a row's partial sums at global stream
+       // offsets; a shard's re-compression regroups them differently.
+       /*row_shardable=*/false},
 
       {Format::kBroHyb, "BRO-HYB", true, false, true, 1, nonzero_applicable,
        [](const Matrix& m, Workspace& ws) {
@@ -339,7 +343,10 @@ const std::vector<FormatTraits>& build_registry() {
        },
        [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
          kernels::native_spmv_bro_hyb_generic(m.bro_hyb(), x, y);
-       }},
+       },
+       // The ELL/COO split point (width rule) shifts per shard and the COO
+       // part inherits BRO-COO's interval regrouping.
+       /*row_shardable=*/false},
 
       {Format::kBroCsr, "BRO-CSR", true, /*extension=*/true, true, -1,
        always_applicable,
@@ -379,7 +386,7 @@ const std::vector<FormatTraits>& build_registry() {
                 bro.row_ptr().size() * sizeof(index_t) +
                 bro.vals().size() * sizeof(value_t);
        },
-       /*native_generic=*/nullptr},
+       /*native_generic=*/nullptr, /*row_shardable=*/true},
   };
   return registry;
 }

@@ -1,0 +1,148 @@
+#include "engine/shard.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace bro::engine {
+
+std::vector<RowShard> balanced_row_shards(const sparse::Csr& csr,
+                                          int shards) {
+  BRO_CHECK_MSG(shards >= 1, "shard count must be >= 1, got " << shards);
+  std::vector<RowShard> out;
+  if (csr.rows == 0) return out;
+  const auto s_count =
+      static_cast<index_t>(std::min<index_t>(shards, csr.rows));
+  const std::size_t total = csr.nnz();
+  out.reserve(static_cast<std::size_t>(s_count));
+  index_t begin = 0;
+  for (index_t s = 0; s < s_count; ++s) {
+    // Rows every later shard still needs (one each) bound this shard's end.
+    const index_t max_end = csr.rows - (s_count - 1 - s);
+    index_t end = begin + 1;
+    if (s + 1 == s_count) {
+      end = csr.rows;
+    } else {
+      // First row where the nnz prefix reaches s+1 shares of the total.
+      const std::size_t target = (total * static_cast<std::size_t>(s + 1)) /
+                                 static_cast<std::size_t>(s_count);
+      while (end < max_end &&
+             static_cast<std::size_t>(csr.row_ptr[end]) < target)
+        ++end;
+    }
+    out.push_back({begin, end,
+                   static_cast<std::size_t>(csr.row_ptr[end] -
+                                            csr.row_ptr[begin])});
+    begin = end;
+  }
+  return out;
+}
+
+sparse::Csr extract_rows(const sparse::Csr& csr, index_t begin, index_t end) {
+  BRO_CHECK_MSG(begin >= 0 && begin <= end && end <= csr.rows,
+                "extract_rows range [" << begin << ", " << end
+                                       << ") out of [0, " << csr.rows << ")");
+  sparse::Csr out;
+  out.rows = end - begin;
+  out.cols = csr.cols;
+  out.row_ptr.resize(static_cast<std::size_t>(out.rows) + 1);
+  const index_t base = csr.row_ptr[begin];
+  for (index_t r = 0; r <= out.rows; ++r)
+    out.row_ptr[static_cast<std::size_t>(r)] = csr.row_ptr[begin + r] - base;
+  const auto nnz = static_cast<std::size_t>(csr.row_ptr[end] - base);
+  out.col_idx.assign(csr.col_idx.begin() + base,
+                     csr.col_idx.begin() + base + nnz);
+  out.vals.assign(csr.vals.begin() + base, csr.vals.begin() + base + nnz);
+  return out;
+}
+
+core::Format ShardedSpmvPlan::resolve_format(
+    const core::Matrix& m, std::optional<core::Format> format) {
+  if (format) return *format;
+  const core::Format auto_f = m.auto_format();
+  return traits(auto_f).row_shardable ? auto_f : core::Format::kCsr;
+}
+
+ShardedSpmvPlan::ShardedSpmvPlan(std::shared_ptr<const core::Matrix> matrix,
+                                 int shards,
+                                 std::optional<core::Format> format)
+    : matrix_(std::move(matrix)) {
+  BRO_CHECK_MSG(matrix_ != nullptr, "ShardedSpmvPlan requires a matrix");
+  format_ = resolve_format(*matrix_, format);
+  BRO_CHECK_MSG(
+      traits(format_).row_shardable,
+      "format " << traits(format_).name
+                << " is not row-shardable (interval carries regroup partial "
+                   "sums; see engine/shard.h)");
+  rows_ = matrix_->rows();
+  cols_ = matrix_->cols();
+  shards_ = balanced_row_shards(matrix_->csr(), shards);
+  plans_.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].nnz == 0) continue; // zero-filled at execute time
+    auto sub = std::make_shared<core::Matrix>(core::Matrix::from_csr(
+        extract_rows(matrix_->csr(), shards_[s].begin, shards_[s].end)));
+    plans_[s] = std::make_unique<SpmvPlan>(std::move(sub), format_);
+  }
+}
+
+void ShardedSpmvPlan::execute_shard(int s, std::span<const value_t> x,
+                                    std::span<value_t> y) {
+  const RowShard& sh = shards_.at(static_cast<std::size_t>(s));
+  BRO_CHECK(x.size() == static_cast<std::size_t>(cols_));
+  BRO_CHECK(y.size() == static_cast<std::size_t>(sh.rows()));
+  SpmvPlan* plan = plans_[static_cast<std::size_t>(s)].get();
+  if (!plan) {
+    std::fill(y.begin(), y.end(), value_t{0});
+    return;
+  }
+  plan->execute(x, y);
+}
+
+void ShardedSpmvPlan::execute_shard_multi(int s, std::span<const value_t> x,
+                                          std::span<value_t> y, int k) {
+  BRO_CHECK_MSG(k >= 1, "SpMM batch size must be >= 1");
+  const RowShard& sh = shards_.at(static_cast<std::size_t>(s));
+  const auto uk = static_cast<std::size_t>(k);
+  BRO_CHECK(x.size() == static_cast<std::size_t>(cols_) * uk);
+  BRO_CHECK(y.size() == static_cast<std::size_t>(sh.rows()) * uk);
+  SpmvPlan* plan = plans_[static_cast<std::size_t>(s)].get();
+  if (!plan) {
+    std::fill(y.begin(), y.end(), value_t{0});
+    return;
+  }
+  plan->execute_multi(x, y, k);
+}
+
+void ShardedSpmvPlan::execute(std::span<const value_t> x,
+                              std::span<value_t> y) {
+  BRO_CHECK(y.size() == static_cast<std::size_t>(rows_));
+  for (int s = 0; s < shard_count(); ++s) {
+    const RowShard& sh = shards_[static_cast<std::size_t>(s)];
+    execute_shard(s, x,
+                  y.subspan(static_cast<std::size_t>(sh.begin),
+                            static_cast<std::size_t>(sh.rows())));
+  }
+}
+
+void ShardedSpmvPlan::execute_multi(std::span<const value_t> x,
+                                    std::span<value_t> y, int k) {
+  const auto uk = static_cast<std::size_t>(k);
+  BRO_CHECK(y.size() == static_cast<std::size_t>(rows_) * uk);
+  for (int s = 0; s < shard_count(); ++s) {
+    const RowShard& sh = shards_[static_cast<std::size_t>(s)];
+    execute_shard_multi(s, x,
+                        y.subspan(static_cast<std::size_t>(sh.begin) * uk,
+                                  static_cast<std::size_t>(sh.rows()) * uk),
+                        k);
+  }
+}
+
+std::size_t ShardedSpmvPlan::resident_bytes() const {
+  std::size_t total = 0;
+  for (const auto& p : plans_)
+    if (p) total += p->resident_bytes();
+  return total;
+}
+
+} // namespace bro::engine

@@ -1,0 +1,102 @@
+// bro::engine row-sharded planned execution.
+//
+// CMRS-style row partitioning lifted one level up: instead of balancing
+// rows across warps inside one kernel, split the matrix into S contiguous
+// row ranges with balanced nnz, compress each range independently, and
+// hand every range its own SpmvPlan. Shards write disjoint y sub-spans and
+// read the shared x, so they may execute concurrently (e.g. across the
+// serve layer's worker pools) without touching each other's workspace —
+// each shard plan keeps the engine's single-executor contract for itself.
+//
+// Bitwise contract: for every format whose FormatTraits::row_shardable is
+// true, executing the shards (in any order) produces exactly the bytes the
+// whole-matrix plan produces. Those formats accumulate each y row strictly
+// left-to-right over the row's entries, and a row partition preserves every
+// row's entry sequence; re-compression can only change padding, which adds
+// ±0.0 terms that cannot perturb a sum that is never exactly -0.0. The
+// interval-carry formats (BRO-COO, BRO-HYB) regroup partial sums at global
+// stream offsets and are rejected at construction.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "engine/plan.h"
+
+namespace bro::engine {
+
+/// Half-open row range [begin, end) of the source matrix.
+struct RowShard {
+  index_t begin = 0;
+  index_t end = 0;
+  std::size_t nnz = 0;
+
+  index_t rows() const { return end - begin; }
+};
+
+/// Partition [0, csr.rows) into min(shards, rows) contiguous ranges with
+/// balanced nnz: shard s ends at the first row where the nnz prefix reaches
+/// s+1 shares of the total, clamped so every shard keeps at least one row.
+/// Empty matrix => no shards; `shards` must be >= 1.
+std::vector<RowShard> balanced_row_shards(const sparse::Csr& csr, int shards);
+
+/// The sub-matrix holding rows [begin, end) of `csr`: same column space,
+/// row_ptr rebased to the slice.
+sparse::Csr extract_rows(const sparse::Csr& csr, index_t begin, index_t end);
+
+/// A matrix bound to one row-shardable format as S independent per-shard
+/// plans. execute_shard() writes only the shard's rows, so callers run
+/// shards concurrently by handing each one the matching y sub-span
+/// (interleaved SpMM rows stay contiguous: rows [r0, r1) of a k-column
+/// batch occupy y[r0*k, r1*k)). nnz-free shards carry no plan at all —
+/// their rows are zero-filled, bitwise what any kernel produces for an
+/// empty row.
+class ShardedSpmvPlan {
+ public:
+  /// Throws when the resolved format is not row_shardable.
+  ShardedSpmvPlan(std::shared_ptr<const core::Matrix> matrix, int shards,
+                  std::optional<core::Format> format = std::nullopt);
+
+  /// The format sharding resolves to: `format` when given, else the
+  /// matrix's auto-selection, falling back to CSR when auto picks an
+  /// interval-carry (non-shardable) format.
+  static core::Format resolve_format(const core::Matrix& m,
+                                     std::optional<core::Format> format);
+
+  core::Format format() const { return format_; }
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  const RowShard& shard(int s) const { return shards_.at(s); }
+
+  /// The shard's own plan; null when the shard has no entries.
+  SpmvPlan* shard_plan(int s) { return plans_.at(s).get(); }
+
+  /// y = A[shard rows] * x. `x` is the full input (size cols()); `y` spans
+  /// exactly the shard's rows.
+  void execute_shard(int s, std::span<const value_t> x, std::span<value_t> y);
+
+  /// SpMM form over k interleaved right-hand sides; `y` spans the shard's
+  /// rows * k.
+  void execute_shard_multi(int s, std::span<const value_t> x,
+                           std::span<value_t> y, int k);
+
+  /// Whole-matrix convenience: every shard serially into its y sub-span.
+  void execute(std::span<const value_t> x, std::span<value_t> y);
+  void execute_multi(std::span<const value_t> x, std::span<value_t> y, int k);
+
+  /// Sum of the shard plans' resident bytes (PlanCache-compatible).
+  std::size_t resident_bytes() const;
+
+ private:
+  std::shared_ptr<const core::Matrix> matrix_;
+  core::Format format_ = core::Format::kCsr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<RowShard> shards_;
+  std::vector<std::unique_ptr<SpmvPlan>> plans_; // null for nnz == 0 shards
+};
+
+} // namespace bro::engine

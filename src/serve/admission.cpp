@@ -1,0 +1,66 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace bro::serve {
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions opts, Clock clock)
+    : opts_(opts),
+      burst_(opts.burst > 0 ? opts.burst : std::max(opts.rate, 1.0)),
+      clock_(clock ? std::move(clock) : Clock(&steady_seconds)) {}
+
+void AdmissionController::admit(const std::string& client,
+                                std::size_t queue_depth) {
+  std::unique_lock lk(mu_);
+  if (opts_.shed_depth > 0 && queue_depth >= opts_.shed_depth) {
+    ++stats_.shed;
+    lk.unlock();
+    throw RejectedError("load shed: " + std::to_string(queue_depth) +
+                            " pending >= shed depth " +
+                            std::to_string(opts_.shed_depth) +
+                            "; retry with backoff",
+                        queue_depth);
+  }
+  if (opts_.rate > 0) {
+    const double now = clock_();
+    auto [it, inserted] = buckets_.try_emplace(client);
+    Bucket& b = it->second;
+    if (inserted) {
+      b.tokens = burst_; // a new client starts with a full burst allowance
+      b.last = now;
+    } else {
+      b.tokens =
+          std::min(burst_, b.tokens + (now - b.last) * opts_.rate);
+      b.last = now;
+    }
+    if (b.tokens < 1.0) {
+      ++stats_.throttled;
+      lk.unlock();
+      throw RejectedError("client '" + client + "' throttled (" +
+                              std::to_string(opts_.rate) +
+                              " req/s, burst " + std::to_string(burst_) +
+                              "); retry later",
+                          queue_depth);
+    }
+    b.tokens -= 1.0;
+  }
+  ++stats_.admitted;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+} // namespace bro::serve

@@ -1,0 +1,86 @@
+// bro::serve transport layer — submit-side admission control.
+//
+// Three refusal mechanisms stack in front of the scheduler's bounded queue,
+// each reported as a RejectedError carrying the queue depth the caller
+// observed:
+//
+//   * load shedding: at/above shed_depth pending requests, refuse *before*
+//     the queue is hard-full, so well-behaved clients back off while the
+//     queue still has slack for in-flight retries,
+//   * per-client token buckets: each client id accrues `rate` tokens/sec up
+//     to `burst`; a submit with no token is throttled. One chatty client
+//     cannot starve the rest of the queue,
+//   * the scheduler's own max_queue bound (scheduler.h) remains the hard
+//     backstop.
+//
+// The clock is injectable so tests drive bucket refill deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace bro::serve {
+
+/// Backpressure signal: the request was refused at submit time (queue full,
+/// load shed, or client throttled). Carries the pending-queue depth at the
+/// moment of refusal so callers can calibrate their backoff.
+class RejectedError : public std::runtime_error {
+ public:
+  explicit RejectedError(const std::string& what, std::size_t queue_depth = 0)
+      : std::runtime_error(what), queue_depth_(queue_depth) {}
+
+  std::size_t queue_depth() const { return queue_depth_; }
+
+ private:
+  std::size_t queue_depth_;
+};
+
+struct AdmissionOptions {
+  /// Tokens per second granted to each client id; 0 disables throttling.
+  double rate = 0;
+  /// Bucket capacity (burst allowance); <= 0 defaults to max(rate, 1).
+  double burst = 0;
+  /// Queue depth at/above which new submits are shed; 0 disables shedding.
+  std::size_t shed_depth = 0;
+};
+
+struct AdmissionStats {
+  std::uint64_t admitted = 0;  // passed every admission check
+  std::uint64_t throttled = 0; // refused: client token bucket empty
+  std::uint64_t shed = 0;      // refused: queue depth >= shed_depth
+};
+
+class AdmissionController {
+ public:
+  /// Monotone seconds source; the default reads std::chrono::steady_clock.
+  using Clock = std::function<double()>;
+
+  explicit AdmissionController(AdmissionOptions opts, Clock clock = {});
+
+  /// Pass or throw RejectedError: shed check first (cheapest, protects the
+  /// whole server), then the client's token bucket. `client` may be empty —
+  /// all anonymous submits then share one bucket.
+  void admit(const std::string& client, std::size_t queue_depth);
+
+  AdmissionStats stats() const;
+  const AdmissionOptions& options() const { return opts_; }
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    double last = 0; // clock seconds of the previous refill
+  };
+
+  AdmissionOptions opts_;
+  double burst_;
+  Clock clock_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Bucket> buckets_;
+  AdmissionStats stats_;
+};
+
+} // namespace bro::serve

@@ -111,6 +111,24 @@ PlanCacheStats PlanCache::stats() const {
   return s;
 }
 
+std::size_t PlanCache::erase_matrix(const std::string& matrix_id) {
+  std::lock_guard lk(mu_);
+  std::size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->matrix_id != matrix_id) {
+      ++it;
+      continue;
+    }
+    auto entry = entries_.find(*it);
+    stats_.resident_bytes -= entry->second.bytes;
+    entries_.erase(entry);
+    it = lru_.erase(it);
+    ++dropped;
+  }
+  build_mu_.erase(matrix_id);
+  return dropped;
+}
+
 void PlanCache::clear() {
   std::lock_guard lk(mu_);
   for (const PlanKey& key : lru_) {

@@ -75,6 +75,12 @@ class PlanCache {
   PlanCacheStats stats() const;
   std::size_t max_resident_bytes() const { return cap_; }
 
+  /// Drop every completed entry for `matrix_id` across all formats and
+  /// thread counts (SpmvServer::remove_matrix). In-flight builds finish,
+  /// insert, and age out by LRU; callers holding an evicted plan keep it
+  /// alive through their shared_ptr. Returns the number of entries dropped.
+  std::size_t erase_matrix(const std::string& matrix_id);
+
   /// Drop every completed entry (in-flight builds finish and insert).
   void clear();
 

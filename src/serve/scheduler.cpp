@@ -1,0 +1,90 @@
+#include "serve/scheduler.h"
+
+namespace bro::serve {
+
+Scheduler::Scheduler(std::size_t max_queue, int max_batch)
+    : max_queue_(max_queue), max_batch_(max_batch) {}
+
+void Scheduler::enqueue(Request req) {
+  std::unique_lock lk(mu_);
+  if (queue_.size() >= max_queue_) {
+    ++stats_.rejected;
+    const std::size_t depth = queue_.size();
+    lk.unlock();
+    throw RejectedError("serve queue full (" + std::to_string(depth) +
+                            " pending, bound " + std::to_string(max_queue_) +
+                            "); retry later",
+                        depth);
+  }
+  req.enqueued = std::chrono::steady_clock::now();
+  queue_.push_back(std::move(req));
+  ++stats_.submitted;
+  lk.unlock();
+  work_ready_.notify_one();
+}
+
+Batch Scheduler::take_locked() {
+  Batch batch;
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  // Coalesce: pull every queued request for the same matrix (submission
+  // order preserved) up to max_batch — they become one SpMM.
+  for (auto it = queue_.begin();
+       it != queue_.end() &&
+       batch.size() < static_cast<std::size_t>(max_batch_);) {
+    if (it->id == batch.front().id) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ++in_flight_;
+  return batch;
+}
+
+std::optional<Batch> Scheduler::try_take() {
+  std::lock_guard lk(mu_);
+  if (queue_.empty()) return std::nullopt;
+  return take_locked();
+}
+
+std::optional<Batch> Scheduler::wait_take() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    work_ready_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    if (!queue_.empty()) return take_locked();
+    if (stop_) return std::nullopt;
+  }
+}
+
+void Scheduler::complete() {
+  std::lock_guard lk(mu_);
+  --in_flight_;
+  if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+}
+
+void Scheduler::stop() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+}
+
+void Scheduler::drain() {
+  std::unique_lock lk(mu_);
+  idle_.wait(lk, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+std::size_t Scheduler::depth() const {
+  std::lock_guard lk(mu_);
+  return queue_.size();
+}
+
+SchedulerStats Scheduler::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+} // namespace bro::serve

@@ -1,0 +1,94 @@
+// bro::serve scheduling layer — the bounded queue and SpMM coalescing.
+//
+// Extracted from the original monolithic SpmvServer: the scheduler owns
+// the pending-request deque, enforces the max_queue backpressure bound
+// (RejectedError with the observed depth), and folds queued requests
+// against the same matrix into one batch of up to max_batch right-hand
+// sides — the paper's bits-per-flop win applied across requests, since the
+// executor decodes each index once per batch (kernels/native_spmm.h).
+//
+// Dispatch protocol: a driver thread (the façade's dispatch loop, or a
+// caller's poll_once) takes a coalesced batch with wait_take()/try_take(),
+// hands it to the execution layer, and calls complete() when the batch is
+// finished. take marks the batch in-flight, so drain() can wait for
+// "queue empty AND nothing executing".
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/admission.h"
+#include "util/types.h"
+
+namespace bro::serve {
+
+/// One pending y = A[id] * x request. `enqueued` is stamped by the
+/// scheduler; the executor turns it into the queue-wait sample.
+struct Request {
+  std::string id;
+  std::vector<value_t> x;
+  std::promise<std::vector<value_t>> result;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+/// A coalesced batch: >= 1 requests, all against the same matrix id, in
+/// submission order.
+using Batch = std::vector<Request>;
+
+struct SchedulerStats {
+  std::uint64_t submitted = 0; // accepted into the queue
+  std::uint64_t rejected = 0;  // refused: queue at max_queue
+};
+
+class Scheduler {
+ public:
+  Scheduler(std::size_t max_queue, int max_batch);
+
+  /// Enqueue or throw RejectedError (with the observed depth) when the
+  /// queue is at max_queue. Stamps req.enqueued.
+  void enqueue(Request req);
+
+  /// Coalesced batch, or nullopt immediately when the queue is empty.
+  std::optional<Batch> try_take();
+
+  /// Block until work or stop(); nullopt only when stopped with an empty
+  /// queue (the dispatch-loop exit signal).
+  std::optional<Batch> wait_take();
+
+  /// The batch handed out by the last take has finished executing.
+  void complete();
+
+  /// Wake every wait_take() blocked on an empty queue; they return nullopt
+  /// once the queue is drained.
+  void stop();
+
+  /// Block until the queue is empty and no taken batch is outstanding.
+  /// Callers in synchronous setups must drive try_take themselves first.
+  void drain();
+
+  std::size_t depth() const;
+  SchedulerStats stats() const;
+
+ private:
+  Batch take_locked();
+
+  const std::size_t max_queue_;
+  const int max_batch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<Request> queue_;
+  int in_flight_ = 0;
+  bool stop_ = false;
+  SchedulerStats stats_;
+};
+
+} // namespace bro::serve

@@ -1,223 +1,141 @@
 #include "serve/server.h"
 
-#include "engine/format_registry.h"
 #include "util/error.h"
-#include "util/timer.h"
 
 namespace bro::serve {
 
+void ServerOptions::validate() const {
+  BRO_CHECK_MSG(threads >= 0, "SpmvServer threads must be >= 0");
+  BRO_CHECK_MSG(max_batch >= 1, "SpmvServer max_batch must be >= 1");
+  BRO_CHECK_MSG(max_queue >= 1, "SpmvServer max_queue must be >= 1");
+  BRO_CHECK_MSG(pools >= 0, "SpmvServer pools must be >= 0");
+  BRO_CHECK_MSG(pool_threads >= 1, "SpmvServer pool_threads must be >= 1");
+  BRO_CHECK_MSG(pool_omp >= 0, "SpmvServer pool_omp must be >= 0");
+  BRO_CHECK_MSG(shards >= 0, "SpmvServer shards must be >= 0");
+  BRO_CHECK_MSG(admission.rate >= 0,
+                "SpmvServer admission rate must be >= 0");
+}
+
+ServerMetrics::ServerMetrics()
+    : batch_sizes(Histogram::linear(0.5, 64.5, 64)),
+      queue_wait(Histogram::exponential(1e-6, 10.0, 2.0)),
+      execute(Histogram::exponential(1e-6, 10.0, 2.0)) {}
+
 namespace {
 
-// Latency buckets: 1 µs .. 10 s, doubling — 24 buckets covers every host
-// kernel this repo runs.
-Histogram latency_histogram() {
-  return Histogram::exponential(1e-6, 10.0, 2.0);
+ExecutorOptions executor_options(const ServerOptions& opts) {
+  ExecutorOptions eo;
+  eo.cache_bytes = opts.cache_bytes;
+  eo.format = opts.format;
+  eo.pools = opts.pools;
+  eo.pool_threads = opts.pool_threads;
+  eo.pool_omp = opts.pool_omp;
+  eo.shards = opts.shards;
+  eo.shard_min_nnz = opts.shard_min_nnz;
+  return eo;
 }
 
 } // namespace
 
-ServerMetrics::ServerMetrics()
-    : batch_sizes(Histogram::linear(0.5, 64.5, 64)) {}
-
 SpmvServer::SpmvServer(ServerOptions opts)
-    : opts_(opts), cache_(opts.cache_bytes) {
-  BRO_CHECK_MSG(opts_.threads >= 0, "SpmvServer threads must be >= 0");
-  BRO_CHECK_MSG(opts_.max_batch >= 1, "SpmvServer max_batch must be >= 1");
-  BRO_CHECK_MSG(opts_.max_queue >= 1, "SpmvServer max_queue must be >= 1");
-  workers_.reserve(static_cast<std::size_t>(opts_.threads));
+    : opts_((opts.validate(), opts)),
+      executor_(make_executor(executor_options(opts))),
+      scheduler_(opts.max_queue, opts.max_batch),
+      admission_(opts.admission) {
+  dispatchers_.reserve(static_cast<std::size_t>(opts_.threads));
   for (int i = 0; i < opts_.threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    dispatchers_.emplace_back([this] { dispatch_loop(); });
 }
 
 SpmvServer::~SpmvServer() {
-  {
-    std::lock_guard lk(mu_);
-    stop_ = true;
-  }
-  work_ready_.notify_all();
-  for (auto& w : workers_) w.join();
-  // Synchronous servers have no workers to drain the queue; serve what is
-  // left so no promise is silently broken.
+  scheduler_.stop();
+  for (auto& d : dispatchers_) d.join();
+  // Synchronous servers have no dispatchers to drain the queue; serve what
+  // is left so no promise is silently broken.
   while (poll_once()) {
   }
 }
 
+void SpmvServer::dispatch_loop() {
+  while (auto batch = scheduler_.wait_take()) {
+    executor_->execute_batch(*batch);
+    scheduler_.complete();
+  }
+}
+
 void SpmvServer::add_matrix(const std::string& id, core::Matrix matrix) {
-  add_matrix(id,
-             std::make_shared<const core::Matrix>(std::move(matrix)));
+  add_matrix(id, std::make_shared<const core::Matrix>(std::move(matrix)));
 }
 
 void SpmvServer::add_matrix(const std::string& id,
                             std::shared_ptr<const core::Matrix> matrix) {
-  BRO_CHECK_MSG(matrix != nullptr, "add_matrix requires a matrix");
-  auto entry = std::make_shared<MatrixEntry>();
-  entry->matrix = std::move(matrix);
-  std::lock_guard lk(mu_);
-  matrices_[id] = std::move(entry);
+  executor_->add_matrix(id, std::move(matrix));
+}
+
+bool SpmvServer::remove_matrix(const std::string& id) {
+  return executor_->remove_matrix(id);
 }
 
 std::shared_ptr<const core::Matrix> SpmvServer::matrix(
     const std::string& id) const {
-  std::lock_guard lk(mu_);
-  const auto it = matrices_.find(id);
-  return it == matrices_.end() ? nullptr : it->second->matrix;
+  return executor_->matrix(id);
 }
 
 std::future<std::vector<value_t>> SpmvServer::submit(
-    const std::string& id, std::vector<value_t> x) {
-  std::unique_lock lk(mu_);
-  const auto it = matrices_.find(id);
-  BRO_CHECK_MSG(it != matrices_.end(), "unknown matrix id '" << id << "'");
-  const auto cols =
-      static_cast<std::size_t>(it->second->matrix->cols());
+    const std::string& id, std::vector<value_t> x,
+    const std::string& client) {
+  // Transport: validate against the registry, then admission-control.
+  const auto m = executor_->matrix(id);
+  BRO_CHECK_MSG(m != nullptr, "unknown matrix id '" << id << "'");
+  const auto cols = static_cast<std::size_t>(m->cols());
   BRO_CHECK_MSG(x.size() == cols, "matrix '" << id << "' needs x of size "
                                              << cols << ", got " << x.size());
-  if (queue_.size() >= opts_.max_queue) {
-    lk.unlock();
-    {
-      std::lock_guard mlk(metrics_mu_);
-      ++metrics_.rejected;
-    }
-    throw RejectedError("serve queue full (" +
-                        std::to_string(opts_.max_queue) +
-                        " pending); retry later");
-  }
+  admission_.admit(client, scheduler_.depth());
+
+  // Scheduling: the bounded queue owns the request from here.
   Request req;
   req.id = id;
   req.x = std::move(x);
   auto future = req.result.get_future();
-  queue_.push_back(std::move(req));
-  lk.unlock();
-  {
-    std::lock_guard mlk(metrics_mu_);
-    ++metrics_.submitted;
-  }
-  work_ready_.notify_one();
+  scheduler_.enqueue(std::move(req));
   return future;
 }
 
-std::vector<SpmvServer::Request> SpmvServer::take_batch_locked() {
-  std::vector<Request> batch;
-  batch.push_back(std::move(queue_.front()));
-  queue_.pop_front();
-  // Coalesce: pull every queued request for the same matrix (submission
-  // order preserved) up to max_batch — they become one SpMM.
-  for (auto it = queue_.begin();
-       it != queue_.end() &&
-       batch.size() < static_cast<std::size_t>(opts_.max_batch);) {
-    if (it->id == batch.front().id) {
-      batch.push_back(std::move(*it));
-      it = queue_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  return batch;
-}
-
 bool SpmvServer::poll_once() {
-  std::unique_lock lk(mu_);
-  if (queue_.empty()) return false;
-  auto batch = take_batch_locked();
-  ++in_flight_;
-  lk.unlock();
-  serve_batch(std::move(batch));
-  lk.lock();
-  --in_flight_;
-  if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+  auto batch = scheduler_.try_take();
+  if (!batch) return false;
+  executor_->execute_batch(*batch);
+  scheduler_.complete();
   return true;
-}
-
-void SpmvServer::worker_loop() {
-  for (;;) {
-    std::unique_lock lk(mu_);
-    work_ready_.wait(lk, [&] { return stop_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stop_) return;
-      continue;
-    }
-    auto batch = take_batch_locked();
-    ++in_flight_;
-    lk.unlock();
-    serve_batch(std::move(batch));
-    lk.lock();
-    --in_flight_;
-    if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
-  }
-}
-
-bool SpmvServer::serve_batch(std::vector<Request> batch) {
-  const std::string& id = batch.front().id;
-  std::shared_ptr<MatrixEntry> entry;
-  {
-    std::lock_guard lk(mu_);
-    entry = matrices_.at(id); // submit() validated the id
-  }
-  const int k = static_cast<int>(batch.size());
-  const std::size_t uk = batch.size();
-  try {
-    auto plan = cache_.get_or_build(id, entry->matrix, opts_.format);
-    const auto rows = static_cast<std::size_t>(plan->rows());
-    const auto cols = static_cast<std::size_t>(plan->cols());
-
-    std::vector<value_t> x_batch(cols * uk);
-    for (std::size_t j = 0; j < uk; ++j) {
-      BRO_CHECK_MSG(batch[j].x.size() == cols,
-                    "matrix '" << id << "' changed shape mid-flight");
-      for (std::size_t c = 0; c < cols; ++c)
-        x_batch[c * uk + j] = batch[j].x[c];
-    }
-    std::vector<value_t> y_batch(rows * uk);
-
-    double secs;
-    {
-      // One executor per plan at a time (the SpmvPlan contract).
-      std::lock_guard ex(entry->exec_mu);
-      Timer t;
-      plan->execute_multi(x_batch, y_batch, k);
-      secs = t.seconds();
-    }
-
-    for (std::size_t j = 0; j < uk; ++j) {
-      std::vector<value_t> y(rows);
-      for (std::size_t r = 0; r < rows; ++r) y[r] = y_batch[r * uk + j];
-      batch[j].result.set_value(std::move(y));
-    }
-
-    std::lock_guard mlk(metrics_mu_);
-    ++metrics_.batches;
-    metrics_.served += uk;
-    metrics_.batch_sizes.add(static_cast<double>(k));
-    auto [hit, inserted] = metrics_.latency_by_format.try_emplace(
-        plan->format_traits().name, latency_histogram());
-    (void)inserted;
-    hit->second.add(secs);
-    return true;
-  } catch (...) {
-    const auto error = std::current_exception();
-    for (auto& req : batch) req.result.set_exception(error);
-    std::lock_guard mlk(metrics_mu_);
-    metrics_.failed += uk;
-    return false;
-  }
 }
 
 void SpmvServer::drain() {
   if (opts_.threads == 0) {
-    // Synchronous mode: the caller is the worker.
+    // Synchronous mode: the caller is the dispatcher.
     while (poll_once()) {
     }
   }
-  std::unique_lock lk(mu_);
-  idle_.wait(lk, [&] { return queue_.empty() && in_flight_ == 0; });
+  scheduler_.drain();
 }
 
 ServerMetrics SpmvServer::metrics() const {
-  ServerMetrics m = [&] {
-    std::lock_guard mlk(metrics_mu_);
-    return metrics_;
-  }();
-  m.cache = cache_.stats();
+  ServerMetrics m;
+  const AdmissionStats adm = admission_.stats();
+  const SchedulerStats sched = scheduler_.stats();
+  const ExecMetrics exec = executor_->metrics();
+  m.submitted = sched.submitted;
+  m.shed = adm.shed;
+  m.throttled = adm.throttled;
+  m.rejected = sched.rejected + adm.shed + adm.throttled;
+  m.served = exec.served;
+  m.failed = exec.failed;
+  m.batches = exec.batches;
+  m.sharded_batches = exec.sharded_batches;
+  m.cache = executor_->cache_stats();
+  m.batch_sizes = exec.batch_sizes;
+  m.queue_wait = exec.queue_wait;
+  m.execute = exec.execute;
+  m.latency_by_format = exec.latency_by_format;
   return m;
 }
 

@@ -1,68 +1,86 @@
-// bro::serve::SpmvServer — the concurrent multi-matrix serving layer.
+// bro::serve::SpmvServer — the concurrent multi-matrix serving façade.
 //
 // The repo's north star is a service, not a library: many callers, a
-// working set of matrices, each request a right-hand side. The server
-// composes the pieces the engine already provides into that shape:
+// working set of matrices, each request a right-hand side. The server is a
+// thin composition of three explicit layers:
 //
-//   * a PlanCache so a request never rebuilds a compressed plan another
-//     request already paid for,
-//   * request coalescing: queued requests against the same matrix are
-//     folded into one execute_multi() batch, so every decoded index feeds
-//     k FMAs (kernels/native_spmm.h) — the paper's bits-per-flop win
-//     applied across requests,
-//   * a fixed worker pool with a bounded queue and explicit backpressure:
-//     submit() throws RejectedError when the queue is full; the queue can
-//     never grow without bound,
-//   * serve metrics: cache hits/misses/evictions, a batch-size histogram,
-//     and per-format batch-latency percentiles (util/histogram.h), exposed
-//     through `brospmv serve-bench`.
+//   * transport (serve/admission.h): submit-side validation, per-client
+//     token-bucket admission and load shedding in front of the queue —
+//     every refusal is a RejectedError carrying the observed queue depth,
+//   * scheduling (serve/scheduler.h): the bounded pending queue
+//     (max_queue backpressure) and same-matrix coalescing into SpMM
+//     batches of up to max_batch right-hand sides,
+//   * execution (serve/executor.h): PlanCache resolution, per-matrix
+//     plan serialization, worker pools, and row-sharded multi-pool
+//     execution of large matrices (engine/shard.h — bitwise-identical to
+//     the unsharded plan).
 //
-// With threads == 0 the server runs synchronously: no workers are started
-// and the caller drives batches with poll_once() — deterministic, which is
-// what the batching tests and benches need.
+// The façade owns `threads` dispatch threads that move batches from the
+// scheduler to the executor. With threads == 0 the server runs
+// synchronously: the caller drives batches with poll_once() —
+// deterministic, which is what the batching tests and benches need.
+// Metrics merge the per-layer views: admission (shed/throttled),
+// scheduler (submitted/rejected), executor (batches, queue-wait vs
+// execute-time percentiles, per-format latency, cache stats).
 #pragma once
 
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <optional>
-#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
-#include <deque>
 
+#include "serve/admission.h"
+#include "serve/executor.h"
 #include "serve/plan_cache.h"
+#include "serve/scheduler.h"
 #include "util/histogram.h"
 
 namespace bro::serve {
 
 struct ServerOptions {
-  int threads = 2;          // workers; 0 = synchronous (poll_once drives)
+  int threads = 2;          // dispatch threads; 0 = synchronous (poll_once)
   std::size_t max_queue = 256; // pending-request bound (backpressure)
   int max_batch = 8;        // most right-hand sides folded into one SpMM
   std::size_t cache_bytes = std::size_t{256} << 20; // plan-cache budget
   // Force one format for every matrix; default auto-selects per matrix.
   std::optional<core::Format> format;
-};
 
-/// Backpressure signal: the pending queue is at max_queue. Retry later or
-/// shed load; the server never queues unboundedly.
-class RejectedError : public std::runtime_error {
- public:
-  explicit RejectedError(const std::string& what)
-      : std::runtime_error(what) {}
+  // Transport: token-bucket rate/burst per client and the shed depth
+  // (admission.h); all off by default.
+  AdmissionOptions admission;
+
+  // Execution: pools == 0 executes on the dispatch thread (the classic
+  // single-pool server); pools >= 1 routes through worker pools with
+  // consistent id hashing, and shards > 1 row-shards matrices of at least
+  // shard_min_nnz across those pools (executor.h).
+  int pools = 0;
+  int pool_threads = 1;
+  int pool_omp = 0; // OpenMP threads per pool worker; 0 = ambient
+  int shards = 0;
+  std::size_t shard_min_nnz = 100000;
+
+  /// Throws (BRO_CHECK) on out-of-domain values: threads < 0,
+  /// max_batch < 1, max_queue == 0, negative pool/shard counts, ...
+  void validate() const;
 };
 
 struct ServerMetrics {
   std::uint64_t submitted = 0; // accepted into the queue
-  std::uint64_t rejected = 0;  // refused with RejectedError
+  std::uint64_t rejected = 0;  // refused with RejectedError (all causes)
+  std::uint64_t shed = 0;      //   ... of which: load shed (admission)
+  std::uint64_t throttled = 0; //   ... of which: client token bucket empty
   std::uint64_t served = 0;    // requests whose future got a value
   std::uint64_t failed = 0;    // requests whose future got an exception
   std::uint64_t batches = 0;   // execute_multi invocations
+  std::uint64_t sharded_batches = 0; // batches fanned out over row shards
   PlanCacheStats cache;
   Histogram batch_sizes;       // one sample per batch
+  Histogram queue_wait;        // per-request seconds enqueue -> execute
+  Histogram execute;           // per-batch execute seconds
   // One histogram of per-batch execute seconds per canonical format name.
   std::unordered_map<std::string, Histogram> latency_by_format;
 
@@ -72,7 +90,7 @@ struct ServerMetrics {
 class SpmvServer {
  public:
   explicit SpmvServer(ServerOptions opts = {});
-  /// Drains the queue, then joins the workers.
+  /// Drains the queue, then joins the dispatch threads.
   ~SpmvServer();
 
   SpmvServer(const SpmvServer&) = delete;
@@ -84,18 +102,25 @@ class SpmvServer {
   void add_matrix(const std::string& id,
                   std::shared_ptr<const core::Matrix> matrix);
 
+  /// Drop the registration and every cached plan for `id`. Returns false
+  /// when the id was not registered. Requests already queued against the
+  /// id fail with their promise's exception; new submits throw.
+  bool remove_matrix(const std::string& id);
+
   /// The registered matrix, or null.
   std::shared_ptr<const core::Matrix> matrix(const std::string& id) const;
 
   /// Enqueue y = A[id] * x; the future delivers y (or the serving error).
   /// Throws std::runtime_error for an unknown id or wrong-sized x, and
-  /// RejectedError when the queue is full.
+  /// RejectedError (with the observed queue depth) when the queue is full,
+  /// the request is shed, or `client`'s token bucket is empty.
   std::future<std::vector<value_t>> submit(const std::string& id,
-                                           std::vector<value_t> x);
+                                           std::vector<value_t> x,
+                                           const std::string& client = "");
 
   /// Serve one coalesced batch on the calling thread. Returns false when
   /// the queue is empty. The synchronous driver for threads == 0 setups
-  /// (also usable alongside workers).
+  /// (also usable alongside dispatch threads).
   bool poll_once();
 
   /// Block until the queue is empty and no batch is in flight.
@@ -104,39 +129,18 @@ class SpmvServer {
   ServerMetrics metrics() const;
   const ServerOptions& options() const { return opts_; }
 
- private:
-  struct Request {
-    std::string id;
-    std::vector<value_t> x;
-    std::promise<std::vector<value_t>> result;
-  };
-  struct MatrixEntry {
-    std::shared_ptr<const core::Matrix> matrix;
-    // SpmvPlan is a single-executor object (engine/plan.h); batches for
-    // the same matrix serialize on this so two workers never share the
-    // plan's workspace concurrently.
-    std::mutex exec_mu;
-  };
+  /// The composed execution layer (worker pools, plan cache) — exposed for
+  /// tests and benches that reason about placement and sharding.
+  Executor& executor() { return *executor_; }
 
-  void worker_loop();
-  bool serve_batch(std::vector<Request> batch);
-  std::vector<Request> take_batch_locked();
+ private:
+  void dispatch_loop();
 
   ServerOptions opts_;
-  PlanCache cache_;
-
-  mutable std::mutex mu_; // guards matrices_, queue_, in_flight_, stop_
-  std::condition_variable work_ready_;
-  std::condition_variable idle_;
-  std::unordered_map<std::string, std::shared_ptr<MatrixEntry>> matrices_;
-  std::deque<Request> queue_;
-  int in_flight_ = 0;
-  bool stop_ = false;
-
-  mutable std::mutex metrics_mu_;
-  ServerMetrics metrics_;
-
-  std::vector<std::thread> workers_;
+  std::unique_ptr<Executor> executor_;
+  Scheduler scheduler_;
+  AdmissionController admission_;
+  std::vector<std::thread> dispatchers_;
 };
 
 } // namespace bro::serve

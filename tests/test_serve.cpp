@@ -307,3 +307,305 @@ TEST(SpmvServer, DestructorDrainsPendingRequests) {
   } // destructor must serve the queued request, not abandon the promise
   expect_near_ref(f.get(), reference(*m, x));
 }
+
+TEST(ServerOptions, ValidatedAtConstruction) {
+  EXPECT_THROW(bv::SpmvServer({.threads = -1}), std::runtime_error);
+  EXPECT_THROW(bv::SpmvServer({.max_queue = 0}), std::runtime_error);
+  EXPECT_THROW(bv::SpmvServer({.max_batch = 0}), std::runtime_error);
+  EXPECT_THROW(bv::SpmvServer({.max_batch = -7}), std::runtime_error);
+  bv::ServerOptions bad_pools;
+  bad_pools.pools = -1;
+  EXPECT_THROW(bv::SpmvServer{bad_pools}, std::runtime_error);
+  bv::ServerOptions bad_shards;
+  bad_shards.shards = -2;
+  EXPECT_THROW(bv::SpmvServer{bad_shards}, std::runtime_error);
+}
+
+TEST(SpmvServer, RejectedErrorCarriesQueueDepth) {
+  bv::ServerOptions opts;
+  opts.threads = 0;
+  opts.max_queue = 3;
+  bv::SpmvServer server(opts);
+  auto m = make_matrix(40, 40, 15);
+  server.add_matrix("a", m);
+  const auto x = random_x(m->cols(), 16);
+
+  for (int i = 0; i < 3; ++i) server.submit("a", x);
+  try {
+    server.submit("a", x);
+    FAIL() << "expected RejectedError";
+  } catch (const bv::RejectedError& e) {
+    EXPECT_EQ(e.queue_depth(), 3u); // the depth the submit observed
+  }
+  server.drain();
+}
+
+TEST(SpmvServer, RemoveMatrixDropsRegistrationAndCachedPlans) {
+  bv::ServerOptions opts;
+  opts.threads = 0;
+  bv::SpmvServer server(opts);
+  auto m = make_matrix(70, 70, 17);
+  server.add_matrix("a", m);
+  server.add_matrix("b", make_matrix(50, 50, 18));
+
+  // Build plans for both, then drop "a": its cache entries must go too.
+  auto fa = server.submit("a", random_x(m->cols(), 19));
+  auto fb = server.submit("b", random_x(50, 20));
+  server.drain();
+  fa.get();
+  fb.get();
+  const auto before = server.metrics().cache;
+  EXPECT_EQ(before.entries, 2u);
+
+  EXPECT_TRUE(server.remove_matrix("a"));
+  EXPECT_EQ(server.matrix("a"), nullptr);
+  const auto after = server.metrics().cache;
+  EXPECT_EQ(after.entries, 1u);
+  EXPECT_LT(after.resident_bytes, before.resident_bytes);
+
+  // Gone for new submits; removing again reports false.
+  EXPECT_THROW(server.submit("a", random_x(m->cols(), 21)),
+               std::runtime_error);
+  EXPECT_FALSE(server.remove_matrix("a"));
+  // "b" is untouched.
+  auto fb2 = server.submit("b", random_x(50, 22));
+  server.drain();
+  fb2.get();
+}
+
+TEST(SpmvServer, RemoveMatrixFailsQueuedRequestsLoudly) {
+  bv::ServerOptions opts;
+  opts.threads = 0;
+  bv::SpmvServer server(opts);
+  auto m = make_matrix(30, 30, 23);
+  server.add_matrix("a", m);
+  auto f = server.submit("a", random_x(m->cols(), 24));
+  server.remove_matrix("a"); // request still queued
+  server.drain();
+  EXPECT_THROW(f.get(), std::runtime_error);
+  EXPECT_EQ(server.metrics().failed, 1u);
+}
+
+TEST(PlanCache, EraseMatrixDropsAllFormatsForThatId) {
+  bv::PlanCache cache(std::size_t{64} << 20);
+  auto m = make_matrix(80, 80, 25);
+  cache.get_or_build("a", m, bc::Format::kCsr);
+  cache.get_or_build("a", m, bc::Format::kBroEll);
+  cache.get_or_build("b", m, bc::Format::kCsr);
+  ASSERT_EQ(cache.stats().entries, 3u);
+
+  EXPECT_EQ(cache.erase_matrix("a"), 2u);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(cache.erase_matrix("a"), 0u);
+  EXPECT_EQ(cache.erase_matrix("missing"), 0u);
+}
+
+TEST(AdmissionController, TokenBucketThrottlesPerClient) {
+  // Deterministic: the test owns the clock.
+  double now = 0;
+  bv::AdmissionOptions opts;
+  opts.rate = 2;  // 2 tokens/s
+  opts.burst = 3; // bucket capacity
+  bv::AdmissionController adm(opts, [&] { return now; });
+
+  // A fresh client starts with a full burst, then runs dry.
+  adm.admit("alice", 0);
+  adm.admit("alice", 0);
+  adm.admit("alice", 0);
+  EXPECT_THROW(adm.admit("alice", 5), bv::RejectedError);
+  // Other clients have their own bucket.
+  adm.admit("bob", 0);
+
+  // Half a second refills one token (rate 2/s)...
+  now = 0.5;
+  adm.admit("alice", 0);
+  EXPECT_THROW(adm.admit("alice", 0), bv::RejectedError);
+  // ...and a long idle period caps at burst, not unbounded credit.
+  now = 100.0;
+  adm.admit("alice", 0);
+  adm.admit("alice", 0);
+  adm.admit("alice", 0);
+  EXPECT_THROW(adm.admit("alice", 0), bv::RejectedError);
+
+  const auto s = adm.stats();
+  EXPECT_EQ(s.admitted, 8u);
+  EXPECT_EQ(s.throttled, 3u);
+  EXPECT_EQ(s.shed, 0u);
+}
+
+TEST(AdmissionController, ShedsAtDepthBeforeTouchingBuckets) {
+  bv::AdmissionOptions opts;
+  opts.rate = 1;
+  opts.burst = 1;
+  opts.shed_depth = 4;
+  double now = 0;
+  bv::AdmissionController adm(opts, [&] { return now; });
+
+  try {
+    adm.admit("carol", 4); // at the shed depth
+    FAIL() << "expected RejectedError";
+  } catch (const bv::RejectedError& e) {
+    EXPECT_EQ(e.queue_depth(), 4u);
+  }
+  EXPECT_EQ(adm.stats().shed, 1u);
+  // The shed did not consume carol's token.
+  adm.admit("carol", 3);
+  EXPECT_EQ(adm.stats().admitted, 1u);
+}
+
+TEST(SpmvServer, ShedsAndThrottlesThroughSubmit) {
+  bv::ServerOptions opts;
+  opts.threads = 0;
+  opts.max_queue = 16;
+  opts.admission.shed_depth = 2;
+  bv::SpmvServer server(opts);
+  auto m = make_matrix(40, 40, 26);
+  server.add_matrix("a", m);
+  const auto x = random_x(m->cols(), 27);
+
+  server.submit("a", x, "c1");
+  server.submit("a", x, "c1");
+  EXPECT_THROW(server.submit("a", x, "c1"), bv::RejectedError);
+  const auto metrics = server.metrics();
+  EXPECT_EQ(metrics.shed, 1u);
+  EXPECT_EQ(metrics.rejected, 1u);
+  EXPECT_EQ(metrics.submitted, 2u);
+  server.drain();
+}
+
+TEST(HashRing, DeterministicAndCoversAllNodes) {
+  bv::HashRing ring(4);
+  ASSERT_EQ(ring.nodes(), 4);
+  std::vector<int> seen(4, 0);
+  for (int i = 0; i < 256; ++i) {
+    const std::string key = "matrix-" + std::to_string(i);
+    const int n = ring.node(key);
+    ASSERT_GE(n, 0);
+    ASSERT_LT(n, 4);
+    EXPECT_EQ(n, ring.node(key)); // stable
+    ++seen[static_cast<std::size_t>(n)];
+  }
+  for (int n = 0; n < 4; ++n) EXPECT_GT(seen[static_cast<std::size_t>(n)], 0);
+  // A single-node ring maps everything to node 0.
+  bv::HashRing one(1);
+  EXPECT_EQ(one.node("anything"), 0);
+}
+
+TEST(Scheduler, DrainRacesConcurrentSubmit) {
+  // Hammer drain() from one side while submitters and a dispatcher race on
+  // the other: every accepted request must be served exactly once and
+  // every drain() return must observe an empty, idle scheduler.
+  bv::ServerOptions opts;
+  opts.threads = 2;
+  opts.max_queue = 64;
+  opts.max_batch = 4;
+  bv::SpmvServer server(opts);
+  auto m = make_matrix(60, 60, 28);
+  server.add_matrix("a", m);
+  const auto x = random_x(m->cols(), 29);
+  const auto ref = reference(*m, x);
+
+  std::atomic<int> accepted{0};
+  std::atomic<bool> go{true};
+  std::vector<std::thread> submitters;
+  std::mutex fut_mu;
+  std::vector<std::future<std::vector<value_t>>> futures;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&] {
+      while (go.load()) {
+        try {
+          auto f = server.submit("a", x);
+          ++accepted;
+          std::lock_guard lk(fut_mu);
+          futures.push_back(std::move(f));
+        } catch (const bv::RejectedError&) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) server.drain();
+  go.store(false);
+  for (auto& t : submitters) t.join();
+  server.drain();
+
+  ASSERT_EQ(static_cast<int>(futures.size()), accepted.load());
+  for (auto& f : futures) expect_near_ref(f.get(), ref);
+  const auto metrics = server.metrics();
+  EXPECT_EQ(metrics.served, static_cast<std::uint64_t>(accepted.load()));
+  EXPECT_EQ(metrics.failed, 0u);
+}
+
+TEST(SpmvServer, ShardedExecutionMatchesUnshardedBitwise) {
+  auto m = make_matrix(400, 380, 30);
+
+  bv::ServerOptions plain;
+  plain.threads = 0;
+  plain.format = bc::Format::kCsr;
+  bv::SpmvServer unsharded(plain);
+  unsharded.add_matrix("a", m);
+
+  bv::ServerOptions sharded = plain;
+  sharded.pools = 2;
+  sharded.pool_threads = 2;
+  sharded.shards = 3;
+  sharded.shard_min_nnz = 1; // force sharding for this small matrix
+  bv::SpmvServer server(sharded);
+  server.add_matrix("a", m);
+
+  const auto x = random_x(m->cols(), 31);
+  auto f_plain = unsharded.submit("a", x);
+  auto f_shard = server.submit("a", x);
+  unsharded.drain();
+  server.drain();
+  const auto y_plain = f_plain.get();
+  const auto y_shard = f_shard.get();
+  ASSERT_EQ(y_plain.size(), y_shard.size());
+  for (std::size_t r = 0; r < y_plain.size(); ++r)
+    ASSERT_EQ(y_shard[r], y_plain[r]) << "row " << r; // bitwise
+
+  const auto metrics = server.metrics();
+  EXPECT_EQ(metrics.sharded_batches, 1u);
+  EXPECT_EQ(metrics.batches, 1u);
+  EXPECT_EQ(unsharded.metrics().sharded_batches, 0u);
+}
+
+TEST(SpmvServer, SmallMatricesRouteUnshardedThroughPools) {
+  bv::ServerOptions opts;
+  opts.threads = 0;
+  opts.pools = 2;
+  opts.shards = 4;
+  opts.shard_min_nnz = std::size_t{1} << 40; // nothing is big enough
+  bv::SpmvServer server(opts);
+  auto m = make_matrix(64, 64, 32);
+  server.add_matrix("a", m);
+  const auto x = random_x(m->cols(), 33);
+  auto f = server.submit("a", x);
+  server.drain();
+  expect_near_ref(f.get(), reference(*m, x));
+  const auto metrics = server.metrics();
+  EXPECT_EQ(metrics.batches, 1u);
+  EXPECT_EQ(metrics.sharded_batches, 0u);
+  // Placement went through the consistent-hash ring.
+  auto& ex = dynamic_cast<bv::ShardedExecutor&>(server.executor());
+  EXPECT_EQ(ex.pool_count(), 2);
+  const int pool = ex.pool_for("a");
+  EXPECT_GE(pool, 0);
+  EXPECT_LT(pool, 2);
+}
+
+TEST(SpmvServer, MetricsSplitQueueWaitFromExecute) {
+  bv::ServerOptions opts;
+  opts.threads = 0;
+  bv::SpmvServer server(opts);
+  auto m = make_matrix(100, 100, 34);
+  server.add_matrix("a", m);
+  for (int i = 0; i < 4; ++i)
+    server.submit("a", random_x(m->cols(), static_cast<std::uint64_t>(i)));
+  server.drain();
+  const auto metrics = server.metrics();
+  EXPECT_EQ(metrics.queue_wait.count(), 4u); // one sample per request
+  EXPECT_EQ(metrics.execute.count(), metrics.batches);
+  EXPECT_GT(metrics.execute.max(), 0.0);
+}

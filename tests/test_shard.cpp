@@ -1,0 +1,261 @@
+// engine/shard.h tests: row-partition invariants (coverage, nnz balance,
+// S > rows clamping), extract_rows round-trips, and the bitwise contract —
+// a ShardedSpmvPlan must reproduce the whole-matrix plan bit for bit for
+// every row-shardable format across the adversarial matgen battery,
+// including 1-row shards, nnz-empty shards, and the SpMM path.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "engine/shard.h"
+#include "sparse/matgen/adversarial.h"
+#include "sparse/matgen/generators.h"
+#include "util/rng.h"
+
+namespace bs = bro::sparse;
+namespace bc = bro::core;
+namespace be = bro::engine;
+using bro::index_t;
+using bro::value_t;
+
+namespace {
+
+std::shared_ptr<const bc::Matrix> matrix_from(bs::Csr csr) {
+  return std::make_shared<const bc::Matrix>(
+      bc::Matrix::from_csr(std::move(csr)));
+}
+
+std::shared_ptr<const bc::Matrix> gen_matrix(index_t rows, index_t cols,
+                                             std::uint64_t seed,
+                                             index_t min_len = 1) {
+  bs::GenSpec spec;
+  spec.rows = rows;
+  spec.cols = cols;
+  spec.mu = 8;
+  spec.sigma = 4;
+  spec.min_len = min_len;
+  spec.seed = seed;
+  return matrix_from(bs::generate(spec));
+}
+
+std::vector<value_t> random_x(index_t n, std::uint64_t seed) {
+  bro::Rng rng(seed);
+  std::vector<value_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform() * 2 - 1;
+  return x;
+}
+
+void check_partition(const bs::Csr& csr, const std::vector<be::RowShard>& sh,
+                     int requested) {
+  if (csr.rows == 0) {
+    EXPECT_TRUE(sh.empty());
+    return;
+  }
+  ASSERT_EQ(static_cast<index_t>(sh.size()),
+            std::min<index_t>(requested, csr.rows));
+  index_t next = 0;
+  std::size_t nnz = 0;
+  for (const auto& s : sh) {
+    EXPECT_EQ(s.begin, next);          // contiguous, in order
+    EXPECT_GT(s.end, s.begin);         // never an empty row range
+    EXPECT_EQ(s.nnz, static_cast<std::size_t>(csr.row_ptr[s.end] -
+                                              csr.row_ptr[s.begin]));
+    next = s.end;
+    nnz += s.nnz;
+  }
+  EXPECT_EQ(next, csr.rows); // full coverage
+  EXPECT_EQ(nnz, csr.nnz());
+}
+
+} // namespace
+
+TEST(RowShards, PartitionInvariants) {
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    const auto m = gen_matrix(257, 180, seed, /*min_len=*/0);
+    for (const int s : {1, 2, 4, 7, 256, 257, 1000}) {
+      SCOPED_TRACE(testing::Message() << "seed " << seed << " shards " << s);
+      check_partition(m->csr(), be::balanced_row_shards(m->csr(), s), s);
+    }
+  }
+}
+
+TEST(RowShards, BalancesNnzNotRows) {
+  // One very dense row at the top, uniform tail: a row-count split would
+  // put ~all work in shard 0; the nnz split must isolate the dense row.
+  bs::GenSpec spec;
+  spec.rows = 400;
+  spec.cols = 600;
+  spec.mu = 4;
+  spec.sigma = 0;
+  spec.seed = 31;
+  spec.spike_rows = 1;
+  spec.spike_len = 500;
+  bs::Csr csr = bs::generate(spec);
+  const auto shards = be::balanced_row_shards(csr, 4);
+  check_partition(csr, shards, 4);
+  const std::size_t share = csr.nnz() / 4;
+  // Every shard but the last stops at (or just past) its nnz share; no
+  // shard hoards more than a share plus one row's worth of entries.
+  for (const auto& s : shards)
+    EXPECT_LE(s.nnz, share + static_cast<std::size_t>(csr.max_row_length()));
+}
+
+TEST(RowShards, ShardCountMustBePositive) {
+  const auto m = gen_matrix(10, 10, 41);
+  EXPECT_THROW(be::balanced_row_shards(m->csr(), 0), std::runtime_error);
+  EXPECT_THROW(be::balanced_row_shards(m->csr(), -3), std::runtime_error);
+}
+
+TEST(RowShards, ExtractRowsRebasesSlice) {
+  const auto m = gen_matrix(50, 40, 42, /*min_len=*/0);
+  const bs::Csr& csr = m->csr();
+  const bs::Csr sub = be::extract_rows(csr, 10, 30);
+  ASSERT_EQ(sub.rows, 20);
+  EXPECT_EQ(sub.cols, csr.cols);
+  EXPECT_TRUE(sub.is_valid());
+  for (index_t r = 0; r < sub.rows; ++r) {
+    ASSERT_EQ(sub.row_length(r), csr.row_length(10 + r));
+    const auto want_c = csr.row_cols(10 + r);
+    const auto got_c = sub.row_cols(r);
+    const auto want_v = csr.row_vals(10 + r);
+    const auto got_v = sub.row_vals(r);
+    for (std::size_t i = 0; i < want_c.size(); ++i) {
+      EXPECT_EQ(got_c[i], want_c[i]);
+      EXPECT_EQ(got_v[i], want_v[i]);
+    }
+  }
+  // Degenerate slices: empty range, full range.
+  EXPECT_EQ(be::extract_rows(csr, 7, 7).rows, 0);
+  EXPECT_EQ(be::extract_rows(csr, 0, csr.rows).nnz(), csr.nnz());
+  EXPECT_THROW(be::extract_rows(csr, 30, 10), std::runtime_error);
+  EXPECT_THROW(be::extract_rows(csr, 0, csr.rows + 1), std::runtime_error);
+}
+
+TEST(ShardedSpmvPlan, RejectsIntervalCarryFormats) {
+  const auto m = gen_matrix(64, 64, 43);
+  EXPECT_THROW(be::ShardedSpmvPlan(m, 4, bc::Format::kBroCoo),
+               std::runtime_error);
+  EXPECT_THROW(be::ShardedSpmvPlan(m, 4, bc::Format::kBroHyb),
+               std::runtime_error);
+}
+
+TEST(ShardedSpmvPlan, AutoFormatFallsBackToShardable) {
+  const auto m = gen_matrix(64, 64, 44);
+  const bc::Format resolved =
+      be::ShardedSpmvPlan::resolve_format(*m, std::nullopt);
+  EXPECT_TRUE(be::traits(resolved).row_shardable);
+  be::ShardedSpmvPlan plan(m, 4); // must not throw whatever auto picks
+  EXPECT_EQ(plan.format(), resolved);
+}
+
+// The core contract: for every row-shardable format applicable to every
+// adversarial-battery matrix, sharded execution is bitwise-identical to
+// the whole-matrix plan — at gentle shard counts, 1-row shards
+// (shards == rows) and over-asked counts (shards > rows).
+TEST(ShardedSpmvPlan, BitwiseIdenticalOnAdversarialSuite) {
+  for (auto& c : bs::adversarial_suite(2013)) {
+    auto matrix = matrix_from(std::move(c.csr));
+    const bs::Csr& a = matrix->csr();
+    if (a.rows == 0) continue;
+    const auto x = random_x(a.cols, 77);
+    std::vector<value_t> y_plan(static_cast<std::size_t>(a.rows));
+    std::vector<value_t> y_shard(y_plan.size());
+
+    for (const auto& t : be::format_registry()) {
+      if (!t.row_shardable || !t.applicable(a, 3.0)) continue;
+      SCOPED_TRACE(testing::Message() << c.name << " / " << t.name);
+      be::SpmvPlan plan(matrix, t.format);
+      plan.execute(x, y_plan);
+      for (const int s : {2, static_cast<int>(a.rows),
+                          static_cast<int>(a.rows) + 5}) {
+        SCOPED_TRACE(testing::Message() << "shards " << s);
+        be::ShardedSpmvPlan sharded(matrix, s, t.format);
+        sharded.execute(x, y_shard);
+        for (std::size_t r = 0; r < y_plan.size(); ++r)
+          ASSERT_EQ(y_shard[r], y_plan[r]) << "row " << r;
+      }
+    }
+  }
+}
+
+TEST(ShardedSpmvPlan, EmptyShardsAreZeroFilled) {
+  // Rows 20..59 are empty. Asking for one shard per row (the greedy
+  // nnz-balanced cut otherwise folds empty rows into a neighbour) forces
+  // 1-row shards over the empty tail: those must carry no plan at all and
+  // still produce +0.0 rows.
+  bs::Csr csr;
+  csr.rows = 60;
+  csr.cols = 30;
+  csr.row_ptr.assign(static_cast<std::size_t>(csr.rows) + 1, 0);
+  for (index_t r = 0; r < 20; ++r)
+    csr.row_ptr[static_cast<std::size_t>(r) + 1] =
+        csr.row_ptr[static_cast<std::size_t>(r)] + 1;
+  for (index_t r = 20; r < csr.rows; ++r)
+    csr.row_ptr[static_cast<std::size_t>(r) + 1] = csr.row_ptr[20];
+  for (index_t r = 0; r < 20; ++r) {
+    csr.col_idx.push_back(r % csr.cols);
+    csr.vals.push_back(1.0 + r);
+  }
+  auto matrix = matrix_from(std::move(csr));
+
+  be::ShardedSpmvPlan sharded(matrix, 60, bc::Format::kCsr);
+  bool saw_empty = false;
+  for (int s = 0; s < sharded.shard_count(); ++s)
+    if (sharded.shard(s).nnz == 0) {
+      saw_empty = true;
+      EXPECT_EQ(sharded.shard_plan(s), nullptr);
+    }
+  EXPECT_TRUE(saw_empty);
+
+  const auto x = random_x(matrix->cols(), 78);
+  std::vector<value_t> y_plan(static_cast<std::size_t>(matrix->rows()));
+  std::vector<value_t> y_shard(y_plan.size(), -1.0); // must be overwritten
+  be::SpmvPlan plan(matrix, bc::Format::kCsr);
+  plan.execute(x, y_plan);
+  sharded.execute(x, y_shard);
+  for (std::size_t r = 0; r < y_plan.size(); ++r)
+    ASSERT_EQ(y_shard[r], y_plan[r]) << "row " << r;
+}
+
+TEST(ShardedSpmvPlan, SpmmBitwiseIdentical) {
+  const auto m = gen_matrix(220, 200, 45, /*min_len=*/0);
+  const int k = 3;
+  const auto uk = static_cast<std::size_t>(k);
+  const auto cols = static_cast<std::size_t>(m->cols());
+  const auto rows = static_cast<std::size_t>(m->rows());
+  std::vector<value_t> x(cols * uk);
+  bro::Rng rng(79);
+  for (auto& v : x) v = rng.uniform() * 2 - 1;
+
+  for (const auto& t : be::format_registry()) {
+    if (!t.row_shardable || !t.applicable(m->csr(), 3.0)) continue;
+    SCOPED_TRACE(t.name);
+    std::vector<value_t> y_plan(rows * uk), y_shard(rows * uk);
+    be::SpmvPlan plan(m, t.format);
+    plan.execute_multi(x, y_plan, k);
+    be::ShardedSpmvPlan sharded(m, 5, t.format);
+    sharded.execute_multi(x, y_shard, k);
+    for (std::size_t i = 0; i < y_plan.size(); ++i)
+      ASSERT_EQ(y_shard[i], y_plan[i]) << "index " << i;
+  }
+}
+
+TEST(ShardedSpmvPlan, ExecuteShardWritesOnlyItsRows) {
+  const auto m = gen_matrix(90, 80, 46);
+  be::ShardedSpmvPlan sharded(m, 3, bc::Format::kCsr);
+  be::SpmvPlan plan(m, bc::Format::kCsr);
+  const auto x = random_x(m->cols(), 80);
+  std::vector<value_t> y_plan(static_cast<std::size_t>(m->rows()));
+  plan.execute(x, y_plan);
+
+  ASSERT_EQ(sharded.shard_count(), 3);
+  const be::RowShard& mid = sharded.shard(1);
+  std::vector<value_t> y_mid(static_cast<std::size_t>(mid.rows()));
+  sharded.execute_shard(1, x, y_mid);
+  for (index_t r = 0; r < mid.rows(); ++r)
+    ASSERT_EQ(y_mid[static_cast<std::size_t>(r)],
+              y_plan[static_cast<std::size_t>(mid.begin + r)]);
+
+  EXPECT_GT(sharded.resident_bytes(), 0u);
+}

@@ -61,7 +61,7 @@ int usage() {
          "  bench <matrix> [--device D]        per-format simulated GFlop/s\n"
          "  fuzz [--rounds N] [--seed S]       differential-test every format\n"
          "       [--eps E] [--device D] [--no-sim] [--no-decode] [--no-simd]\n"
-         "       [--quiet] [--spmm-k K]\n"
+         "       [--quiet] [--spmm-k K] [--no-shard] [--shards S]\n"
          "  cpuinfo [--short]                  SIMD probe + dispatch report\n"
          "                                     (--short: active ISA only)\n"
          "  bench --decode [--min-time S]      host decode-throughput sweep\n"
@@ -72,6 +72,9 @@ int usage() {
          "  serve-bench [--threads N] [--clients C] [--requests R]\n"
          "       [--matrices M] [--max-batch K] [--cache-mb B]\n"
          "       [--format F] [--scale S] [--seed S]\n"
+         "       [--pools P] [--pool-threads T] [--pool-omp O]\n"
+         "       [--shards S] [--shard-min-nnz N]\n"
+         "       [--admit-rate R] [--admit-burst B] [--shed-depth D]\n"
          "                                     drive the serving layer and\n"
          "                                     report throughput + metrics\n"
          "matrix: a .mtx path or a suite name (cant, pwtk, ...);\n"
@@ -371,6 +374,10 @@ int cmd_fuzz(const Args& args) {
   if (opts.spmm_k < 0) throw std::runtime_error("--spmm-k must be >= 0");
   opts.decode_check = !args.has("no-decode");
   opts.simd_check = !args.has("no-simd");
+  opts.shard_check = !args.has("no-shard");
+  opts.shard_count =
+      static_cast<int>(args.get_long("shards", opts.shard_count));
+  if (opts.shard_count < 1) throw std::runtime_error("--shards must be >= 1");
 
   std::ostream* log = args.has("quiet") ? nullptr : &std::cout;
   const auto report = check::run_fuzz(opts, log);
@@ -395,6 +402,19 @@ int cmd_serve_bench(const Args& args) {
   opts.cache_bytes =
       static_cast<std::size_t>(args.get_long("cache-mb", 256)) << 20;
   if (args.has("format")) opts.format = parse_format(args.get("format", "")).format;
+  opts.pools = static_cast<int>(args.get_long("pools", opts.pools));
+  opts.pool_threads =
+      static_cast<int>(args.get_long("pool-threads", opts.pool_threads));
+  opts.pool_omp = static_cast<int>(args.get_long("pool-omp", opts.pool_omp));
+  opts.shards = static_cast<int>(args.get_long("shards", opts.shards));
+  opts.shard_min_nnz = static_cast<std::size_t>(
+      args.get_long("shard-min-nnz",
+                    static_cast<long>(opts.shard_min_nnz)));
+  opts.admission.rate = args.get_double("admit-rate", opts.admission.rate);
+  opts.admission.burst = args.get_double("admit-burst", opts.admission.burst);
+  opts.admission.shed_depth = static_cast<std::size_t>(
+      args.get_long("shed-depth",
+                    static_cast<long>(opts.admission.shed_depth)));
 
   const int clients = static_cast<int>(args.get_long("clients", 4));
   const long requests = args.get_long("requests", 200); // per client
@@ -438,7 +458,8 @@ int cmd_serve_bench(const Args& args) {
       for (auto& v : x) v = rng.uniform() * 2 - 1;
       for (;;) {
         try {
-          pending.push_back(server.submit(ids[m], std::move(x)));
+          pending.push_back(server.submit(ids[m], std::move(x),
+                                          "client-" + std::to_string(c)));
           break;
         } catch (const serve::RejectedError&) {
           // Backpressure: help (synchronous mode) or back off and retry.
@@ -482,12 +503,16 @@ int cmd_serve_bench(const Args& args) {
   std::cout << "\nserved    " << m.served << " / " << total << " requests in "
             << secs << " s (" << double(m.served) / secs << " req/s, "
             << double(served_rows.load()) / secs << " rows/s)\n"
-            << "rejected  " << m.rejected << " submits bounced (retried)\n"
-            << "batches   " << m.batches << ", mean size "
-            << m.batch_sizes.mean() << ", max " << m.batch_sizes.max() << '\n'
+            << "rejected  " << m.rejected << " submits bounced (retried): "
+            << m.shed << " shed, " << m.throttled << " throttled\n"
+            << "batches   " << m.batches << " (" << m.sharded_batches
+            << " sharded), mean size " << m.batch_sizes.mean() << ", max "
+            << m.batch_sizes.max() << '\n'
             << "cache     " << m.cache.hits << " hits, " << m.cache.misses
             << " misses, " << m.cache.evictions << " evictions, "
-            << m.cache.resident_bytes << " B resident\n";
+            << m.cache.resident_bytes << " B resident\n"
+            << "wait      " << m.queue_wait.summary() << '\n'
+            << "execute   " << m.execute.summary() << '\n';
   for (const auto& [name, h] : m.latency_by_format)
     std::cout << "latency   " << name << " batch " << h.summary() << '\n';
   if (m.failed) {

@@ -1,7 +1,8 @@
 #!/bin/sh
 # End-to-end smoke of the serving layer through the CLI: a synchronous
-# (deterministic) run, a threaded run, and a tiny-queue run that must
-# exercise the RejectedError backpressure path without losing a request.
+# (deterministic) run, a threaded run, a tiny-queue run that must exercise
+# the RejectedError backpressure path without losing a request, and a
+# sharded multi-pool run whose batches must all take the sharded path.
 # Usage: check_serve_bench.sh /path/to/brospmv
 set -eu
 
@@ -25,6 +26,17 @@ echo "== serve-bench (forced format, pinned cache) =="
 cat out.txt
 grep -q "served    60 / 60 requests" out.txt
 grep -q "latency   BRO-ELL" out.txt
+
+echo "== serve-bench (sharded multi-pool) =="
+"$BROSPMV" serve-bench --threads 1 --clients 2 --requests 30 --matrices 1 \
+    --scale 0.02 --format CSR --pools 2 --pool-threads 1 --pool-omp 1 \
+    --shards 3 --shard-min-nnz 1 --seed 17 >out.txt
+cat out.txt
+grep -q "served    60 / 60 requests" out.txt
+# Every batch must have taken the sharded path: "batches N (N sharded)".
+grep -Eq "batches   ([0-9]+) \(\1 sharded\)" out.txt
+grep -q "wait      p50=" out.txt
+grep -q "execute   p50=" out.txt
 
 echo "== unknown format must fail =="
 if "$BROSPMV" serve-bench --format NO-SUCH 2>err.txt; then
