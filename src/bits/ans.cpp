@@ -1,0 +1,173 @@
+#include "bits/ans.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace bro::bits {
+
+AnsTable AnsTable::from_histogram(std::span<const std::uint64_t> histogram,
+                                  int table_log) {
+  BRO_CHECK_MSG(histogram.size() == static_cast<std::size_t>(kNumClasses),
+                "class histogram must have " << kNumClasses << " entries");
+  BRO_CHECK_MSG(table_log >= kMinTableLog && table_log <= kMaxTableLog,
+                "table_log must be in [" << kMinTableLog << ", "
+                                         << kMaxTableLog << "], got "
+                                         << table_log);
+  const std::uint32_t L = 1u << table_log;
+  const std::uint64_t total =
+      std::accumulate(histogram.begin(), histogram.end(), std::uint64_t{0});
+
+  std::vector<std::uint16_t> freqs(kNumClasses, 0);
+  if (total == 0) {
+    // Degenerate model: nothing was counted, code only the padding class.
+    freqs[0] = static_cast<std::uint16_t>(L);
+    return from_freqs(std::move(freqs), table_log);
+  }
+
+  // Proportional allocation with a floor of 1 for every present class, then
+  // trim/grant the rounding residue against the largest frequencies. The
+  // floor guarantees encodability of every observed symbol; L >= kNumClasses
+  // guarantees the trim loop terminates above sum == #present classes.
+  std::uint64_t sum = 0;
+  for (int s = 0; s < kNumClasses; ++s) {
+    const std::uint64_t h = histogram[static_cast<std::size_t>(s)];
+    if (h == 0) continue;
+    const std::uint64_t f = std::max<std::uint64_t>(1, h * L / total);
+    freqs[static_cast<std::size_t>(s)] = static_cast<std::uint16_t>(f);
+    sum += f;
+  }
+  const auto largest = [&freqs] {
+    int arg = 0;
+    for (int s = 1; s < kNumClasses; ++s)
+      if (freqs[static_cast<std::size_t>(s)] >
+          freqs[static_cast<std::size_t>(arg)])
+        arg = s;
+    return arg;
+  };
+  while (sum > L) {
+    const int arg = largest();
+    BRO_CHECK_MSG(freqs[static_cast<std::size_t>(arg)] > 1,
+                  "frequency normalization cannot reach table size");
+    --freqs[static_cast<std::size_t>(arg)];
+    --sum;
+  }
+  if (sum < L) {
+    freqs[static_cast<std::size_t>(largest())] +=
+        static_cast<std::uint16_t>(L - sum);
+  }
+  return from_freqs(std::move(freqs), table_log);
+}
+
+AnsTable AnsTable::from_freqs(std::vector<std::uint16_t> freqs,
+                              int table_log) {
+  BRO_CHECK_MSG(table_log >= kMinTableLog && table_log <= kMaxTableLog,
+                "table_log must be in [" << kMinTableLog << ", "
+                                         << kMaxTableLog << "], got "
+                                         << table_log);
+  BRO_CHECK_MSG(freqs.size() == static_cast<std::size_t>(kNumClasses),
+                "frequency table must have " << kNumClasses << " entries");
+  const std::uint32_t L = 1u << table_log;
+  std::uint64_t sum = 0;
+  for (const std::uint16_t f : freqs) sum += f;
+  BRO_CHECK_MSG(sum == L, "frequencies must sum to " << L << ", got " << sum);
+
+  AnsTable t;
+  t.table_log_ = table_log;
+  t.freqs_ = std::move(freqs);
+  t.cum_.assign(kNumClasses + 1, 0);
+  for (int s = 0; s < kNumClasses; ++s)
+    t.cum_[static_cast<std::size_t>(s) + 1] =
+        t.cum_[static_cast<std::size_t>(s)] +
+        t.freqs_[static_cast<std::size_t>(s)];
+  t.build_decode_table();
+  return t;
+}
+
+void AnsTable::build_decode_table() {
+  // Sequential ("precise") symbol spread: class s owns table positions
+  // [cum[s], cum[s]+f_s). For position p = cum[s]+q the decoder's new
+  // pre-renormalization state is f_s + q, shifted up by nb to land back in
+  // the working interval [L, 2L).
+  const std::uint32_t L = 1u << table_log_;
+  decode_.assign(L, 0);
+  std::uint32_t p = 0;
+  for (int s = 0; s < kNumClasses; ++s) {
+    const std::uint32_t f = freqs_[static_cast<std::size_t>(s)];
+    for (std::uint32_t q = 0; q < f; ++q, ++p) {
+      const std::uint32_t new_x = f + q;
+      const int nb = table_log_ - (bit_width_of(new_x) - 1);
+      const std::uint32_t base = new_x << nb;
+      decode_[p] = static_cast<std::uint32_t>(s) |
+                   (static_cast<std::uint32_t>(nb) << 6) | (base << 11);
+    }
+  }
+}
+
+void ans_encode_row(const AnsTable& table,
+                    std::span<const std::uint32_t> deltas,
+                    std::vector<AnsEncSym>& scratch, BitString& out) {
+  const int tl = table.table_log();
+  BRO_CHECK_MSG(tl > 0, "encoding through an empty AnsTable");
+  const std::uint32_t L = 1u << tl;
+  scratch.resize(deltas.size());
+
+  // LIFO encode from the last symbol: push renormalization bits out of the
+  // state until x/2^nb lands in [f_s, 2f_s), then map into [L, 2L) through
+  // the class's cumulative slot. nb is maxBits or maxBits-1 — the standard
+  // one-branch renormalization for power-of-two L.
+  std::uint32_t x = L;
+  for (std::size_t i = deltas.size(); i-- > 0;) {
+    const std::uint32_t d = deltas[i];
+    const int cls = ans_class_of(d);
+    const std::uint32_t f = table.freq(cls);
+    BRO_CHECK_MSG(f > 0, "delta class " << cls
+                                        << " has zero frequency in table");
+    const int max_bits = tl - (bit_width_of(f) - 1);
+    const int nb =
+        x >= (f << max_bits) ? max_bits : max_bits - 1;
+    AnsEncSym& rec = scratch[i];
+    rec.mantissa =
+        cls > 0 ? (d & static_cast<std::uint32_t>(max_value_for_bits(cls - 1)))
+                : 0;
+    rec.mantissa_nbits = static_cast<std::uint8_t>(cls > 0 ? cls - 1 : 0);
+    rec.state_bits = static_cast<std::uint16_t>(
+        x & static_cast<std::uint32_t>(max_value_for_bits(nb)));
+    rec.state_nbits = static_cast<std::uint8_t>(nb);
+    x = L + table.cum(cls) + ((x >> nb) - f);
+  }
+
+  // Emit forward: the final encoder state leads, then each symbol's
+  // mantissa and renormalization bits in decode order.
+  out.append(x - L, tl);
+  for (const AnsEncSym& rec : scratch) {
+    out.append(rec.mantissa, rec.mantissa_nbits);
+    out.append(rec.state_bits, rec.state_nbits);
+  }
+}
+
+std::vector<std::uint32_t> ans_decode_row(const AnsTable& table,
+                                          const BitString& s,
+                                          std::size_t count) {
+  const int tl = table.table_log();
+  BRO_CHECK_MSG(tl > 0, "decoding through an empty AnsTable");
+  const std::uint32_t L = 1u << tl;
+  BitStringReader reader(s);
+  std::uint32_t x = L + static_cast<std::uint32_t>(reader.read(tl));
+  std::vector<std::uint32_t> deltas(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t e = table.entry(x);
+    const int cls = AnsTable::entry_class(e);
+    const int nb = AnsTable::entry_bits(e);
+    const std::uint32_t mantissa =
+        cls > 0 ? static_cast<std::uint32_t>(reader.read(cls - 1)) : 0;
+    const std::uint32_t state_bits =
+        static_cast<std::uint32_t>(reader.read(nb));
+    deltas[i] = cls > 0 ? ((1u << (cls - 1)) | mantissa) : 0;
+    x = AnsTable::entry_base(e) + state_bits;
+  }
+  return deltas;
+}
+
+} // namespace bro::bits

@@ -1,0 +1,141 @@
+// tANS (table-based asymmetric numeral system) coding of delta bit-width
+// classes — the entropy layer under BRO-ANS (see DESIGN.md "Entropy-coded
+// index streams").
+//
+// The fixed-width BRO schemes spend bit_alloc[c] bits on every delta of a
+// slice column, i.e. the per-column *maximum* width. The entropy coder
+// instead maps each delta to its bit-width class s = Γ(delta) (class 0 is
+// the ELLPACK padding sentinel, delta 0) and spends ~log2(1/p_s) bits on
+// the class plus s-1 raw bits for the mantissa (the leading 1 of an s-bit
+// value is implied). Class probabilities are captured in one normalized
+// frequency table per matrix whose entries sum to L = 1 << table_log.
+//
+// Stream layout per row (MSB-first, decoded strictly forward):
+//
+//   [initial state: table_log bits] then per symbol:
+//   [mantissa: class-1 bits] [state renormalization bits: nb bits]
+//
+// The encoder runs backwards (LIFO, as ANS requires) from state L,
+// recording per-symbol bit fields, and emits them in forward order; the
+// decoder is a strict read-ahead loop — one table lookup plus one bit-read
+// per symbol — with the same symbol-buffer refill structure as the
+// fixed-width LaneDecoder, so it multiplexes across rows unchanged.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bits/bit_string.h"
+#include "bits/bitwidth.h"
+
+namespace bro::bits {
+
+/// The normalized class-frequency model plus its packed decode table.
+///
+/// Decode-table entries pack, for table position p in [0, L):
+///   bits  0..5  — class s (0..32)
+///   bits  6..10 — nb, renormalization bit count for this transition
+///   bits 11..31 — base, the next-state contribution (new state = base + the
+///                 nb read bits); base < 2L, so table_log <= 15 keeps the
+///                 entry in 32 bits with room to spare.
+class AnsTable {
+ public:
+  /// Delta bit-width classes 0 (padding) through 32.
+  static constexpr int kNumClasses = 33;
+  /// L must cover every present class (>= kNumClasses) and the packed
+  /// base/frequency fields must fit (base < 2L in 21 bits, freq <= L in
+  /// uint16), so table_log lives in [6, 15].
+  static constexpr int kMinTableLog = 6;
+  static constexpr int kMaxTableLog = 15;
+
+  AnsTable() = default;
+
+  /// Normalize a class histogram (kNumClasses counts) to frequencies
+  /// summing exactly to 1 << table_log — every present class keeps at
+  /// least 1 — and build the decode table. An all-zero histogram yields a
+  /// degenerate table that codes only class 0.
+  static AnsTable from_histogram(std::span<const std::uint64_t> histogram,
+                                 int table_log);
+
+  /// Rebuild from an already-normalized frequency table (the serialized
+  /// form). Throws on invalid input: wrong size or sum != 1 << table_log.
+  static AnsTable from_freqs(std::vector<std::uint16_t> freqs, int table_log);
+
+  int table_log() const { return table_log_; }
+  std::uint32_t size() const { return 1u << table_log_; }
+  const std::vector<std::uint16_t>& freqs() const { return freqs_; }
+  std::uint16_t freq(int cls) const {
+    return freqs_[static_cast<std::size_t>(cls)];
+  }
+  /// Cumulative frequency (table offset) of class cls.
+  std::uint32_t cum(int cls) const {
+    return cum_[static_cast<std::size_t>(cls)];
+  }
+
+  /// Raw decode table (size() packed entries) for the kernels.
+  const std::uint32_t* decode_data() const { return decode_.data(); }
+  /// Packed entry for state x in [L, 2L).
+  std::uint32_t entry(std::uint32_t x) const {
+    return decode_[x - size()];
+  }
+  static constexpr int entry_class(std::uint32_t e) {
+    return static_cast<int>(e & 63u);
+  }
+  static constexpr int entry_bits(std::uint32_t e) {
+    return static_cast<int>((e >> 6) & 31u);
+  }
+  static constexpr std::uint32_t entry_base(std::uint32_t e) {
+    return e >> 11;
+  }
+
+  /// Serialized footprint: the normalized frequency table (the decode
+  /// table is derived on load).
+  std::size_t serialized_bytes() const {
+    return freqs_.size() * sizeof(std::uint16_t) + sizeof(std::int32_t);
+  }
+  /// Heap bytes as resident in memory (decode table included).
+  std::size_t resident_bytes() const {
+    return decode_.size() * sizeof(std::uint32_t) +
+           freqs_.size() * sizeof(std::uint16_t) +
+           cum_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  void build_decode_table();
+
+  int table_log_ = 0;
+  std::vector<std::uint16_t> freqs_;  // kNumClasses, sum == 1 << table_log_
+  std::vector<std::uint32_t> cum_;    // kNumClasses + 1 prefix sums
+  std::vector<std::uint32_t> decode_; // 1 << table_log_ packed entries
+};
+
+/// The bit-width class of a delta: Γ(delta), with class 0 = the padding
+/// sentinel (kInvalidDelta).
+constexpr int ans_class_of(std::uint32_t delta) {
+  return bit_width_of(delta);
+}
+
+/// Per-symbol encoder scratch (see ans_encode_row).
+struct AnsEncSym {
+  std::uint32_t mantissa = 0;    // delta minus its implied leading 1
+  std::uint16_t state_bits = 0;  // renormalization bits pushed out
+  std::uint8_t mantissa_nbits = 0;
+  std::uint8_t state_nbits = 0;
+};
+
+/// Encode one row of deltas (padding slots = kInvalidDelta) onto `out` in
+/// the layout documented above. `scratch` is caller-owned to keep repeated
+/// encodes allocation-free; it is resized as needed. Every class present
+/// in `deltas` must have nonzero frequency in `table`.
+void ans_encode_row(const AnsTable& table,
+                    std::span<const std::uint32_t> deltas,
+                    std::vector<AnsEncSym>& scratch, BitString& out);
+
+/// Reference decode of `count` deltas from the start of `s` — the bits-level
+/// round-trip oracle for tests and validators.
+std::vector<std::uint32_t> ans_decode_row(const AnsTable& table,
+                                          const BitString& s,
+                                          std::size_t count);
+
+} // namespace bro::bits

@@ -543,4 +543,91 @@ Issues validate_bro_csr(const core::BroCsr& a, const sparse::Csr* ref) {
   return issues;
 }
 
+Issues validate_bro_ans(const core::BroAns& a, const sparse::Csr* ref) {
+  Issues issues;
+  Acc acc(issues);
+  const std::size_t expect = static_cast<std::size_t>(a.rows()) *
+                             static_cast<std::size_t>(a.width());
+  acc.check(a.vals().size() == expect, [&](auto& os) {
+    os << "vals holds " << a.vals().size() << " entries, expected rows*width "
+       << expect;
+  });
+  const auto& tbl = a.table();
+  acc.check(tbl.table_log() >= bits::AnsTable::kMinTableLog &&
+                tbl.table_log() <= bits::AnsTable::kMaxTableLog,
+            [&](auto& os) {
+              os << "table_log " << tbl.table_log() << " out of ["
+                 << bits::AnsTable::kMinTableLog << ", "
+                 << bits::AnsTable::kMaxTableLog << "]";
+            });
+  std::uint64_t fsum = 0;
+  for (const auto f : tbl.freqs()) fsum += f;
+  acc.check(fsum == tbl.size(), [&](auto& os) {
+    os << "frequency table sums to " << fsum << ", expected table size "
+       << tbl.size();
+  });
+
+  // The slices must tile [0, rows) contiguously.
+  index_t next_row = 0;
+  for (std::size_t s = 0; s < a.slices().size(); ++s) {
+    const auto& sl = a.slices()[s];
+    acc.check(sl.first_row == next_row, [&](auto& os) {
+      os << "slice " << s << " starts at row " << sl.first_row << ", expected "
+         << next_row;
+    });
+    acc.check(sl.height > 0 && sl.height <= a.options().slice_height,
+              [&](auto& os) {
+                os << "slice " << s << " height " << sl.height
+                   << " out of (0, " << a.options().slice_height << "]";
+              });
+    acc.check(sl.num_col >= 0 && sl.num_col <= a.width(), [&](auto& os) {
+      os << "slice " << s << " num_col " << sl.num_col << " exceeds width "
+         << a.width();
+    });
+    next_row = sl.first_row + sl.height;
+  }
+  acc.check(next_row == a.rows(), [&](auto& os) {
+    os << "slices cover rows [0, " << next_row << "), matrix has " << a.rows();
+  });
+  if (!issues.empty()) return issues;
+
+  // Decode every row: columns must be strictly increasing and in range, and
+  // with a reference, identical to the source row — entropy decode has no
+  // per-slot width to cross-check, so lossless round-trip is the whole
+  // correctness story.
+  for (const auto& sl : a.slices()) {
+    for (index_t i = 0; i < sl.height && !acc.full(); ++i) {
+      const index_t r = sl.first_row + i;
+      const std::vector<index_t> cols = a.decode_row(r);
+      index_t prev = -1;
+      for (const index_t c : cols) {
+        acc.check(c > prev && c >= 0 && c < a.cols(), [&](auto& os) {
+          os << "row " << r << ": decoded column " << c
+             << " not strictly increasing in [0, " << a.cols() << ")";
+        });
+        prev = c;
+      }
+      if (!ref) continue;
+      const auto want = ref->row_cols(r);
+      const bool match = cols.size() == want.size() &&
+                         std::equal(cols.begin(), cols.end(), want.begin());
+      acc.check(match, [&](auto& os) {
+        os << "row " << r << ": decoded " << cols.size()
+           << " columns that differ from the source row (" << want.size()
+           << " entries) — entropy stream corrupt or not lossless";
+      });
+      if (match) {
+        const auto want_vals = ref->row_vals(r);
+        for (std::size_t j = 0; j < want_vals.size(); ++j)
+          acc.check(a.val_at(r, static_cast<index_t>(j)) == want_vals[j],
+                    [&](auto& os) {
+                      os << "row " << r << " entry " << j
+                         << ": value differs from source";
+                    });
+      }
+    }
+  }
+  return issues;
+}
+
 } // namespace bro::check

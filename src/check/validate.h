@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/bro_ans.h"
 #include "core/bro_coo.h"
 #include "core/bro_csr.h"
 #include "core/bro_ell.h"
@@ -50,6 +51,8 @@ Issues validate_bro_coo(const core::BroCoo& a,
 Issues validate_bro_hyb(const core::BroHyb& a,
                         const sparse::Csr* ref = nullptr);
 Issues validate_bro_csr(const core::BroCsr& a,
+                        const sparse::Csr* ref = nullptr);
+Issues validate_bro_ans(const core::BroAns& a,
                         const sparse::Csr* ref = nullptr);
 
 } // namespace bro::check

@@ -1,0 +1,93 @@
+// BRO-ANS: entropy-coded BRO-ELL (extension beyond the paper).
+//
+// Same pipeline as BRO-ELL — delta-encode rows (1-based gaps, 0 = padding
+// sentinel), slice into `slice_height`-row blocks, pack per-row bit
+// strings, multiplex so thread t reads symbol c*h + t — but the fixed
+// per-column bit allocation is replaced by a tANS entropy coder over delta
+// bit-width classes (bits/ans.h): one normalized frequency table for the
+// whole matrix, ~log2(1/p) bits per class plus the mantissa, beating the
+// per-column-maximum widths wherever delta widths are skewed.
+//
+// Unlike BRO-ELL, rows of a slice consume different bit counts, so each
+// row's stream is zero-padded up to the slice's longest row before
+// multiplexing; decoders stop after num_col symbols and never read the
+// pad. The values array is ELLPACK's, untouched: like every BRO scheme
+// this compresses index data only.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "bits/ans.h"
+#include "bits/mux.h"
+#include "sparse/ell.h"
+
+namespace bro::core {
+
+struct SerializeAccess;
+
+struct BroAnsOptions {
+  int slice_height = 256; // h: rows per slice, as in BRO-ELL
+  int sym_len = 32;       // bits per load during decompression (32 or 64)
+  int table_log = 10;     // log2 of the ANS table size (4 KiB decode table)
+};
+
+/// One compressed slice: the actual column count and the multiplexed
+/// entropy-coded stream (per-row layout documented in bits/ans.h).
+struct BroAnsSlice {
+  index_t first_row = 0;
+  index_t height = 0;
+  index_t num_col = 0; // symbols decoded per row (0: empty stream)
+  bits::MuxedStream stream;
+};
+
+class BroAns {
+ public:
+  static BroAns compress(const sparse::Ell& ell, BroAnsOptions opts = {});
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t width() const { return width_; }
+  const BroAnsOptions& options() const { return opts_; }
+  const bits::AnsTable& table() const { return table_; }
+  const std::vector<BroAnsSlice>& slices() const { return slices_; }
+  const std::vector<value_t>& vals() const { return vals_; }
+
+  /// Decode the column indices of one row (testing / verification path).
+  std::vector<index_t> decode_row(index_t row) const;
+
+  /// Full decompression back to ELLPACK (round-trip testing).
+  sparse::Ell decompress() const;
+
+  /// y = A * x via the sequential per-row decode loop.
+  void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+  /// Compressed size of the index data: streams + per-slice num_col + the
+  /// serialized frequency table.
+  std::size_t compressed_index_bytes() const;
+
+  /// Heap bytes of the index data as resident (decode table included) —
+  /// what plan/PlanCache byte accounting charges.
+  std::size_t resident_index_bytes() const;
+
+  /// Original ELLPACK index size (m * k * 4 bytes).
+  std::size_t original_index_bytes() const;
+
+  value_t val_at(index_t r, index_t j) const {
+    return vals_[static_cast<std::size_t>(j) * rows_ + r];
+  }
+
+  friend struct SerializeAccess; // serialization (serialize.cpp)
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t width_ = 0;
+  BroAnsOptions opts_;
+  bits::AnsTable table_;
+  std::vector<BroAnsSlice> slices_;
+  std::vector<value_t> vals_; // column-major m x k, as in ELLPACK
+};
+
+} // namespace bro::core

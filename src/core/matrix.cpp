@@ -58,6 +58,11 @@ const BroCoo& Matrix::bro_coo() const {
   return *bro_coo_;
 }
 
+const BroAns& Matrix::bro_ans() const {
+  if (!bro_ans_) bro_ans_ = BroAns::compress(ell(), opts_.ans);
+  return *bro_ans_;
+}
+
 const BroCsr& Matrix::bro_csr() const {
   if (!bro_csr_) bro_csr_ = BroCsr::compress(csr_);
   return *bro_csr_;

@@ -16,6 +16,7 @@
 #include <span>
 #include <string>
 
+#include "core/bro_ans.h"
 #include "core/bro_coo.h"
 #include "core/bro_csr.h"
 #include "core/bro_ell.h"
@@ -36,6 +37,7 @@ enum class Format {
   kBroCoo,
   kBroHyb,
   kBroCsr, // extension format (see core/bro_csr.h)
+  kBroAns, // extension format (see core/bro_ans.h)
 };
 
 /// Human-readable format name ("BRO-ELL", ...). Backed by the engine's
@@ -47,6 +49,7 @@ const char* format_name(Format f);
 struct MatrixOptions {
   BroEllOptions ell;
   BroCooOptions coo;
+  BroAnsOptions ans;
   /// ELLPACK is considered viable when rows*k <= max_ell_expand * nnz.
   double max_ell_expand = 3.0;
 };
@@ -85,6 +88,7 @@ class Matrix {
   const BroCoo& bro_coo() const;
   const BroHyb& bro_hyb() const;
   const BroCsr& bro_csr() const;
+  const BroAns& bro_ans() const;
 
  private:
   explicit Matrix(sparse::Csr csr, MatrixOptions opts);
@@ -101,6 +105,7 @@ class Matrix {
   mutable std::optional<BroCoo> bro_coo_;
   mutable std::optional<BroHyb> bro_hyb_;
   mutable std::optional<BroCsr> bro_csr_;
+  mutable std::optional<BroAns> bro_ans_;
 };
 
 } // namespace bro::core

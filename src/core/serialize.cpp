@@ -51,6 +51,20 @@ struct SerializeAccess {
   static const bits::BitString& csr_stream(const BroCsr& m) {
     return m.stream_;
   }
+  static BroAns make_ans(index_t rows, index_t cols, index_t width,
+                         BroAnsOptions opts, bits::AnsTable table,
+                         std::vector<BroAnsSlice> slices,
+                         std::vector<value_t> vals) {
+    BroAns m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.width_ = width;
+    m.opts_ = opts;
+    m.table_ = std::move(table);
+    m.slices_ = std::move(slices);
+    m.vals_ = std::move(vals);
+    return m;
+  }
   static BroCsr make_csr(index_t rows, index_t cols, BroCsrOptions opts,
                          std::vector<index_t> row_ptr,
                          std::vector<std::uint8_t> bits,
@@ -79,6 +93,7 @@ enum class Tag : std::uint8_t {
   kBroCoo = 2,
   kBroHyb = 3,
   kBroCsr = 4,
+  kBroAns = 5,
 };
 
 template <typename T>
@@ -197,6 +212,52 @@ BroEll read_ell_body(std::istream& in) {
                                    std::move(vals));
 }
 
+void write_ans_body(std::ostream& out, const BroAns& m) {
+  write_pod(out, m.rows());
+  write_pod(out, m.cols());
+  write_pod(out, m.width());
+  write_pod<std::int32_t>(out, m.options().slice_height);
+  write_pod<std::int32_t>(out, m.options().sym_len);
+  write_pod<std::int32_t>(out, m.options().table_log);
+  // The normalized frequency table; the decode table is rebuilt on load.
+  write_vec(out, m.table().freqs());
+  write_pod<std::uint64_t>(out, m.slices().size());
+  for (const BroAnsSlice& s : m.slices()) {
+    write_pod(out, s.first_row);
+    write_pod(out, s.height);
+    write_pod(out, s.num_col);
+    write_mux(out, s.stream);
+  }
+  write_vec(out, m.vals());
+}
+
+BroAns read_ans_body(std::istream& in) {
+  const auto rows = read_pod<index_t>(in);
+  const auto cols = read_pod<index_t>(in);
+  const auto width = read_pod<index_t>(in);
+  BroAnsOptions opts;
+  opts.slice_height = read_pod<std::int32_t>(in);
+  opts.sym_len = read_pod<std::int32_t>(in);
+  opts.table_log = read_pod<std::int32_t>(in);
+  BRO_CHECK_MSG(opts.sym_len == 32 || opts.sym_len == 64, "corrupt sym_len");
+  auto freqs = read_vec<std::uint16_t>(in, kSane);
+  // from_freqs validates table_log range, table size and frequency sum.
+  bits::AnsTable table =
+      bits::AnsTable::from_freqs(std::move(freqs), opts.table_log);
+  const auto n = read_pod<std::uint64_t>(in);
+  BRO_CHECK_MSG(n <= kSane, "implausible slice count");
+  std::vector<BroAnsSlice> slices(n);
+  for (auto& s : slices) {
+    s.first_row = read_pod<index_t>(in);
+    s.height = read_pod<index_t>(in);
+    s.num_col = read_pod<index_t>(in);
+    s.stream = read_mux(in);
+  }
+  auto vals = read_vec<value_t>(in, kSane);
+  return SerializeAccess::make_ans(rows, cols, width, opts, std::move(table),
+                                   std::move(slices), std::move(vals));
+}
+
 void write_coo_body(std::ostream& out, const BroCoo& m) {
   write_pod(out, m.rows());
   write_pod(out, m.cols());
@@ -238,6 +299,23 @@ BroCoo read_coo_body(std::istream& in) {
 
 } // namespace
 
+Format peek_bro_format(std::istream& in) {
+  BRO_CHECK_MSG(read_pod<std::uint32_t>(in) == kMagic,
+                "not a BRO serialized stream (bad magic)");
+  BRO_CHECK_MSG(read_pod<std::uint32_t>(in) == kVersion,
+                "unsupported BRO stream version");
+  const auto tag = read_pod<std::uint8_t>(in);
+  switch (static_cast<Tag>(tag)) {
+    case Tag::kBroEll: return Format::kBroEll;
+    case Tag::kBroCoo: return Format::kBroCoo;
+    case Tag::kBroHyb: return Format::kBroHyb;
+    case Tag::kBroCsr: return Format::kBroCsr;
+    case Tag::kBroAns: return Format::kBroAns;
+  }
+  BRO_CHECK_MSG(false, "unknown format tag " << int(tag));
+  return Format::kBroHyb; // unreachable
+}
+
 void write_bro_ell(std::ostream& out, const BroEll& m) {
   write_header(out, Tag::kBroEll);
   write_ell_body(out, m);
@@ -246,6 +324,16 @@ void write_bro_ell(std::ostream& out, const BroEll& m) {
 BroEll read_bro_ell(std::istream& in) {
   read_header(in, Tag::kBroEll);
   return read_ell_body(in);
+}
+
+void write_bro_ans(std::ostream& out, const BroAns& m) {
+  write_header(out, Tag::kBroAns);
+  write_ans_body(out, m);
+}
+
+BroAns read_bro_ans(std::istream& in) {
+  read_header(in, Tag::kBroAns);
+  return read_ans_body(in);
 }
 
 void write_bro_coo(std::ostream& out, const BroCoo& m) {

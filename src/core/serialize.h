@@ -10,15 +10,27 @@
 #include <iosfwd>
 #include <string>
 
+#include "core/bro_ans.h"
 #include "core/bro_coo.h"
 #include "core/bro_csr.h"
 #include "core/bro_ell.h"
 #include "core/bro_hyb.h"
+#include "core/matrix.h"
 
 namespace bro::core {
 
+/// Read a stream's header and report which format it holds, so callers can
+/// dispatch to the matching read_* function — a .bro file carries whichever
+/// format `compress --format` wrote, not necessarily BRO-HYB. Validates
+/// magic/version/tag (throws on mismatch) and leaves the stream positioned
+/// after the header; seek back to the start before calling read_*.
+Format peek_bro_format(std::istream& in);
+
 void write_bro_ell(std::ostream& out, const BroEll& m);
 BroEll read_bro_ell(std::istream& in);
+
+void write_bro_ans(std::ostream& out, const BroAns& m);
+BroAns read_bro_ans(std::istream& in);
 
 void write_bro_coo(std::ostream& out, const BroCoo& m);
 BroCoo read_bro_coo(std::istream& in);

@@ -387,6 +387,50 @@ const std::vector<FormatTraits>& build_registry() {
                 bro.vals().size() * sizeof(value_t);
        },
        /*native_generic=*/nullptr, /*row_shardable=*/true},
+
+      {Format::kBroAns, "BRO-ANS", true, /*extension=*/true,
+       // Not tunable: the symbol model adapts to the matrix by construction
+       // (the frequency table is rebuilt per matrix), leaving no
+       // device-dependent knob for the cocktail to sweep.
+       /*tunable=*/false, /*auto_priority=*/-1, ell_applicable,
+       [](const Matrix& m, Workspace& ws) {
+         ws.bro_ans_kernels(m.bro_ans());
+       },
+       [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
+         m.bro_ans().spmv(x, y);
+       },
+       [](const Matrix& m, Workspace& ws, std::span<const value_t> x,
+          std::span<value_t> y) {
+         const auto& bro = m.bro_ans();
+         kernels::native_spmv_bro_ans(bro, ws.bro_ans_kernels(bro), x, y);
+       },
+       /*tune=*/nullptr,
+       [](const Matrix& m) {
+         return index_savings(m.bro_ans().original_index_bytes(),
+                              m.bro_ans().compressed_index_bytes());
+       },
+       [](std::ostream& out, const Matrix& m) {
+         core::write_bro_ans(out, m.bro_ans());
+       },
+       [](const Matrix& m) {
+         return check::validate_bro_ans(m.bro_ans(), &m.csr());
+       },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) {
+         return kernels::sim_spmv_bro_ans(dev, m.bro_ans(), x).y;
+       },
+       /*native_multi=*/nullptr,
+       [](const Matrix& m) {
+         return m.bro_ans().resident_index_bytes() +
+                m.bro_ans().vals().size() * sizeof(value_t);
+       },
+       [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
+         kernels::native_spmv_bro_ans_generic(m.bro_ans(), x, y);
+       },
+       // Entropy coding is per-row-slice with a per-matrix table; a shard
+       // rebuild re-derives its own table, but decode stays lossless and
+       // accumulation left-to-right, so sharded results are bitwise equal.
+       /*row_shardable=*/true},
   };
   return registry;
 }

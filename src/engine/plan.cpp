@@ -116,6 +116,19 @@ std::span<const kernels::BroCooKernel> Workspace::bro_coo_kernels(
   return coo_kernels_;
 }
 
+std::span<const kernels::BroAnsKernel> Workspace::bro_ans_kernels(
+    const core::BroAns& a) {
+  const kernels::SimdIsa isa = kernels::active_simd_isa();
+  if (ans_kernels_for_ != &a || ans_kernels_.size() != a.slices().size() ||
+      ans_kernels_isa_ != isa) {
+    ans_kernels_ = kernels::plan_bro_ans_kernels(a, isa);
+    ans_kernels_for_ = &a;
+    ans_kernels_isa_ = isa;
+    ++allocations_;
+  }
+  return ans_kernels_;
+}
+
 SpmvPlan::SpmvPlan(std::shared_ptr<const core::Matrix> matrix,
                    std::optional<core::Format> format)
     : matrix_(std::move(matrix)) {

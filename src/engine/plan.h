@@ -77,6 +77,8 @@ class Workspace {
       const core::BroEll& a);
   std::span<const kernels::BroCooKernel> bro_coo_kernels(
       const core::BroCoo& a);
+  std::span<const kernels::BroAnsKernel> bro_ans_kernels(
+      const core::BroAns& a);
 
   /// Number of (re)allocations performed so far.
   std::size_t allocations() const { return allocations_; }
@@ -97,6 +99,9 @@ class Workspace {
   std::vector<kernels::BroCooKernel> coo_kernels_;
   const core::BroCoo* coo_kernels_for_ = nullptr;
   kernels::SimdIsa coo_kernels_isa_ = kernels::SimdIsa::kScalar;
+  std::vector<kernels::BroAnsKernel> ans_kernels_;
+  const core::BroAns* ans_kernels_for_ = nullptr;
+  kernels::SimdIsa ans_kernels_isa_ = kernels::SimdIsa::kScalar;
   std::size_t allocations_ = 0;
 };
 

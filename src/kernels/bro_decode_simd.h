@@ -44,6 +44,8 @@ struct SimdKernelSet {
   decltype(BroCooKernel::spmv) coo_spmv64 = nullptr;
   decltype(BroCooKernel::spmm) coo_spmm32 = nullptr;
   decltype(BroCooKernel::spmm) coo_spmm64 = nullptr;
+  decltype(BroAnsKernel::spmv) ans_spmv32 = nullptr;
+  decltype(BroAnsKernel::spmv) ans_spmv64 = nullptr;
   SimdChecksumFn<std::uint32_t> checksum32 = nullptr;
   SimdChecksumFn<std::uint64_t> checksum64 = nullptr;
 };

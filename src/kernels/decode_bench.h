@@ -95,4 +95,21 @@ struct EllSuiteDecodeRow {
 std::vector<EllSuiteDecodeRow> ell_suite_decode_sweep(
     SimdIsa isa, double scale, double min_seconds_per_cell);
 
+/// Entropy-coding A/B over BRO-ELL vs BRO-ANS compressions of the matgen
+/// suite (Test Set 1): per matrix, index space savings (eta) of both formats
+/// and full-stream decode throughput of each format's dispatched scalar
+/// decode path. Both sides decode the identical delta sequence (checked
+/// bitwise via the checksum before timing).
+struct EntropySuiteRow {
+  std::string matrix;
+  std::size_t deltas = 0; // deltas decoded per pass (incl. padding slots)
+  double ell_eta = 0;     // BRO-ELL index space savings
+  double ans_eta = 0;     // BRO-ANS index space savings
+  double ell_gdps = 0;    // BRO-ELL decode throughput
+  double ans_gdps = 0;    // BRO-ANS decode throughput
+};
+
+std::vector<EntropySuiteRow> entropy_suite_sweep(double scale,
+                                                 double min_seconds_per_cell);
+
 } // namespace bro::kernels

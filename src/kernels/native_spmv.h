@@ -16,6 +16,7 @@
 
 #include <span>
 
+#include "core/bro_ans.h"
 #include "core/bro_coo.h"
 #include "core/bro_ell.h"
 #include "core/bro_hyb.h"
@@ -93,6 +94,17 @@ struct BroCooKernel {
   SimdIsa isa = SimdIsa::kScalar;
 };
 
+/// The decode-kernel choice for one BRO-ANS slice. Entropy-coded streams
+/// have no compile-time width to specialize on (the per-symbol bit count is
+/// state-dependent), so the choice is only scalar-vs-SIMD per symbol length;
+/// the width field stays for dispatch-table symmetry and is always -1.
+struct BroAnsKernel {
+  int width = -1;
+  void (*spmv)(const core::BroAns& a, const core::BroAnsSlice& slice,
+               std::span<const value_t> x, std::span<value_t> y) = nullptr;
+  SimdIsa isa = SimdIsa::kScalar;
+};
+
 /// Per-slice / per-interval kernel selection (the plan-time step). The
 /// returned vectors are index-aligned with slices() / intervals(). The
 /// overloads without an ISA parameter use active_simd_isa() — the BRO_SIMD
@@ -103,6 +115,9 @@ std::vector<BroCooKernel> plan_bro_coo_kernels(const core::BroCoo& a);
 std::vector<BroEllKernel> plan_bro_ell_kernels(const core::BroEll& a,
                                                SimdIsa isa);
 std::vector<BroCooKernel> plan_bro_coo_kernels(const core::BroCoo& a,
+                                               SimdIsa isa);
+std::vector<BroAnsKernel> plan_bro_ans_kernels(const core::BroAns& a);
+std::vector<BroAnsKernel> plan_bro_ans_kernels(const core::BroAns& a,
                                                SimdIsa isa);
 
 /// Selection for a single slice / interval (what plan_bro_*_kernels applies
@@ -120,6 +135,15 @@ BroCooKernel select_bro_coo_kernel(const core::BroCooInterval& iv,
 /// bitwise-parity baseline the specialized kernels are fuzzed against.
 BroEllKernel generic_bro_ell_kernel(int sym_len);
 BroCooKernel generic_bro_coo_kernel(int sym_len);
+
+/// BRO-ANS slice kernel selection: the SIMD set's entry when the ISA
+/// provides one, else the scalar multi-chain kernel. All slices of one
+/// matrix share a symbol length, so selection is per matrix, not per slice.
+BroAnsKernel select_bro_ans_kernel(int sym_len, SimdIsa isa);
+
+/// The single-chain sequential decoder as a dispatch entry: the
+/// bitwise-parity baseline the multi-chain/SIMD kernels are fuzzed against.
+BroAnsKernel generic_bro_ans_kernel(int sym_len);
 
 void native_spmv_csr(const sparse::Csr& a, std::span<const value_t> x,
                      std::span<value_t> y);
@@ -163,6 +187,22 @@ void native_spmv_bro_ell(const core::BroEll& a,
 /// BRO-ELL forced through the generic variable-width decoder for every
 /// slice — the parity baseline of the differential decode checks.
 void native_spmv_bro_ell_generic(const core::BroEll& a,
+                                 std::span<const value_t> x,
+                                 std::span<value_t> y);
+
+/// BRO-ANS with inline kernel selection (table-free convenience path).
+void native_spmv_bro_ans(const core::BroAns& a, std::span<const value_t> x,
+                         std::span<value_t> y);
+
+/// BRO-ANS over plan-time kernel choices (kernels aligned with slices()):
+/// the branch-free plan path.
+void native_spmv_bro_ans(const core::BroAns& a,
+                         std::span<const BroAnsKernel> kernels,
+                         std::span<const value_t> x, std::span<value_t> y);
+
+/// BRO-ANS forced through the single-chain sequential decoder for every
+/// slice — the parity baseline of the differential decode checks.
+void native_spmv_bro_ans_generic(const core::BroAns& a,
                                  std::span<const value_t> x,
                                  std::span<value_t> y);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "bits/bitwidth.h"
 #include "bits/delta.h"
 #include "util/error.h"
 
@@ -149,6 +150,162 @@ SimResult sim_spmv_bro_ell_vector(const sim::DeviceSpec& dev,
                              static_cast<double>(inner.stats.dram_bytes())
                        : 0;
   return inner;
+}
+
+SimResult sim_spmv_bro_ans(const sim::DeviceSpec& dev, const core::BroAns& a,
+                           std::span<const value_t> x) {
+  BRO_CHECK(x.size() == static_cast<std::size_t>(a.cols()));
+  const index_t m = a.rows();
+  const int h = a.options().slice_height;
+  const int sym_bytes = a.options().sym_len / 8;
+  const int sym_len = a.options().sym_len;
+  const int tl = a.table().table_log();
+  const std::uint64_t blocks = std::max<std::uint64_t>(1, a.slices().size());
+  sim::SimContext sim(dev, {blocks, h});
+
+  const auto val_arr = sim.alloc(a.vals().size(), sizeof(value_t));
+  const auto x_arr = sim.alloc(x.size(), sizeof(value_t));
+  const auto y_arr = sim.alloc(static_cast<std::uint64_t>(m), sizeof(value_t));
+  std::vector<sim::VirtualArray> stream_arrs;
+  stream_arrs.reserve(a.slices().size());
+  for (const auto& s : a.slices())
+    stream_arrs.push_back(sim.alloc(s.stream.total_symbols(), sym_bytes));
+
+  SimResult res;
+  res.y.assign(static_cast<std::size_t>(m), value_t{0});
+  std::size_t nnz = 0;
+
+  // Per-lane functional reader over the slice's muxed stream: same bit
+  // arithmetic as the host decoders, but reporting which load index (if
+  // any) each read consumed so the divergent refill traffic can be issued.
+  struct Lane {
+    std::uint64_t sym = 0;
+    int rb = 0;
+    index_t loads = 0;
+    std::uint32_t state = 0;
+    index_t col = -1;
+  };
+
+  AddrArray addrs{};
+  for (std::size_t si = 0; si < a.slices().size(); ++si) {
+    const core::BroAnsSlice& slice = a.slices()[si];
+    auto blk = sim.begin_block(si);
+    const auto& stream_arr = stream_arrs[si];
+    if (slice.num_col == 0) {
+      for (int l = 0; l < kWarp; ++l)
+        addrs[static_cast<std::size_t>(l)] =
+            l < slice.height
+                ? y_arr.addr(static_cast<std::uint64_t>(slice.first_row + l))
+                : sim::kInactive;
+      blk.store_global(addrs, sizeof(value_t));
+      continue;
+    }
+
+    const auto read = [&](Lane& ln, index_t t, int b,
+                          std::uint64_t& load_addr) -> std::uint32_t {
+      std::uint64_t d;
+      load_addr = sim::kInactive;
+      if (b <= ln.rb) {
+        d = b > 0 ? (ln.sym >> (ln.rb - b)) & bits::max_value_for_bits(b) : 0;
+        ln.rb -= b;
+      } else {
+        const int high = ln.rb;
+        d = high > 0 ? (ln.sym & bits::max_value_for_bits(high)) : 0;
+        ln.sym = slice.stream.at(static_cast<std::size_t>(ln.loads),
+                                 static_cast<std::size_t>(t));
+        load_addr = stream_arr.addr(
+            static_cast<std::uint64_t>(ln.loads) * slice.height + t);
+        ++ln.loads;
+        const int low = b - high;
+        d = (d << low) |
+            ((ln.sym >> (sym_len - low)) & bits::max_value_for_bits(low));
+        ln.rb = sym_len - low;
+      }
+      return static_cast<std::uint32_t>(d);
+    };
+
+    const int warps = (slice.height + kWarp - 1) / kWarp;
+    for (int w = 0; w < warps; ++w) {
+      const index_t t0 = w * kWarp;
+      const int lanes = std::min<index_t>(kWarp, slice.height - t0);
+      std::vector<Lane> lane(static_cast<std::size_t>(lanes));
+
+      // Initial state: tl bits per lane — always one (coalesced) load.
+      for (int l = 0; l < kWarp; ++l) addrs[static_cast<std::size_t>(l)] = sim::kInactive;
+      for (int l = 0; l < lanes; ++l) {
+        auto& ln = lane[static_cast<std::size_t>(l)];
+        std::uint64_t la;
+        ln.state = (1u << tl) + read(ln, t0 + l, tl, la);
+        addrs[static_cast<std::size_t>(l)] = la;
+      }
+      blk.load_global(addrs, sym_bytes);
+      blk.add_int_ops(static_cast<std::uint64_t>(lanes) * 2);
+
+      for (index_t c = 0; c < slice.num_col; ++c) {
+        // Decode-table lookup (shared memory) + class/bits/base unpack +
+        // state rebuild: modeled as int ops on top of the bit extraction.
+        blk.add_int_ops(static_cast<std::uint64_t>(lanes) *
+                        (kBroDecodeIntOps + 4));
+
+        // The mantissa and renormalization reads each refill at most once
+        // per lane, and lanes diverge — gather both rounds' addresses.
+        AddrArray refill1{};
+        AddrArray refill2{};
+        AddrArray vaddrs{};
+        AddrArray xaddrs{};
+        int loads1 = 0, loads2 = 0, active = 0;
+        for (int l = 0; l < kWarp; ++l) {
+          refill1[static_cast<std::size_t>(l)] = sim::kInactive;
+          refill2[static_cast<std::size_t>(l)] = sim::kInactive;
+          vaddrs[static_cast<std::size_t>(l)] = sim::kInactive;
+          xaddrs[static_cast<std::size_t>(l)] = sim::kInactive;
+          if (l >= lanes) continue;
+          auto& ln = lane[static_cast<std::size_t>(l)];
+          const std::uint32_t e = a.table().entry(ln.state);
+          const int cls = bits::AnsTable::entry_class(e);
+          const int nb = bits::AnsTable::entry_bits(e);
+          std::uint64_t la1, la2;
+          const std::uint32_t mantissa =
+              cls > 0 ? read(ln, t0 + l, cls - 1, la1) : (la1 = sim::kInactive, 0u);
+          const std::uint32_t state_bits = read(ln, t0 + l, nb, la2);
+          ln.state = bits::AnsTable::entry_base(e) + state_bits;
+          refill1[static_cast<std::size_t>(l)] = la1;
+          refill2[static_cast<std::size_t>(l)] = la2;
+          if (la1 != sim::kInactive) ++loads1;
+          if (la2 != sim::kInactive) ++loads2;
+          if (cls == 0) continue; // padding slot
+          ln.col += static_cast<index_t>((1u << (cls - 1)) | mantissa);
+          const index_t r = slice.first_row + t0 + l;
+          vaddrs[static_cast<std::size_t>(l)] =
+              val_arr.addr(static_cast<std::uint64_t>(c) * m + r);
+          xaddrs[static_cast<std::size_t>(l)] =
+              x_arr.addr(static_cast<std::uint64_t>(ln.col));
+          res.y[static_cast<std::size_t>(r)] +=
+              a.val_at(r, c) * x[static_cast<std::size_t>(ln.col)];
+          ++active;
+          ++nnz;
+        }
+        if (loads1 > 0) blk.load_global(refill1, sym_bytes);
+        if (loads2 > 0) blk.load_global(refill2, sym_bytes);
+        if (active > 0) {
+          blk.load_global(vaddrs, sizeof(value_t));
+          blk.load_texture(xaddrs, sizeof(value_t));
+          blk.add_dp_fma(static_cast<std::uint64_t>(active));
+        }
+      }
+
+      for (int l = 0; l < kWarp; ++l)
+        addrs[static_cast<std::size_t>(l)] =
+            l < lanes ? y_arr.addr(static_cast<std::uint64_t>(slice.first_row +
+                                                              t0 + l))
+                      : sim::kInactive;
+      blk.store_global(addrs, sizeof(value_t));
+    }
+  }
+
+  res.stats = sim.stats();
+  res.time = sim.estimate(2.0 * static_cast<double>(nnz));
+  return res;
 }
 
 SimResult sim_spmv_bro_csr(const sim::DeviceSpec& dev, const core::BroCsr& a,

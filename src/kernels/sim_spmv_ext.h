@@ -3,6 +3,7 @@
 // per row) and BRO-ELL-VC (value compression).
 #pragma once
 
+#include "core/bro_ans.h"
 #include "core/bro_csr.h"
 #include "core/bro_ell_values.h"
 #include "core/bro_ell_vector.h"
@@ -14,6 +15,13 @@ namespace bro::kernels {
 /// Warp-per-row BRO-CSR: lanes extract 32 consecutive deltas in parallel
 /// from the row's packed stream and rebuild columns with an inclusive scan.
 SimResult sim_spmv_bro_csr(const sim::DeviceSpec& dev, const core::BroCsr& a,
+                           std::span<const value_t> x);
+
+/// Thread-per-row BRO-ANS: like the BRO-ELL kernel, but the per-symbol bit
+/// count is state-dependent, so stream refills diverge across the warp (each
+/// lane issues its own load when its buffer runs dry) and every symbol costs
+/// an extra decode-table lookup served from shared memory.
+SimResult sim_spmv_bro_ans(const sim::DeviceSpec& dev, const core::BroAns& a,
                            std::span<const value_t> x);
 
 SimResult sim_spmv_sliced_ell(const sim::DeviceSpec& dev,

@@ -34,7 +34,19 @@ void AdmissionController::admit(const std::string& client,
   }
   if (opts_.rate > 0) {
     const double now = clock_();
+    evict_idle_locked(now);
     auto [it, inserted] = buckets_.try_emplace(client);
+    if (inserted && opts_.max_clients > 0 &&
+        buckets_.size() > opts_.max_clients) {
+      // Over the hard cap: evict the least-recently-used other bucket.
+      auto lru = buckets_.end();
+      for (auto bi = buckets_.begin(); bi != buckets_.end(); ++bi) {
+        if (bi == it) continue;
+        if (lru == buckets_.end() || bi->second.last < lru->second.last)
+          lru = bi;
+      }
+      if (lru != buckets_.end()) buckets_.erase(lru);
+    }
     Bucket& b = it->second;
     if (inserted) {
       b.tokens = burst_; // a new client starts with a full burst allowance
@@ -58,9 +70,32 @@ void AdmissionController::admit(const std::string& client,
   ++stats_.admitted;
 }
 
+void AdmissionController::evict_idle_locked(double now) {
+  if (opts_.idle_window <= 0) return;
+  if (now < next_sweep_) return;
+  next_sweep_ = now + opts_.idle_window / 2;
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    const Bucket& b = it->second;
+    const double idle = now - b.last;
+    // Evict only once the bucket has both gone idle for the window and
+    // refilled to the burst cap — at that point it is byte-for-byte the
+    // bucket a brand-new client would be given, so dropping it cannot
+    // change any future admission decision.
+    if (idle >= opts_.idle_window && b.tokens + idle * opts_.rate >= burst_)
+      it = buckets_.erase(it);
+    else
+      ++it;
+  }
+}
+
 AdmissionStats AdmissionController::stats() const {
   std::lock_guard lk(mu_);
   return stats_;
+}
+
+std::size_t AdmissionController::tracked_clients() const {
+  std::lock_guard lk(mu_);
+  return buckets_.size();
 }
 
 } // namespace bro::serve

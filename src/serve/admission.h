@@ -46,6 +46,17 @@ struct AdmissionOptions {
   double burst = 0;
   /// Queue depth at/above which new submits are shed; 0 disables shedding.
   std::size_t shed_depth = 0;
+  /// Seconds after which an untouched bucket whose tokens have refilled to
+  /// the burst cap is evicted. Such a bucket is indistinguishable from the
+  /// fresh one the client would get on its next submit, so eviction never
+  /// changes admission decisions — it only bounds memory against client-id
+  /// churn (every distinct id otherwise leaves a bucket behind forever).
+  /// <= 0 disables idle eviction.
+  double idle_window = 300;
+  /// Hard cap on tracked buckets: inserting past it evicts the
+  /// least-recently-used other bucket (which forfeits that client's spent
+  /// tokens — acceptable, the cap is a memory backstop). 0 = uncapped.
+  std::size_t max_clients = 0;
 };
 
 struct AdmissionStats {
@@ -69,17 +80,25 @@ class AdmissionController {
   AdmissionStats stats() const;
   const AdmissionOptions& options() const { return opts_; }
 
+  /// Buckets currently tracked (tests pin the eviction behavior on this).
+  std::size_t tracked_clients() const;
+
  private:
   struct Bucket {
     double tokens = 0;
     double last = 0; // clock seconds of the previous refill
   };
 
+  /// Drop buckets idle past idle_window whose tokens have refilled to the
+  /// burst cap. Amortized: a full sweep runs at most once per half window.
+  void evict_idle_locked(double now);
+
   AdmissionOptions opts_;
   double burst_;
   Clock clock_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, Bucket> buckets_;
+  double next_sweep_ = 0;
   AdmissionStats stats_;
 };
 

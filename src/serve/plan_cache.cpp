@@ -80,6 +80,15 @@ std::shared_ptr<engine::SpmvPlan> PlanCache::get_or_build(
   }
 
   lk.lock();
+  if (e.discard) {
+    // The matrix was removed while this build was in flight: drop the
+    // entry instead of inserting a plan for a matrix the server no longer
+    // serves. This caller's request predates the removal, so it still
+    // gets its plan — it just is not cached.
+    entries_.erase(key);
+    build_done_.notify_all();
+    return plan;
+  }
   e.plan = std::move(plan);
   e.bytes = bytes;
   e.building = false;
@@ -125,6 +134,15 @@ std::size_t PlanCache::erase_matrix(const std::string& matrix_id) {
     it = lru_.erase(it);
     ++dropped;
   }
+  // The LRU walk only sees completed entries: builds still in flight live
+  // solely in entries_. Mark them so their completion drops the result
+  // instead of re-inserting a plan for the removed matrix.
+  for (auto& [key, e] : entries_) {
+    if (e.building && !e.discard && key.matrix_id == matrix_id) {
+      e.discard = true;
+      ++dropped;
+    }
+  }
   build_mu_.erase(matrix_id);
   return dropped;
 }
@@ -137,6 +155,14 @@ void PlanCache::clear() {
     entries_.erase(it);
   }
   lru_.clear();
+  // Same blind spot as erase_matrix: in-flight builds are not on the LRU
+  // list. Discard them on completion, and release the per-matrix build
+  // locks (builders keep theirs alive through their own shared_ptr).
+  for (auto& [key, e] : entries_) {
+    (void)key;
+    if (e.building) e.discard = true;
+  }
+  build_mu_.clear();
 }
 
 } // namespace bro::serve

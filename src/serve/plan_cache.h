@@ -75,13 +75,17 @@ class PlanCache {
   PlanCacheStats stats() const;
   std::size_t max_resident_bytes() const { return cap_; }
 
-  /// Drop every completed entry for `matrix_id` across all formats and
-  /// thread counts (SpmvServer::remove_matrix). In-flight builds finish,
-  /// insert, and age out by LRU; callers holding an evicted plan keep it
-  /// alive through their shared_ptr. Returns the number of entries dropped.
+  /// Drop every entry for `matrix_id` across all formats and thread counts
+  /// (SpmvServer::remove_matrix). Completed entries are dropped
+  /// immediately; in-flight builds are marked and their results discarded
+  /// on completion (the building caller still receives its plan — the
+  /// request predates the removal — it just is not cached). Callers
+  /// holding an evicted plan keep it alive through their shared_ptr.
+  /// Returns the number of entries dropped or marked.
   std::size_t erase_matrix(const std::string& matrix_id);
 
-  /// Drop every completed entry (in-flight builds finish and insert).
+  /// Drop every entry (in-flight builds are discarded on completion, as in
+  /// erase_matrix) and release the per-matrix build locks.
   void clear();
 
  private:
@@ -89,7 +93,8 @@ class PlanCache {
     std::shared_ptr<engine::SpmvPlan> plan; // null while building
     std::size_t bytes = 0;
     bool building = true;
-    bool failed = false; // build threw; waiters re-dispatch
+    bool failed = false;  // build threw; waiters re-dispatch
+    bool discard = false; // matrix removed mid-build; drop on completion
     std::list<PlanKey>::iterator lru_it;    // valid when !building
   };
 

@@ -1,5 +1,7 @@
 #include "serve/scheduler.h"
 
+#include "util/error.h"
+
 namespace bro::serve {
 
 Scheduler::Scheduler(std::size_t max_queue, int max_batch)
@@ -60,6 +62,10 @@ std::optional<Batch> Scheduler::wait_take() {
 
 void Scheduler::complete() {
   std::lock_guard lk(mu_);
+  // A complete() with no taken batch outstanding is a driver bug (double
+  // complete, or complete before take); letting in_flight_ go negative
+  // would wedge drain() forever instead of failing loudly here.
+  BRO_CHECK_MSG(in_flight_ > 0, "Scheduler::complete() without a taken batch");
   --in_flight_;
   if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
 }

@@ -1,23 +1,64 @@
 #include "util/env.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <iostream>
 
 namespace bro {
+
+namespace {
+
+/// A parse is accepted only when strtod/strtol consumed past the prefix and
+/// nothing but trailing whitespace remains: "3abc" and "1.5e" silently
+/// reading as 3 and 1.5 has burned enough bench configs that a malformed
+/// knob now warns and falls back instead.
+bool clean_tail(const char* v, const char* end) {
+  if (end == v) return false;
+  for (; *end != '\0'; ++end)
+    if (!std::isspace(static_cast<unsigned char>(*end))) return false;
+  return true;
+}
+
+void warn_fallback(const char* name, const char* v, const char* why) {
+  std::cerr << "warning: ignoring " << name << "='" << v << "' (" << why
+            << "); using built-in default\n";
+}
+
+} // namespace
 
 double env_double(const char* name, double fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const double parsed = std::strtod(v, &end);
-  return end == v ? fallback : parsed;
+  if (!clean_tail(v, end)) {
+    warn_fallback(name, v, "not a number");
+    return fallback;
+  }
+  if (errno == ERANGE) {
+    warn_fallback(name, v, "out of range");
+    return fallback;
+  }
+  return parsed;
 }
 
 long env_long(const char* name, long fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const long parsed = std::strtol(v, &end, 10);
-  return end == v ? fallback : parsed;
+  if (!clean_tail(v, end)) {
+    warn_fallback(name, v, "not an integer");
+    return fallback;
+  }
+  if (errno == ERANGE) {
+    warn_fallback(name, v, "out of range");
+    return fallback;
+  }
+  return parsed;
 }
 
 double bench_scale() { return env_double("BRO_SCALE", 0.25); }

@@ -6,10 +6,12 @@
 namespace bro {
 
 /// Read a double from the environment, falling back to `fallback` when the
-/// variable is unset or unparsable.
+/// variable is unset, has trailing non-numeric characters, or overflows.
+/// Malformed values warn on stderr rather than silently truncating.
 double env_double(const char* name, double fallback);
 
-/// Read an integer from the environment with a fallback.
+/// Read an integer from the environment with a fallback, under the same
+/// strictness (no trailing garbage, ERANGE rejected with a warning).
 long env_long(const char* name, long fallback);
 
 /// Global matrix scale factor for benches (BRO_SCALE, default 0.25).

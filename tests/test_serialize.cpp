@@ -116,6 +116,38 @@ TEST(Serialize, FileHelpers) {
   std::remove(path.c_str());
 }
 
+TEST(Serialize, PeekFormatIdentifiesEveryTag) {
+  // Each stream identifies its own format — the CLI uses this to load a
+  // .bro file written with any --format, not just BRO-HYB.
+  const bs::Csr csr = test_matrix(9);
+
+  std::stringstream ell;
+  bc::write_bro_ell(ell, bc::BroEll::compress(bs::csr_to_ell(csr)));
+  EXPECT_EQ(bc::peek_bro_format(ell), bc::Format::kBroEll);
+  // peek leaves the stream after the header; rewinding makes read_* valid.
+  ell.seekg(0);
+  EXPECT_NO_THROW(bc::read_bro_ell(ell));
+
+  std::stringstream coo;
+  bc::write_bro_coo(coo, bc::BroCoo::compress(bs::csr_to_coo(csr)));
+  EXPECT_EQ(bc::peek_bro_format(coo), bc::Format::kBroCoo);
+
+  std::stringstream hyb;
+  bc::write_bro_hyb(hyb, bc::BroHyb::compress(csr));
+  EXPECT_EQ(bc::peek_bro_format(hyb), bc::Format::kBroHyb);
+
+  std::stringstream bcsr;
+  bc::write_bro_csr(bcsr, bc::BroCsr::compress(csr));
+  EXPECT_EQ(bc::peek_bro_format(bcsr), bc::Format::kBroCsr);
+
+  std::stringstream ans;
+  bc::write_bro_ans(ans, bc::BroAns::compress(bs::csr_to_ell(csr)));
+  EXPECT_EQ(bc::peek_bro_format(ans), bc::Format::kBroAns);
+
+  std::stringstream junk("not a bro stream");
+  EXPECT_THROW(bc::peek_bro_format(junk), std::runtime_error);
+}
+
 // ---- failure injection ----
 
 TEST(SerializeFailure, BadMagic) {

@@ -15,6 +15,7 @@
 
 #include "engine/plan.h"
 #include "serve/plan_cache.h"
+#include "serve/scheduler.h"
 #include "serve/server.h"
 #include "sparse/convert.h"
 #include "sparse/matgen/generators.h"
@@ -608,4 +609,155 @@ TEST(SpmvServer, MetricsSplitQueueWaitFromExecute) {
   EXPECT_EQ(metrics.queue_wait.count(), 4u); // one sample per request
   EXPECT_EQ(metrics.execute.count(), metrics.batches);
   EXPECT_GT(metrics.execute.max(), 0.0);
+}
+
+TEST(AdmissionController, EvictsIdleRefilledBuckets) {
+  double now = 0;
+  bv::AdmissionOptions opts;
+  opts.rate = 1;
+  opts.burst = 2;
+  opts.idle_window = 10;
+  bv::AdmissionController adm(opts, [&] { return now; });
+
+  for (int i = 0; i < 100; ++i) adm.admit("client-" + std::to_string(i), 0);
+  EXPECT_EQ(adm.tracked_clients(), 100u);
+
+  // Refilled (2s at rate 1 restores the spent token) but not yet idle for
+  // the window: everything stays.
+  now = 9;
+  adm.admit("fresh", 0);
+  EXPECT_EQ(adm.tracked_clients(), 101u);
+
+  // Past the window every refilled bucket is byte-identical to a fresh
+  // one, so the sweep drops them all — only the new probe remains.
+  now = 20;
+  adm.admit("probe", 0);
+  EXPECT_EQ(adm.tracked_clients(), 1u);
+
+  // Eviction changed no admission decision: the stats saw only admits.
+  EXPECT_EQ(adm.stats().throttled, 0u);
+}
+
+TEST(AdmissionController, KeepsUnrefilledBucketsAndCapsTrackedClients) {
+  double now = 0;
+  bv::AdmissionOptions opts;
+  opts.rate = 0.01; // refill takes ~100s, far past the idle window
+  opts.burst = 2;
+  opts.idle_window = 10;
+  opts.max_clients = 3;
+  bv::AdmissionController adm(opts, [&] { return now; });
+
+  adm.admit("a", 0);
+  adm.admit("b", 0);
+  adm.admit("c", 0);
+  EXPECT_EQ(adm.tracked_clients(), 3u);
+
+  // Idle past the window but not refilled: the sweep must keep the spent
+  // buckets (evicting one would grant its client a fresh burst). The hard
+  // cap then evicts exactly one LRU bucket to admit the newcomer.
+  now = 20;
+  adm.admit("d", 0);
+  EXPECT_EQ(adm.tracked_clients(), 3u);
+}
+
+TEST(PlanCache, EraseMatrixDropsInFlightBuilds) {
+  bv::PlanCache cache(std::size_t{64} << 20);
+  auto m = make_matrix(600, 600, 29);
+
+  // Race removal against the build: the builder thread starts a miss, the
+  // main thread erases the matrix as soon as the building placeholder is
+  // visible. Whichever side wins, no entry for the removed id may remain
+  // once the build completes — the old code re-inserted it from the
+  // builder, resurrecting a removed matrix in the cache.
+  std::shared_ptr<be::SpmvPlan> built;
+  std::thread builder(
+      [&] { built = cache.get_or_build("gone", m, bc::Format::kBroEll); });
+  while (cache.stats().entries == 0) std::this_thread::yield();
+  cache.erase_matrix("gone");
+  builder.join();
+
+  ASSERT_NE(built, nullptr); // the in-flight caller still gets its plan
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  // The id is fully forgotten: the next build is a fresh miss that caches
+  // normally again.
+  cache.get_or_build("gone", m, bc::Format::kBroEll);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(PlanCache, ClearDiscardsInFlightBuilds) {
+  bv::PlanCache cache(std::size_t{64} << 20);
+  auto m = make_matrix(600, 600, 31);
+  cache.get_or_build("done", m, bc::Format::kCsr);
+
+  std::shared_ptr<be::SpmvPlan> built;
+  std::thread builder(
+      [&] { built = cache.get_or_build("building", m, bc::Format::kBroEll); });
+  while (cache.stats().entries < 2) std::this_thread::yield();
+  cache.clear();
+  builder.join();
+
+  ASSERT_NE(built, nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(Scheduler, MaxBatchOneDisablesCoalescing) {
+  bv::Scheduler sched(16, /*max_batch=*/1);
+  for (int i = 0; i < 3; ++i) {
+    bv::Request req;
+    req.id = "m";
+    req.x = {static_cast<value_t>(i)};
+    sched.enqueue(std::move(req));
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto batch = sched.try_take();
+    ASSERT_TRUE(batch.has_value());
+    ASSERT_EQ(batch->size(), 1u); // same id queued, but no coalescing
+    EXPECT_EQ((*batch)[0].x[0], static_cast<value_t>(i));
+    sched.complete();
+  }
+  EXPECT_FALSE(sched.try_take().has_value());
+}
+
+TEST(Scheduler, CoalescingPreservesSubmissionOrderAcrossInterleavedIds) {
+  bv::Scheduler sched(16, /*max_batch=*/8);
+  // Interleave two matrices: a0 b0 a1 b1 a2.
+  for (int i = 0; i < 5; ++i) {
+    bv::Request req;
+    req.id = (i % 2 == 0) ? "a" : "b";
+    req.x = {static_cast<value_t>(i)};
+    sched.enqueue(std::move(req));
+  }
+  // First take coalesces every queued "a" in submission order...
+  auto batch = sched.try_take();
+  ASSERT_TRUE(batch.has_value());
+  ASSERT_EQ(batch->size(), 3u);
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    EXPECT_EQ((*batch)[i].id, "a");
+    EXPECT_EQ((*batch)[i].x[0], static_cast<value_t>(2 * i));
+  }
+  sched.complete();
+  // ...and the "b" requests are untouched, still in order.
+  batch = sched.try_take();
+  ASSERT_TRUE(batch.has_value());
+  ASSERT_EQ(batch->size(), 2u);
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    EXPECT_EQ((*batch)[i].id, "b");
+    EXPECT_EQ((*batch)[i].x[0], static_cast<value_t>(2 * i + 1));
+  }
+  sched.complete();
+}
+
+TEST(Scheduler, CompleteWithoutTakeThrows) {
+  bv::Scheduler sched(4, 2);
+  EXPECT_THROW(sched.complete(), std::runtime_error);
+
+  bv::Request req;
+  req.id = "m";
+  req.x = {1.0};
+  sched.enqueue(std::move(req));
+  ASSERT_TRUE(sched.try_take().has_value());
+  sched.complete();
+  // A double complete for one take is the same driver bug.
+  EXPECT_THROW(sched.complete(), std::runtime_error);
 }

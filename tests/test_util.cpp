@@ -100,6 +100,26 @@ TEST(Env, ParsesAndFallsBack) {
   EXPECT_EQ(bro::env_long("BRO_TEST_ENV_L", 7), 7);
 }
 
+TEST(Env, RejectsTrailingGarbageAndOverflow) {
+  // strtod/strtol happily parse a numeric prefix; the wrappers must not —
+  // "3abc" as 3 silently misconfigures a bench.
+  ::setenv("BRO_TEST_ENV_D", "1.5x", 1);
+  EXPECT_DOUBLE_EQ(bro::env_double("BRO_TEST_ENV_D", 9.0), 9.0);
+  ::setenv("BRO_TEST_ENV_D", "1e999", 1); // ERANGE overflow
+  EXPECT_DOUBLE_EQ(bro::env_double("BRO_TEST_ENV_D", 9.0), 9.0);
+  ::setenv("BRO_TEST_ENV_D", " 2.5 ", 1); // trailing whitespace is fine
+  EXPECT_DOUBLE_EQ(bro::env_double("BRO_TEST_ENV_D", 9.0), 2.5);
+  ::unsetenv("BRO_TEST_ENV_D");
+
+  ::setenv("BRO_TEST_ENV_L", "3abc", 1);
+  EXPECT_EQ(bro::env_long("BRO_TEST_ENV_L", 7), 7);
+  ::setenv("BRO_TEST_ENV_L", "999999999999999999999999", 1); // ERANGE
+  EXPECT_EQ(bro::env_long("BRO_TEST_ENV_L", 7), 7);
+  ::setenv("BRO_TEST_ENV_L", "42 ", 1);
+  EXPECT_EQ(bro::env_long("BRO_TEST_ENV_L", 7), 42);
+  ::unsetenv("BRO_TEST_ENV_L");
+}
+
 TEST(Error, CheckMacrosThrowWithContext) {
   try {
     BRO_CHECK_MSG(1 == 2, "context " << 99);
