@@ -1,0 +1,162 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace bro::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+NetClient::NetClient(const std::string& host, int port,
+                     std::size_t max_frame_bytes)
+    : assembler_(max_frame_bytes) {
+  BRO_CHECK_MSG(port > 0 && port <= 65535,
+                "client port must be in [1, 65535]");
+  fd_.reset(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd_) throw_errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  BRO_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                "bad host address '" << host << '\'');
+  if (::connect(fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    throw_errno("connect " + host + ":" + std::to_string(port));
+  const int one = 1;
+  ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void NetClient::send_all(const std::uint8_t* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t sent =
+        ::send(fd_.get(), data + off, n - off, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    off += static_cast<std::size_t>(sent);
+  }
+}
+
+Frame NetClient::read_response(std::uint64_t request_id) {
+  for (;;) {
+    if (auto it = received_.find(request_id); it != received_.end()) {
+      Frame f = std::move(it->second);
+      received_.erase(it);
+      return f;
+    }
+    while (auto f = assembler_.next()) {
+      BRO_CHECK_MSG(f->header.kind == FrameKind::kResponse,
+                    "request frame received by client");
+      received_.emplace(f->header.request_id, std::move(*f));
+    }
+    if (received_.count(request_id)) continue;
+
+    std::uint8_t buf[64 * 1024];
+    const ssize_t got = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    if (got > 0) {
+      assembler_.append(buf, static_cast<std::size_t>(got));
+    } else if (got == 0) {
+      throw std::runtime_error(
+          "connection closed while awaiting response " +
+          std::to_string(request_id));
+    } else if (errno != EINTR) {
+      throw_errno("recv");
+    }
+  }
+}
+
+Frame NetClient::call(std::vector<std::uint8_t> frame,
+                      std::uint64_t request_id) {
+  send_all(frame.data(), frame.size());
+  Frame resp = read_response(request_id);
+  if (resp.status() != Status::kOk) {
+    const ErrorInfo e = parse_error_response(resp);
+    throw RpcError(e.status, e.queue_depth,
+                   std::string(status_name(e.status)) + ": " + e.message);
+  }
+  return resp;
+}
+
+void NetClient::ping() {
+  const std::uint64_t rid = next_id();
+  call(make_empty_request(rid, Op::kPing), rid);
+}
+
+std::vector<value_t> NetClient::submit(const std::string& matrix_id,
+                                       std::span<const value_t> x,
+                                       const std::string& client_id) {
+  const std::uint64_t rid = next_id();
+  return parse_vector_response(
+      call(make_submit_request(rid, matrix_id, client_id, x), rid));
+}
+
+UploadAck NetClient::upload_matrix(const std::string& matrix_id,
+                                   std::span<const std::uint8_t> bro_bytes) {
+  const std::uint64_t rid = next_id();
+  return parse_upload_ack(
+      call(make_upload_request(rid, matrix_id, bro_bytes), rid));
+}
+
+bool NetClient::remove_matrix(const std::string& matrix_id) {
+  const std::uint64_t rid = next_id();
+  return parse_bool_response(call(make_remove_request(rid, matrix_id), rid));
+}
+
+StatsSnapshot NetClient::stats() {
+  const std::uint64_t rid = next_id();
+  return parse_stats_response(call(make_empty_request(rid, Op::kStats), rid));
+}
+
+void NetClient::drain() {
+  const std::uint64_t rid = next_id();
+  call(make_empty_request(rid, Op::kDrain), rid);
+}
+
+std::uint64_t NetClient::enqueue_submit(const std::string& matrix_id,
+                                        std::span<const value_t> x,
+                                        const std::string& client_id) {
+  const std::uint64_t rid = next_id();
+  const auto frame = make_submit_request(rid, matrix_id, client_id, x);
+  send_buf_.insert(send_buf_.end(), frame.begin(), frame.end());
+  return rid;
+}
+
+void NetClient::flush() {
+  if (send_buf_.empty()) return;
+  send_all(send_buf_.data(), send_buf_.size());
+  send_buf_.clear();
+}
+
+NetClient::SubmitResult NetClient::wait_submit(std::uint64_t request_id) {
+  flush();
+  Frame resp = read_response(request_id);
+  SubmitResult r;
+  r.status = resp.status();
+  if (r.status == Status::kOk) {
+    r.y = parse_vector_response(resp);
+  } else {
+    const ErrorInfo e = parse_error_response(resp);
+    r.queue_depth = e.queue_depth;
+    r.message = e.message;
+  }
+  return r;
+}
+
+} // namespace bro::net

@@ -1,0 +1,404 @@
+#include "net/protocol.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "core/serialize.h"
+#include "engine/format_registry.h"
+#include "sparse/convert.h"
+#include "util/error.h"
+
+namespace bro::net {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kPing: return "PING";
+    case Op::kSubmit: return "SUBMIT";
+    case Op::kUploadMatrix: return "UPLOAD_MATRIX";
+    case Op::kRemove: return "REMOVE";
+    case Op::kStats: return "STATS";
+    case Op::kDrain: return "DRAIN";
+  }
+  return "UNKNOWN";
+}
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kQueueFull: return "QUEUE_FULL";
+    case Status::kShed: return "SHED";
+    case Status::kThrottled: return "THROTTLED";
+    case Status::kUnknownMatrix: return "UNKNOWN_MATRIX";
+    case Status::kBadRequest: return "BAD_REQUEST";
+    case Status::kInternalError: return "INTERNAL_ERROR";
+    case Status::kShuttingDown: return "SHUTTING_DOWN";
+  }
+  return "UNKNOWN";
+}
+
+Status status_for(serve::RejectCause cause) {
+  switch (cause) {
+    case serve::RejectCause::kQueueFull: return Status::kQueueFull;
+    case serve::RejectCause::kShed: return Status::kShed;
+    case serve::RejectCause::kThrottled: return Status::kThrottled;
+  }
+  return Status::kInternalError;
+}
+
+std::vector<std::uint8_t> encode_frame(FrameKind kind, std::uint8_t code,
+                                       std::uint64_t request_id,
+                                       std::span<const std::uint8_t> payload) {
+  ByteWriter w;
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(payload.size()));
+  w.put<std::uint8_t>(kProtocolVersion);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(kind));
+  w.put<std::uint8_t>(code);
+  w.put<std::uint8_t>(0); // reserved
+  w.put<std::uint64_t>(request_id);
+  w.put_bytes(payload.data(), payload.size());
+  return w.take();
+}
+
+void FrameAssembler::append(const std::uint8_t* data, std::size_t n) {
+  // Compact once the consumed prefix dominates, so long-lived connections
+  // do not accrete every frame they ever received.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Frame> FrameAssembler::next() {
+  if (buffered() < kFrameHeaderBytes) return std::nullopt;
+  const std::uint8_t* h = buf_.data() + pos_;
+  FrameHeader header;
+  std::memcpy(&header.payload_len, h, 4);
+  header.version = h[4];
+  const std::uint8_t kind = h[5];
+  header.code = h[6];
+  const std::uint8_t reserved = h[7];
+  std::memcpy(&header.request_id, h + 8, 8);
+
+  if (header.version != kProtocolVersion)
+    throw ProtocolError("frame version " + std::to_string(header.version) +
+                        " != " + std::to_string(kProtocolVersion));
+  if (kind > 1)
+    throw ProtocolError("frame kind " + std::to_string(kind) + " is not 0/1");
+  if (reserved != 0) throw ProtocolError("frame reserved byte is not 0");
+  if (header.payload_len > max_frame_bytes_)
+    throw ProtocolError("frame payload " + std::to_string(header.payload_len) +
+                        " B exceeds the " + std::to_string(max_frame_bytes_) +
+                        " B bound");
+  header.kind = static_cast<FrameKind>(kind);
+
+  if (buffered() < kFrameHeaderBytes + header.payload_len)
+    return std::nullopt;
+
+  Frame f;
+  f.header = header;
+  const std::uint8_t* p = buf_.data() + pos_ + kFrameHeaderBytes;
+  f.payload.assign(p, p + header.payload_len);
+  pos_ += kFrameHeaderBytes + header.payload_len;
+  return f;
+}
+
+namespace {
+
+std::vector<std::uint8_t> request_frame(std::uint64_t request_id, Op op,
+                                        ByteWriter&& payload) {
+  const auto body = payload.take();
+  return encode_frame(FrameKind::kRequest, static_cast<std::uint8_t>(op),
+                      request_id, body);
+}
+
+std::vector<std::uint8_t> response_frame(std::uint64_t request_id,
+                                         Status status,
+                                         ByteWriter&& payload) {
+  const auto body = payload.take();
+  return encode_frame(FrameKind::kResponse, static_cast<std::uint8_t>(status),
+                      request_id, body);
+}
+
+ByteReader payload_reader(const Frame& f) {
+  return ByteReader(f.payload.data(), f.payload.size());
+}
+
+} // namespace
+
+std::vector<std::uint8_t> make_submit_request(std::uint64_t request_id,
+                                              const std::string& matrix_id,
+                                              const std::string& client_id,
+                                              std::span<const value_t> x) {
+  ByteWriter w;
+  w.put_string(matrix_id);
+  w.put_string(client_id);
+  w.put_array<value_t>(x);
+  return request_frame(request_id, Op::kSubmit, std::move(w));
+}
+
+SubmitRequest parse_submit_request(const Frame& f) {
+  auto r = payload_reader(f);
+  SubmitRequest req;
+  req.matrix_id = r.get_string();
+  req.client_id = r.get_string();
+  req.x = r.get_array<value_t>();
+  BRO_CHECK_MSG(r.done(), "trailing bytes after SUBMIT payload");
+  return req;
+}
+
+std::vector<std::uint8_t> make_vector_response(std::uint64_t request_id,
+                                               std::span<const value_t> y) {
+  ByteWriter w;
+  w.put_array<value_t>(y);
+  return response_frame(request_id, Status::kOk, std::move(w));
+}
+
+std::vector<value_t> parse_vector_response(const Frame& f) {
+  auto r = payload_reader(f);
+  auto y = r.get_array<value_t>();
+  BRO_CHECK_MSG(r.done(), "trailing bytes after vector payload");
+  return y;
+}
+
+std::vector<std::uint8_t> make_error_response(std::uint64_t request_id,
+                                              Status status,
+                                              std::uint64_t queue_depth,
+                                              const std::string& message) {
+  ByteWriter w;
+  w.put<std::uint64_t>(queue_depth);
+  w.put_string(message);
+  return response_frame(request_id, status, std::move(w));
+}
+
+ErrorInfo parse_error_response(const Frame& f) {
+  auto r = payload_reader(f);
+  ErrorInfo e;
+  e.status = f.status();
+  e.queue_depth = r.get<std::uint64_t>();
+  e.message = r.get_string();
+  return e;
+}
+
+std::vector<std::uint8_t> make_upload_request(
+    std::uint64_t request_id, const std::string& matrix_id,
+    std::span<const std::uint8_t> bro_bytes) {
+  ByteWriter w;
+  w.put_string(matrix_id);
+  w.put_array<std::uint8_t>(bro_bytes);
+  return request_frame(request_id, Op::kUploadMatrix, std::move(w));
+}
+
+UploadRequest parse_upload_request(const Frame& f) {
+  auto r = payload_reader(f);
+  UploadRequest req;
+  req.matrix_id = r.get_string();
+  req.bro_bytes = r.get_array<std::uint8_t>();
+  BRO_CHECK_MSG(r.done(), "trailing bytes after UPLOAD_MATRIX payload");
+  return req;
+}
+
+std::vector<std::uint8_t> make_upload_ack(std::uint64_t request_id,
+                                          const UploadAck& ack) {
+  ByteWriter w;
+  w.put<std::uint64_t>(ack.rows);
+  w.put<std::uint64_t>(ack.cols);
+  w.put<std::uint64_t>(ack.nnz);
+  return response_frame(request_id, Status::kOk, std::move(w));
+}
+
+UploadAck parse_upload_ack(const Frame& f) {
+  auto r = payload_reader(f);
+  UploadAck ack;
+  ack.rows = r.get<std::uint64_t>();
+  ack.cols = r.get<std::uint64_t>();
+  ack.nnz = r.get<std::uint64_t>();
+  return ack;
+}
+
+std::vector<std::uint8_t> make_remove_request(std::uint64_t request_id,
+                                              const std::string& matrix_id) {
+  ByteWriter w;
+  w.put_string(matrix_id);
+  return request_frame(request_id, Op::kRemove, std::move(w));
+}
+
+std::string parse_remove_request(const Frame& f) {
+  auto r = payload_reader(f);
+  auto id = r.get_string();
+  BRO_CHECK_MSG(r.done(), "trailing bytes after REMOVE payload");
+  return id;
+}
+
+std::vector<std::uint8_t> make_bool_response(std::uint64_t request_id,
+                                             bool value) {
+  ByteWriter w;
+  w.put<std::uint8_t>(value ? 1 : 0);
+  return response_frame(request_id, Status::kOk, std::move(w));
+}
+
+bool parse_bool_response(const Frame& f) {
+  auto r = payload_reader(f);
+  return r.get<std::uint8_t>() != 0;
+}
+
+std::vector<std::uint8_t> make_empty_request(std::uint64_t request_id, Op op) {
+  return request_frame(request_id, op, ByteWriter{});
+}
+
+std::vector<std::uint8_t> make_ok_response(std::uint64_t request_id) {
+  return response_frame(request_id, Status::kOk, ByteWriter{});
+}
+
+StatsSnapshot snapshot_from(const serve::ServerMetrics& m) {
+  StatsSnapshot s;
+  s.submitted = m.submitted;
+  s.rejected = m.rejected;
+  s.shed = m.shed;
+  s.throttled = m.throttled;
+  s.queue_full = m.rejected - m.shed - m.throttled;
+  s.served = m.served;
+  s.failed = m.failed;
+  s.batches = m.batches;
+  s.sharded_batches = m.sharded_batches;
+  s.wait_count = m.queue_wait.count();
+  s.exec_count = m.execute.count();
+  s.wait_p50 = m.queue_wait.percentile(50);
+  s.wait_p99 = m.queue_wait.percentile(99);
+  s.wait_mean = m.queue_wait.mean();
+  s.exec_p50 = m.execute.percentile(50);
+  s.exec_p99 = m.execute.percentile(99);
+  s.exec_mean = m.execute.mean();
+  return s;
+}
+
+std::vector<std::uint8_t> make_stats_response(std::uint64_t request_id,
+                                              const StatsSnapshot& s) {
+  ByteWriter w;
+  w.put(s.submitted);
+  w.put(s.rejected);
+  w.put(s.queue_full);
+  w.put(s.shed);
+  w.put(s.throttled);
+  w.put(s.served);
+  w.put(s.failed);
+  w.put(s.batches);
+  w.put(s.sharded_batches);
+  w.put(s.wait_count);
+  w.put(s.exec_count);
+  w.put(s.wait_p50);
+  w.put(s.wait_p99);
+  w.put(s.wait_mean);
+  w.put(s.exec_p50);
+  w.put(s.exec_p99);
+  w.put(s.exec_mean);
+  return response_frame(request_id, Status::kOk, std::move(w));
+}
+
+StatsSnapshot parse_stats_response(const Frame& f) {
+  auto r = payload_reader(f);
+  StatsSnapshot s;
+  s.submitted = r.get<std::uint64_t>();
+  s.rejected = r.get<std::uint64_t>();
+  s.queue_full = r.get<std::uint64_t>();
+  s.shed = r.get<std::uint64_t>();
+  s.throttled = r.get<std::uint64_t>();
+  s.served = r.get<std::uint64_t>();
+  s.failed = r.get<std::uint64_t>();
+  s.batches = r.get<std::uint64_t>();
+  s.sharded_batches = r.get<std::uint64_t>();
+  s.wait_count = r.get<std::uint64_t>();
+  s.exec_count = r.get<std::uint64_t>();
+  s.wait_p50 = r.get<double>();
+  s.wait_p99 = r.get<double>();
+  s.wait_mean = r.get<double>();
+  s.exec_p50 = r.get<double>();
+  s.exec_p99 = r.get<double>();
+  s.exec_mean = r.get<double>();
+  BRO_CHECK_MSG(r.done(), "trailing bytes after STATS payload");
+  return s;
+}
+
+std::vector<std::uint8_t> matrix_to_bro_bytes(const core::Matrix& m,
+                                              core::Format format) {
+  const auto& t = engine::traits(format);
+  BRO_CHECK_MSG(t.serialize != nullptr,
+                t.name << " has no serialized form (use a BRO format)");
+  std::ostringstream out(std::ios::binary);
+  t.serialize(out, m);
+  const std::string s = out.str();
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+namespace {
+
+/// The real (unpadded) entries of a BRO-COO as canonical COO triples. The
+/// stream enumerates entries in original row-sorted order (lane j of
+/// 2-D position c owns entry base + c*warp_size + j), so the first nnz
+/// decoded coordinates are exactly the source entries.
+void append_bro_coo_entries(const core::BroCoo& coo, sparse::Coo& out) {
+  const auto rows = coo.decode_rows();
+  for (std::size_t i = 0; i < coo.nnz(); ++i)
+    out.push(rows[i], coo.col_idx()[i], coo.vals()[i]);
+}
+
+sparse::Csr csr_from_bro_coo(const core::BroCoo& m) {
+  sparse::Coo coo;
+  coo.rows = m.rows();
+  coo.cols = m.cols();
+  coo.reserve(m.nnz());
+  append_bro_coo_entries(m, coo);
+  return sparse::coo_to_csr(coo);
+}
+
+sparse::Csr csr_from_bro_hyb(const core::BroHyb& m) {
+  // Merge both parts through one COO: the split is by row width, so the
+  // parts never hold duplicate coordinates and coo_to_csr just re-sorts.
+  sparse::Coo coo;
+  coo.rows = m.rows();
+  coo.cols = m.cols();
+  coo.reserve(m.total_nnz());
+  const sparse::Csr ell_csr =
+      sparse::ell_to_csr(m.ell_part().decompress());
+  for (index_t r = 0; r < ell_csr.rows; ++r)
+    for (index_t k = ell_csr.row_ptr[static_cast<std::size_t>(r)];
+         k < ell_csr.row_ptr[static_cast<std::size_t>(r) + 1]; ++k)
+      coo.push(r, ell_csr.col_idx[static_cast<std::size_t>(k)],
+               ell_csr.vals[static_cast<std::size_t>(k)]);
+  append_bro_coo_entries(m.coo_part(), coo);
+  return sparse::coo_to_csr(coo);
+}
+
+} // namespace
+
+core::Matrix matrix_from_bro_bytes(std::span<const std::uint8_t> bytes) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()),
+      std::ios::binary);
+  const core::Format f = core::peek_bro_format(in);
+  in.seekg(0);
+  sparse::Csr csr;
+  switch (f) {
+    case core::Format::kBroEll:
+      csr = sparse::ell_to_csr(core::read_bro_ell(in).decompress());
+      break;
+    case core::Format::kBroAns:
+      csr = sparse::ell_to_csr(core::read_bro_ans(in).decompress());
+      break;
+    case core::Format::kBroCsr:
+      csr = core::read_bro_csr(in).decompress();
+      break;
+    case core::Format::kBroCoo:
+      csr = csr_from_bro_coo(core::read_bro_coo(in));
+      break;
+    case core::Format::kBroHyb:
+      csr = csr_from_bro_hyb(core::read_bro_hyb(in));
+      break;
+    default:
+      BRO_CHECK_MSG(false, "unsupported .bro payload format "
+                               << core::format_name(f));
+  }
+  return core::Matrix::from_csr(std::move(csr));
+}
+
+} // namespace bro::net

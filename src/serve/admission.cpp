@@ -30,7 +30,7 @@ void AdmissionController::admit(const std::string& client,
                             " pending >= shed depth " +
                             std::to_string(opts_.shed_depth) +
                             "; retry with backoff",
-                        queue_depth);
+                        queue_depth, RejectCause::kShed);
   }
   if (opts_.rate > 0) {
     const double now = clock_();
@@ -63,7 +63,7 @@ void AdmissionController::admit(const std::string& client,
                               std::to_string(opts_.rate) +
                               " req/s, burst " + std::to_string(burst_) +
                               "); retry later",
-                          queue_depth);
+                          queue_depth, RejectCause::kThrottled);
     }
     b.tokens -= 1.0;
   }

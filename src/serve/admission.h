@@ -25,18 +25,32 @@
 
 namespace bro::serve {
 
+/// Which admission mechanism refused a submit. The network protocol maps
+/// each cause to a distinct wire status, so remote clients can calibrate
+/// their reaction (back off vs slow down vs spread load) exactly like
+/// in-process callers inspecting the throwing layer.
+enum class RejectCause {
+  kQueueFull, // the scheduler's hard max_queue bound
+  kShed,      // load shedding: queue depth >= shed_depth
+  kThrottled, // the client's token bucket was empty
+};
+
 /// Backpressure signal: the request was refused at submit time (queue full,
-/// load shed, or client throttled). Carries the pending-queue depth at the
-/// moment of refusal so callers can calibrate their backoff.
+/// load shed, or client throttled). Carries the refusing mechanism and the
+/// pending-queue depth at the moment of refusal so callers can calibrate
+/// their backoff.
 class RejectedError : public std::runtime_error {
  public:
-  explicit RejectedError(const std::string& what, std::size_t queue_depth = 0)
-      : std::runtime_error(what), queue_depth_(queue_depth) {}
+  explicit RejectedError(const std::string& what, std::size_t queue_depth = 0,
+                         RejectCause cause = RejectCause::kQueueFull)
+      : std::runtime_error(what), queue_depth_(queue_depth), cause_(cause) {}
 
   std::size_t queue_depth() const { return queue_depth_; }
+  RejectCause cause() const { return cause_; }
 
  private:
   std::size_t queue_depth_;
+  RejectCause cause_;
 };
 
 struct AdmissionOptions {

@@ -16,7 +16,7 @@ void Scheduler::enqueue(Request req) {
     throw RejectedError("serve queue full (" + std::to_string(depth) +
                             " pending, bound " + std::to_string(max_queue_) +
                             "); retry later",
-                        depth);
+                        depth, RejectCause::kQueueFull);
   }
   req.enqueued = std::chrono::steady_clock::now();
   queue_.push_back(std::move(req));

@@ -1,0 +1,123 @@
+// Little-endian byte-buffer encode/decode, the substrate of the network
+// wire protocol (net/protocol.h). ByteWriter appends fixed-width scalars,
+// length-prefixed strings and arrays to a growable byte vector; ByteReader
+// is a bounds-checked cursor over a received buffer that throws
+// std::runtime_error on underrun, so truncated payloads surface as typed
+// decode failures instead of reads past the frame.
+//
+// Scalars are encoded as their in-memory little-endian representation
+// (the only byte order this codebase targets); strings and arrays carry a
+// leading element count (u32 for strings, u64 for arrays).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.h"
+
+namespace bro {
+
+class ByteWriter {
+ public:
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = buf_.size();
+    buf_.resize(n + sizeof(T));
+    std::memcpy(buf_.data() + n, &v, sizeof(T));
+  }
+
+  void put_bytes(const void* data, std::size_t n) {
+    const auto off = buf_.size();
+    buf_.resize(off + n);
+    if (n > 0) std::memcpy(buf_.data() + off, data, n);
+  }
+
+  /// u32 length + raw bytes.
+  void put_string(const std::string& s) {
+    put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    put_bytes(s.data(), s.size());
+  }
+
+  /// u64 element count + packed elements.
+  template <typename T>
+  void put_array(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put<std::uint64_t>(v.size());
+    put_bytes(v.data(), v.size() * sizeof(T));
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(std::span<const std::uint8_t> buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    std::memcpy(&v, need(sizeof(T)), sizeof(T));
+    return v;
+  }
+
+  std::string get_string(std::size_t max_len = kSaneCount) {
+    const auto n = get<std::uint32_t>();
+    BRO_CHECK_MSG(n <= max_len, "implausible string length " << n);
+    const auto* p = need(n);
+    return std::string(reinterpret_cast<const char*>(p), n);
+  }
+
+  template <typename T>
+  std::vector<T> get_array(std::size_t max_elems = kSaneCount) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = get<std::uint64_t>();
+    BRO_CHECK_MSG(n <= max_elems, "implausible element count " << n);
+    std::vector<T> v(static_cast<std::size_t>(n));
+    if (n > 0)
+      std::memcpy(v.data(), need(static_cast<std::size_t>(n) * sizeof(T)),
+                  static_cast<std::size_t>(n) * sizeof(T));
+    return v;
+  }
+
+  /// Borrow `n` raw bytes (valid while the underlying buffer lives).
+  std::span<const std::uint8_t> get_span(std::size_t n) {
+    return {need(n), n};
+  }
+
+ private:
+  // Corrupted-length backstop: no sane payload field holds a billion
+  // elements (mirrors serialize.cpp's kSane bound).
+  static constexpr std::size_t kSaneCount = std::size_t{1} << 30;
+
+  const std::uint8_t* need(std::size_t n) {
+    BRO_CHECK_MSG(n <= size_ - pos_, "payload underrun: need "
+                                         << n << " bytes, have "
+                                         << (size_ - pos_));
+    const auto* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace bro

@@ -1,0 +1,600 @@
+// bro::net tests: wire-payload round-trips through every registered
+// serializable format, frame reassembly and corruption handling, and the
+// loopback server — end-to-end answers bitwise-identical to in-process
+// submit, every serve-layer refusal surfaced as its typed status, counter
+// reconciliation against STATS, and graceful shutdown under load.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/format_registry.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "serve/server.h"
+#include "sparse/matgen/generators.h"
+#include "util/rng.h"
+
+namespace bn = bro::net;
+namespace bc = bro::core;
+namespace be = bro::engine;
+namespace bv = bro::serve;
+using bro::index_t;
+using bro::value_t;
+
+namespace {
+
+bc::Matrix make_matrix(index_t rows, index_t cols, std::uint64_t seed) {
+  bro::sparse::GenSpec spec;
+  spec.rows = rows;
+  spec.cols = cols;
+  spec.mu = 7;
+  spec.sigma = 3;
+  spec.seed = seed;
+  return bc::Matrix::from_csr(bro::sparse::generate(spec));
+}
+
+std::vector<value_t> random_x(index_t n, std::uint64_t seed) {
+  bro::Rng rng(seed);
+  std::vector<value_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform() * 2 - 1;
+  return x;
+}
+
+/// Raw TCP connection speaking hand-built frames: the tests that pipeline
+/// several ops in one send (deterministic queue pressure) or send garbage
+/// (protocol-error handling) need byte-level control NetClient hides.
+struct RawConn {
+  bro::UniqueFd fd;
+  bn::FrameAssembler assembler;
+
+  explicit RawConn(int port) {
+    fd.reset(::socket(AF_INET, SOCK_STREAM, 0));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+  }
+
+  void send_bytes(const std::vector<std::uint8_t>& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd.get(), bytes.data() + off,
+                               bytes.size() - off, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Next frame, reading as needed. nullopt = server closed the connection.
+  std::optional<bn::Frame> recv_frame() {
+    for (;;) {
+      if (auto f = assembler.next()) return f;
+      std::uint8_t buf[4096];
+      const ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
+      if (n <= 0) return std::nullopt;
+      assembler.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+};
+
+/// Every registered format that has a serialized form.
+std::vector<const be::FormatTraits*> serializable_formats() {
+  std::vector<const be::FormatTraits*> out;
+  for (const auto& t : be::format_registry())
+    if (t.serialize) out.push_back(&t);
+  return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Wire-payload round-trip: every registry format survives
+// serialize -> frame -> reassemble -> parse -> deserialize bitwise.
+
+TEST(Protocol, EveryRegistryFormatRoundTripsBitwise) {
+  const bc::Matrix m = make_matrix(96, 80, 42);
+  const auto formats = serializable_formats();
+  ASSERT_GE(formats.size(), 5u); // all five BRO formats serialize
+  for (const auto* t : formats) {
+    SCOPED_TRACE(t->name);
+    const auto bytes = bn::matrix_to_bro_bytes(m, t->format);
+
+    // Through a frame, reassembled from awkward split points.
+    const auto frame_bytes = bn::make_upload_request(7, "m", bytes);
+    bn::FrameAssembler fa;
+    const std::size_t cut = frame_bytes.size() / 3 + 1;
+    for (std::size_t off = 0; off < frame_bytes.size(); off += cut) {
+      const std::size_t n = std::min(cut, frame_bytes.size() - off);
+      if (off + n < frame_bytes.size())
+        EXPECT_FALSE(fa.next().has_value());
+      fa.append(frame_bytes.data() + off, n);
+    }
+    const auto frame = fa.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->op(), bn::Op::kUploadMatrix);
+    EXPECT_EQ(frame->header.request_id, 7u);
+    const auto req = bn::parse_upload_request(*frame);
+    EXPECT_EQ(req.matrix_id, "m");
+    ASSERT_EQ(req.bro_bytes, bytes); // payload bitwise intact
+
+    // Deserialize and re-serialize: the round trip must be lossless, so
+    // the re-encoded stream is bitwise identical.
+    const bc::Matrix back = bn::matrix_from_bro_bytes(req.bro_bytes);
+    EXPECT_EQ(back.rows(), m.rows());
+    EXPECT_EQ(back.cols(), m.cols());
+    EXPECT_EQ(back.nnz(), m.nnz());
+    EXPECT_EQ(bn::matrix_to_bro_bytes(back, t->format), bytes);
+  }
+}
+
+TEST(Protocol, CodecsRoundTrip) {
+  const std::vector<value_t> x = {1.5, -2.25, 0.0, 1e-9};
+  auto f = [](std::vector<std::uint8_t> bytes) {
+    bn::FrameAssembler fa;
+    fa.append(bytes.data(), bytes.size());
+    auto frame = fa.next();
+    EXPECT_TRUE(frame.has_value());
+    EXPECT_EQ(fa.buffered(), 0u);
+    return *frame;
+  };
+
+  const auto sub = f(bn::make_submit_request(3, "mat", "cli", x));
+  EXPECT_EQ(sub.op(), bn::Op::kSubmit);
+  const auto sreq = bn::parse_submit_request(sub);
+  EXPECT_EQ(sreq.matrix_id, "mat");
+  EXPECT_EQ(sreq.client_id, "cli");
+  EXPECT_EQ(sreq.x, x);
+
+  EXPECT_EQ(bn::parse_vector_response(f(bn::make_vector_response(4, x))), x);
+
+  const auto err = f(bn::make_error_response(5, bn::Status::kShed, 17, "no"));
+  EXPECT_EQ(err.status(), bn::Status::kShed);
+  const auto einfo = bn::parse_error_response(err);
+  EXPECT_EQ(einfo.status, bn::Status::kShed);
+  EXPECT_EQ(einfo.queue_depth, 17u);
+  EXPECT_EQ(einfo.message, "no");
+
+  bn::UploadAck ack{10, 20, 30};
+  const auto got = bn::parse_upload_ack(f(bn::make_upload_ack(6, ack)));
+  EXPECT_EQ(got.rows, 10u);
+  EXPECT_EQ(got.cols, 20u);
+  EXPECT_EQ(got.nnz, 30u);
+
+  EXPECT_EQ(bn::parse_remove_request(f(bn::make_remove_request(7, "z"))), "z");
+  EXPECT_TRUE(bn::parse_bool_response(f(bn::make_bool_response(8, true))));
+  EXPECT_FALSE(bn::parse_bool_response(f(bn::make_bool_response(9, false))));
+
+  bn::StatsSnapshot s;
+  s.submitted = 1;
+  s.rejected = 2;
+  s.queue_full = 3;
+  s.shed = 4;
+  s.throttled = 5;
+  s.served = 6;
+  s.wait_p99 = 0.25;
+  s.exec_p50 = 0.125;
+  const auto s2 = bn::parse_stats_response(f(bn::make_stats_response(10, s)));
+  EXPECT_EQ(s2.submitted, 1u);
+  EXPECT_EQ(s2.queue_full, 3u);
+  EXPECT_EQ(s2.throttled, 5u);
+  EXPECT_EQ(s2.wait_p99, 0.25);
+  EXPECT_EQ(s2.exec_p50, 0.125);
+}
+
+TEST(Protocol, MapsEveryRejectCauseToDistinctStatus) {
+  const auto qf = bn::status_for(bv::RejectCause::kQueueFull);
+  const auto sh = bn::status_for(bv::RejectCause::kShed);
+  const auto th = bn::status_for(bv::RejectCause::kThrottled);
+  EXPECT_EQ(qf, bn::Status::kQueueFull);
+  EXPECT_EQ(sh, bn::Status::kShed);
+  EXPECT_EQ(th, bn::Status::kThrottled);
+  EXPECT_NE(qf, sh);
+  EXPECT_NE(sh, th);
+  EXPECT_NE(qf, th);
+}
+
+TEST(Protocol, RejectsTruncatedAndCorruptFrames) {
+  const auto good = bn::make_empty_request(1, bn::Op::kPing);
+  ASSERT_EQ(good.size(), bn::kFrameHeaderBytes);
+
+  { // truncated header: incomplete, never an error
+    bn::FrameAssembler fa;
+    fa.append(good.data(), bn::kFrameHeaderBytes - 1);
+    EXPECT_FALSE(fa.next().has_value());
+  }
+  { // truncated payload: incomplete until the last byte arrives
+    const std::vector<value_t> x = {1.0};
+    const auto frame = bn::make_submit_request(2, "m", "", x);
+    bn::FrameAssembler fa;
+    fa.append(frame.data(), frame.size() - 1);
+    EXPECT_FALSE(fa.next().has_value());
+    fa.append(frame.data() + frame.size() - 1, 1);
+    EXPECT_TRUE(fa.next().has_value());
+  }
+  { // wrong version
+    auto bad = good;
+    bad[4] = bn::kProtocolVersion + 1;
+    bn::FrameAssembler fa;
+    fa.append(bad.data(), bad.size());
+    EXPECT_THROW(fa.next(), bn::ProtocolError);
+  }
+  { // bad kind
+    auto bad = good;
+    bad[5] = 9;
+    bn::FrameAssembler fa;
+    fa.append(bad.data(), bad.size());
+    EXPECT_THROW(fa.next(), bn::ProtocolError);
+  }
+  { // reserved byte set
+    auto bad = good;
+    bad[7] = 1;
+    bn::FrameAssembler fa;
+    fa.append(bad.data(), bad.size());
+    EXPECT_THROW(fa.next(), bn::ProtocolError);
+  }
+  { // oversized payload length vs the assembler's bound
+    auto bad = good;
+    const std::uint32_t huge = 1000;
+    std::memcpy(bad.data(), &huge, 4);
+    bn::FrameAssembler fa(64);
+    fa.append(bad.data(), bad.size());
+    EXPECT_THROW(fa.next(), bn::ProtocolError);
+  }
+  { // trailing bytes inside a payload are a parse error, not a frame error
+    auto frame = bn::make_remove_request(3, "m");
+    frame.push_back(0xAB); // extend payload by one byte
+    std::uint32_t len;
+    std::memcpy(&len, frame.data(), 4);
+    ++len;
+    std::memcpy(frame.data(), &len, 4);
+    bn::FrameAssembler fa;
+    fa.append(frame.data(), frame.size());
+    const auto parsed = fa.next();
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_THROW(bn::parse_remove_request(*parsed), std::runtime_error);
+  }
+  { // truncated .bro payload inside a well-formed frame
+    const bc::Matrix m = make_matrix(32, 32, 1);
+    auto bytes = bn::matrix_to_bro_bytes(m, bc::Format::kBroEll);
+    bytes.resize(bytes.size() / 2);
+    EXPECT_THROW(bn::matrix_from_bro_bytes(bytes), std::runtime_error);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loopback server.
+
+TEST(NetServer, LoopbackMatchesInProcessBitwise) {
+  bv::ServerOptions sopts;
+  sopts.threads = 2;
+  sopts.max_batch = 4;
+  bv::SpmvServer remote_core(sopts);
+  bn::NetServer server(remote_core, {});
+  server.start();
+
+  const bc::Matrix m = make_matrix(200, 160, 7);
+  const auto bytes = bn::matrix_to_bro_bytes(m, bc::Format::kBroHyb);
+
+  bn::NetClient cli("127.0.0.1", server.port());
+  cli.ping();
+  const auto ack = cli.upload_matrix("A", bytes);
+  EXPECT_EQ(ack.rows, 200u);
+  EXPECT_EQ(ack.cols, 160u);
+  EXPECT_EQ(ack.nnz, m.nnz());
+
+  // The in-process twin: same options, a matrix built from the same wire
+  // bytes. Loopback answers must match its submit() bit for bit.
+  bv::SpmvServer local(sopts);
+  local.add_matrix("A", bn::matrix_from_bro_bytes(bytes));
+
+  for (int r = 0; r < 8; ++r) {
+    const auto x = random_x(160, 100 + static_cast<std::uint64_t>(r));
+    const std::vector<value_t> want = local.submit("A", x).get();
+    const std::vector<value_t> got = cli.submit("A", x);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+      ASSERT_EQ(got[i], want[i]) << "row " << i << " round " << r;
+  }
+
+  // Pipelined: many in-flight ids on one connection, answered by id.
+  std::vector<std::uint64_t> rids;
+  std::vector<std::vector<value_t>> xs;
+  for (int r = 0; r < 16; ++r) {
+    xs.push_back(random_x(160, 500 + static_cast<std::uint64_t>(r)));
+    rids.push_back(cli.enqueue_submit("A", xs.back()));
+  }
+  cli.flush();
+  for (std::size_t r = rids.size(); r-- > 0;) { // reverse wait order
+    const auto res = cli.wait_submit(rids[r]);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.y, local.submit("A", xs[r]).get());
+  }
+
+  server.stop();
+}
+
+TEST(NetServer, TypedStatusesForEveryRefusal) {
+  // Synchronous core: the event loop is the only dispatcher, so a burst of
+  // frames in one TCP segment meets the queue exactly as sent.
+  bv::ServerOptions sopts;
+  sopts.threads = 0;
+  sopts.admission.rate = 1e-9; // effectively never refills
+  sopts.admission.burst = 1;   // one token per client, ever
+  bv::SpmvServer core(sopts);
+  bn::NetServer server(core, {});
+  server.start();
+
+  const bc::Matrix m = make_matrix(64, 48, 3);
+  bn::NetClient cli("127.0.0.1", server.port());
+  cli.upload_matrix("A", bn::matrix_to_bro_bytes(m, bc::Format::kBroEll));
+  const auto x = random_x(48, 9);
+
+  { // unknown matrix
+    try {
+      cli.submit("nope", x);
+      FAIL() << "expected RpcError";
+    } catch (const bn::RpcError& e) {
+      EXPECT_EQ(e.status(), bn::Status::kUnknownMatrix);
+    }
+  }
+  { // wrong x size
+    try {
+      cli.submit("A", random_x(5, 1));
+      FAIL() << "expected RpcError";
+    } catch (const bn::RpcError& e) {
+      EXPECT_EQ(e.status(), bn::Status::kBadRequest);
+    }
+  }
+  { // token bucket: first submit spends the only token, second throttles
+    EXPECT_EQ(cli.submit("A", x, "alice").size(), 64u);
+    try {
+      cli.submit("A", x, "alice");
+      FAIL() << "expected RpcError";
+    } catch (const bn::RpcError& e) {
+      EXPECT_EQ(e.status(), bn::Status::kThrottled);
+    }
+    // A different client id holds its own token.
+    EXPECT_EQ(cli.submit("A", x, "bob").size(), 64u);
+  }
+  { // unknown op answers kBadRequest; the connection survives
+    RawConn raw(server.port());
+    raw.send_bytes(bn::encode_frame(bn::FrameKind::kRequest, 99, 1, {}));
+    const auto resp = raw.recv_frame();
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->status(), bn::Status::kBadRequest);
+    raw.send_bytes(bn::make_empty_request(2, bn::Op::kPing));
+    const auto pong = raw.recv_frame();
+    ASSERT_TRUE(pong.has_value());
+    EXPECT_EQ(pong->status(), bn::Status::kOk);
+  }
+
+  const auto stats = cli.stats();
+  EXPECT_EQ(stats.throttled, 1u);
+  EXPECT_EQ(stats.rejected, stats.queue_full + stats.shed + stats.throttled);
+  server.stop();
+}
+
+TEST(NetServer, PipelinedBurstGetsQueueFullAndReconciles) {
+  bv::ServerOptions sopts;
+  sopts.threads = 0; // only the loop serves: buffered frames meet a full queue
+  sopts.max_queue = 1;
+  sopts.max_batch = 1;
+  bv::SpmvServer core(sopts);
+  bn::NetServer server(core, {});
+  server.start();
+
+  const bc::Matrix m = make_matrix(32, 24, 5);
+  bn::NetClient cli("127.0.0.1", server.port());
+  cli.upload_matrix("A", bn::matrix_to_bro_bytes(m, bc::Format::kBroEll));
+  const auto x = random_x(24, 11);
+
+  // One send carrying many SUBMITs: the loop handles them back to back, so
+  // with max_queue == 1 the burst must overflow (TCP may split the burst
+  // across reads, so "how many" is not pinned — "at least one" and exact
+  // counter reconciliation are).
+  constexpr int kBurst = 8;
+  std::vector<std::uint64_t> rids;
+  for (int r = 0; r < kBurst; ++r) rids.push_back(cli.enqueue_submit("A", x));
+  cli.flush();
+  std::uint64_t ok = 0, queue_full = 0;
+  for (const auto rid : rids) {
+    const auto res = cli.wait_submit(rid);
+    if (res.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(res.status, bn::Status::kQueueFull);
+      EXPECT_GE(res.queue_depth, 1u);
+      ++queue_full;
+    }
+  }
+  EXPECT_GE(ok, 1u);
+  EXPECT_GE(queue_full, 1u);
+  EXPECT_EQ(ok + queue_full, static_cast<std::uint64_t>(kBurst));
+
+  const auto stats = cli.stats();
+  EXPECT_EQ(stats.queue_full, queue_full);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.throttled, 0u);
+  EXPECT_EQ(stats.served, ok);
+  server.stop();
+}
+
+TEST(NetServer, ShedStatusAtConfiguredDepth) {
+  bv::ServerOptions sopts;
+  sopts.threads = 0;
+  sopts.max_queue = 64;
+  sopts.admission.shed_depth = 1; // shed as soon as one request is pending
+  bv::SpmvServer core(sopts);
+  bn::NetServer server(core, {});
+  server.start();
+
+  const bc::Matrix m = make_matrix(32, 24, 6);
+  bn::NetClient cli("127.0.0.1", server.port());
+  cli.upload_matrix("A", bn::matrix_to_bro_bytes(m, bc::Format::kBroEll));
+  const auto x = random_x(24, 13);
+
+  std::vector<std::uint64_t> rids;
+  for (int r = 0; r < 8; ++r) rids.push_back(cli.enqueue_submit("A", x));
+  cli.flush();
+  std::uint64_t ok = 0, shed = 0;
+  for (const auto rid : rids) {
+    const auto res = cli.wait_submit(rid);
+    if (res.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(res.status, bn::Status::kShed);
+      ++shed;
+    }
+  }
+  EXPECT_GE(shed, 1u);
+  const auto stats = cli.stats();
+  EXPECT_EQ(stats.shed, shed);
+  EXPECT_EQ(stats.served, ok);
+  server.stop();
+}
+
+TEST(NetServer, CorruptFrameClosesOnlyThatConnection) {
+  bv::ServerOptions sopts;
+  sopts.threads = 0;
+  bv::SpmvServer core(sopts);
+  bn::NetServer server(core, {});
+  server.start();
+
+  bn::NetClient healthy("127.0.0.1", server.port());
+
+  RawConn corrupt(server.port());
+  std::vector<std::uint8_t> garbage(32, 0xFF);
+  corrupt.send_bytes(garbage);
+  EXPECT_FALSE(corrupt.recv_frame().has_value()); // server closed it
+
+  healthy.ping(); // the healthy connection is unaffected
+
+  for (int i = 0; i < 100 && server.stats().protocol_errors == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(server.stats().protocol_errors, 1u);
+  server.stop();
+}
+
+TEST(NetServer, DrainFlushesInFlightThenCloses) {
+  bv::ServerOptions sopts;
+  sopts.threads = 2;
+  bv::SpmvServer core(sopts);
+  bn::NetServer server(core, {});
+  server.start();
+
+  const bc::Matrix m = make_matrix(128, 96, 8);
+  const auto bytes = bn::matrix_to_bro_bytes(m, bc::Format::kBroHyb);
+  bn::NetClient cli("127.0.0.1", server.port());
+  cli.upload_matrix("A", bytes);
+
+  // Pipeline work, then DRAIN on a second connection while it is in
+  // flight: every queued submit must still be answered (flushed), after
+  // which the server closes connections and run() returns.
+  std::vector<std::uint64_t> rids;
+  const auto x = random_x(96, 21);
+  for (int r = 0; r < 32; ++r) rids.push_back(cli.enqueue_submit("A", x));
+  cli.flush();
+
+  bn::NetClient drainer("127.0.0.1", server.port());
+  drainer.drain();
+  EXPECT_TRUE(server.draining());
+
+  std::uint64_t answered = 0;
+  for (const auto rid : rids) {
+    const auto res = cli.wait_submit(rid);
+    // Every id gets a response: a real y, or a typed shutdown refusal for
+    // submits that arrived after the drain began. Never a dropped frame.
+    if (res.ok()) {
+      EXPECT_EQ(res.y.size(), 128u);
+    } else {
+      EXPECT_EQ(res.status, bn::Status::kShuttingDown);
+    }
+    ++answered;
+  }
+  EXPECT_EQ(answered, rids.size());
+
+  server.stop(); // joins; idempotent after the client-initiated drain
+
+  // New connections are refused once the listener is closed.
+  EXPECT_THROW(bn::NetClient("127.0.0.1", server.port()).ping(),
+               std::exception);
+}
+
+TEST(NetServer, StatsRemoveAndUploadRoundTrip) {
+  bv::ServerOptions sopts;
+  sopts.threads = 0;
+  bv::SpmvServer core(sopts);
+  bn::NetServer server(core, {});
+  server.start();
+
+  const bc::Matrix m = make_matrix(40, 30, 9);
+  bn::NetClient cli("127.0.0.1", server.port());
+
+  const auto before = cli.stats();
+  EXPECT_EQ(before.submitted, 0u);
+
+  cli.upload_matrix("A", bn::matrix_to_bro_bytes(m, bc::Format::kBroCsr));
+  EXPECT_EQ(cli.submit("A", random_x(30, 2)).size(), 40u);
+
+  const auto after = cli.stats();
+  EXPECT_EQ(after.submitted, 1u);
+  EXPECT_EQ(after.served, 1u);
+
+  EXPECT_TRUE(cli.remove_matrix("A"));
+  EXPECT_FALSE(cli.remove_matrix("A")); // second remove: already gone
+  try {
+    cli.submit("A", random_x(30, 2));
+    FAIL() << "expected RpcError";
+  } catch (const bn::RpcError& e) {
+    EXPECT_EQ(e.status(), bn::Status::kUnknownMatrix);
+  }
+  server.stop();
+}
+
+TEST(NetServer, ManyConnectionsConcurrently) {
+  bv::ServerOptions sopts;
+  sopts.threads = 2;
+  bv::SpmvServer core(sopts);
+  bn::NetServer server(core, {});
+  server.start();
+
+  const bc::Matrix m = make_matrix(100, 90, 10);
+  {
+    bn::NetClient up("127.0.0.1", server.port());
+    up.upload_matrix("A", bn::matrix_to_bro_bytes(m, bc::Format::kBroEll));
+  }
+
+  constexpr int kThreads = 4, kReqs = 25;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      bn::NetClient cli("127.0.0.1", server.port());
+      for (int r = 0; r < kReqs; ++r) {
+        const auto y =
+            cli.submit("A", random_x(90, static_cast<std::uint64_t>(t * 1000 + r)));
+        if (y.size() == 100) ok.fetch_add(1);
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok.load(), kThreads * kReqs);
+
+  const auto ns = server.stats();
+  EXPECT_GE(ns.accepted, static_cast<std::uint64_t>(kThreads) + 1);
+  EXPECT_EQ(ns.protocol_errors, 0u);
+  server.stop();
+}

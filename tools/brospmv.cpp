@@ -14,7 +14,9 @@
 // c2070 / gtx680 / k20 (default k20). --format takes any name printed by
 // `brospmv formats`; unknown names are a hard error.
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <deque>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -39,6 +41,8 @@
 #include "sparse/matgen/generators.h"
 #include "sparse/matgen/suite.h"
 #include "sparse/mmio.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "serve/server.h"
 #include "util/args.h"
 #include "util/rng.h"
@@ -80,8 +84,22 @@ int usage() {
          "       [--pools P] [--pool-threads T] [--pool-omp O]\n"
          "       [--shards S] [--shard-min-nnz N]\n"
          "       [--admit-rate R] [--admit-burst B] [--shed-depth D]\n"
-         "                                     drive the serving layer and\n"
+         "       [--slo-p99-ms MS]             drive the serving layer and\n"
          "                                     report throughput + metrics\n"
+         "                                     (--slo-p99-ms: non-zero exit\n"
+         "                                     when queue-wait p99 + execute\n"
+         "                                     p99 exceeds the budget)\n"
+         "  serve [--listen A] [--port P] [--port-file F]\n"
+         "       [+ the serve-bench server knobs]\n"
+         "                                     TCP daemon: serve the bro::net\n"
+         "                                     protocol until a DRAIN op\n"
+         "  net-bench --port P [--host A] [--port-file F]\n"
+         "       [--clients C] [--requests R] [--window W] [--matrices M]\n"
+         "       [--format F] [--scale S] [--seed S] [--slo-p99-ms MS]\n"
+         "       [--no-verify] [--drain]       loopback load generator:\n"
+         "                                     upload, drive, reconcile\n"
+         "                                     client-side rejection counts\n"
+         "                                     against server STATS\n"
          "matrix: a .mtx path or a suite name (cant, pwtk, ...);\n"
          "options: --scale S (suite matrices, default 0.125),\n"
          "         --device c2070|gtx680|k20 (default k20),\n"
@@ -502,10 +520,13 @@ int cmd_fuzz(const Args& args) {
   return 0;
 }
 
-int cmd_serve_bench(const Args& args) {
+/// The ServerOptions knobs shared by serve-bench and the serve daemon.
+serve::ServerOptions server_options_from(const Args& args) {
   serve::ServerOptions opts;
   opts.threads = static_cast<int>(args.get_long("threads", opts.threads));
   if (opts.threads < 0) throw std::runtime_error("--threads must be >= 0");
+  opts.max_queue = static_cast<std::size_t>(
+      args.get_long("max-queue", static_cast<long>(opts.max_queue)));
   opts.max_batch = static_cast<int>(args.get_long("max-batch", opts.max_batch));
   opts.cache_bytes =
       static_cast<std::size_t>(args.get_long("cache-mb", 256)) << 20;
@@ -523,6 +544,28 @@ int cmd_serve_bench(const Args& args) {
   opts.admission.shed_depth = static_cast<std::size_t>(
       args.get_long("shed-depth",
                     static_cast<long>(opts.admission.shed_depth)));
+  return opts;
+}
+
+/// The --slo-p99-ms gate shared by serve-bench and net-bench: the service
+/// budget is split queue-wait p99 + execute p99 (seconds in, ms budget).
+int check_slo(const Args& args, double wait_p99_s, double exec_p99_s) {
+  if (!args.has("slo-p99-ms")) return 0;
+  const double budget_ms = args.get_double("slo-p99-ms", 0);
+  const double actual_ms = (wait_p99_s + exec_p99_s) * 1e3;
+  if (actual_ms <= budget_ms) {
+    std::cout << "SLO OK: wait p99 + execute p99 = " << actual_ms
+              << " ms <= " << budget_ms << " ms\n";
+    return 0;
+  }
+  std::cerr << "SLO FAIL: wait p99 " << wait_p99_s * 1e3 << " ms + execute p99 "
+            << exec_p99_s * 1e3 << " ms = " << actual_ms << " ms > "
+            << budget_ms << " ms\n";
+  return 1;
+}
+
+int cmd_serve_bench(const Args& args) {
+  serve::ServerOptions opts = server_options_from(args);
 
   const int clients = static_cast<int>(args.get_long("clients", 4));
   const long requests = args.get_long("requests", 200); // per client
@@ -566,7 +609,10 @@ int cmd_serve_bench(const Args& args) {
       for (auto& v : x) v = rng.uniform() * 2 - 1;
       for (;;) {
         try {
-          pending.push_back(server.submit(ids[m], std::move(x),
+          // Copy per attempt: submit takes x by value, so a rejection
+          // would otherwise leave the retry with a moved-from (empty) x.
+          std::vector<value_t> attempt = x;
+          pending.push_back(server.submit(ids[m], std::move(attempt),
                                           "client-" + std::to_string(c)));
           break;
         } catch (const serve::RejectedError&) {
@@ -627,7 +673,274 @@ int cmd_serve_bench(const Args& args) {
     std::cerr << m.failed << " requests failed\n";
     return 1;
   }
+  return check_slo(args, m.queue_wait.percentile(99), m.execute.percentile(99));
+}
+
+/// `serve`: the TCP daemon — an SpmvServer behind a NetServer event loop.
+/// Matrices arrive over the wire (UPLOAD_MATRIX); runs until a client
+/// sends DRAIN. --port-file publishes the bound port (for --port 0).
+int cmd_serve(const Args& args) {
+  serve::SpmvServer server(server_options_from(args));
+
+  net::NetServerOptions nopts;
+  nopts.listen = args.get("listen", nopts.listen);
+  nopts.port = static_cast<int>(args.get_long("port", 0));
+  net::NetServer net_server(server, nopts);
+
+  if (args.has("port-file")) {
+    const std::string path = args.get("port-file", "");
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    out << net_server.port() << '\n';
+  }
+  std::cout << "listening on " << nopts.listen << ":" << net_server.port()
+            << std::endl;
+
+  net_server.run();
+
+  const auto m = server.metrics();
+  const auto ns = net_server.stats();
+  std::cout << "drained: served " << m.served << ", rejected " << m.rejected
+            << " (" << m.shed << " shed, " << m.throttled << " throttled), "
+            << "failed " << m.failed << '\n'
+            << "net: " << ns.accepted << " connections, " << ns.frames_in
+            << " frames in, " << ns.frames_out << " out, "
+            << ns.protocol_errors << " protocol errors\n"
+            << "wait      " << m.queue_wait.summary() << '\n'
+            << "execute   " << m.execute.summary() << '\n';
   return 0;
+}
+
+/// `net-bench`: the loopback load generator. Uploads a suite working set,
+/// spot-checks wire answers bitwise against an in-process SpmvServer fed
+/// the same .bro bytes, then drives C client threads with a W-deep
+/// pipeline each, retrying rejections. Client-side rejection tallies must
+/// reconcile exactly with the server's STATS counter deltas, and
+/// round-trip p50/p99 is reported next to the server's queue-wait /
+/// execute percentiles so latency can be attributed.
+int cmd_net_bench(const Args& args) {
+  const std::string host = args.get("host", "127.0.0.1");
+  int port = static_cast<int>(args.get_long("port", 0));
+  if (port == 0 && args.has("port-file")) {
+    // The daemon publishes its bound port; poll briefly for startup.
+    const std::string path = args.get("port-file", "");
+    for (int i = 0; i < 100 && port == 0; ++i) {
+      std::ifstream in(path);
+      if (!(in >> port))
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (port == 0)
+      throw std::runtime_error("no port in " + path + " after 10 s");
+  }
+  if (port <= 0) throw std::runtime_error("net-bench needs --port or --port-file");
+
+  const int clients = static_cast<int>(args.get_long("clients", 4));
+  const long requests = args.get_long("requests", 200); // per client
+  const int window = static_cast<int>(args.get_long("window", 4));
+  const int n_matrices = static_cast<int>(args.get_long("matrices", 2));
+  const double scale = args.get_double("scale", 0.05);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_long("seed", 2013));
+  const auto& fmt = parse_format(args.get("format", "BRO-HYB"));
+  const bool verify = !args.has("no-verify");
+  if (clients < 1 || requests < 1 || n_matrices < 1 || window < 1)
+    throw std::runtime_error(
+        "--clients, --requests, --matrices and --window must be >= 1");
+
+  // Working set: suite matrices serialized to the wire format the daemon
+  // will parse (exactly the bytes `compress` would write).
+  struct Mat {
+    std::string id;
+    index_t cols = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::vector<Mat> mats;
+  const auto& suite = sparse::suite_entries();
+  for (int i = 0; i < n_matrices; ++i) {
+    const auto& entry = suite[static_cast<std::size_t>(i) % suite.size()];
+    const auto m = core::Matrix::from_csr(
+        sparse::generate_suite_matrix(entry, scale));
+    Mat mat;
+    mat.id = entry.name;
+    mat.cols = m.cols();
+    mat.bytes = net::matrix_to_bro_bytes(m, fmt.format);
+    std::cout << "matrix " << entry.name << ": " << m.rows() << " x "
+              << m.cols() << ", nnz " << m.nnz() << ", wire "
+              << mat.bytes.size() << " B (" << fmt.name << ")\n";
+    mats.push_back(std::move(mat));
+  }
+
+  net::NetClient admin(host, port);
+  admin.ping();
+  for (const auto& mat : mats) {
+    const auto ack = admin.upload_matrix(mat.id, mat.bytes);
+    if (ack.cols != static_cast<std::uint64_t>(mat.cols))
+      throw std::runtime_error("upload ack dims mismatch for " + mat.id);
+  }
+
+  // Bitwise spot check: an in-process SpmvServer fed the same .bro bytes
+  // must produce the same y as the wire round-trip, bit for bit. Assumes
+  // the daemon runs default server options (pass --no-verify otherwise).
+  if (verify) {
+    serve::ServerOptions lopts;
+    lopts.threads = 0;
+    serve::SpmvServer local(lopts);
+    Rng rng(seed ^ 0x5f5f5f5f);
+    for (const auto& mat : mats) {
+      local.add_matrix(mat.id, net::matrix_from_bro_bytes(mat.bytes));
+      std::vector<value_t> x(static_cast<std::size_t>(mat.cols));
+      for (auto& v : x) v = rng.uniform() * 2 - 1;
+      auto fut = local.submit(mat.id, x);
+      while (local.poll_once()) {}
+      const std::vector<value_t> want = fut.get();
+      const std::vector<value_t> got = admin.submit(mat.id, x);
+      if (want != got)
+        throw std::runtime_error("wire y differs from in-process y for " +
+                                 mat.id + " (bitwise check)");
+    }
+    std::cout << "verify    wire == in-process (bitwise) on " << mats.size()
+              << " matrices\n";
+  }
+
+  const net::StatsSnapshot before = admin.stats();
+
+  struct Tally {
+    std::uint64_t ok = 0, queue_full = 0, shed = 0, throttled = 0, other = 0;
+    Histogram rtt = Histogram::exponential(1e-6, 10.0, 2.0); // seconds
+  };
+  std::vector<Tally> tallies(static_cast<std::size_t>(clients));
+  std::atomic<bool> failed{false};
+
+  auto client_fn = [&](int c) {
+    using clock = std::chrono::steady_clock;
+    Tally& tally = tallies[static_cast<std::size_t>(c)];
+    try {
+      net::NetClient cli(host, port);
+      Rng rng(seed + static_cast<std::uint64_t>(c) * 7919);
+      struct InFlight {
+        std::uint64_t rid;
+        clock::time_point start;
+        std::size_t mat;
+        std::vector<value_t> x; // kept for retry on rejection
+      };
+      std::deque<InFlight> inflight;
+
+      const auto complete_front = [&] {
+        InFlight f = std::move(inflight.front());
+        inflight.pop_front();
+        auto res = cli.wait_submit(f.rid);
+        for (;;) {
+          if (res.ok()) {
+            tally.rtt.add(std::chrono::duration<double>(clock::now() - f.start)
+                              .count());
+            ++tally.ok;
+            return;
+          }
+          switch (res.status) {
+            case net::Status::kQueueFull: ++tally.queue_full; break;
+            case net::Status::kShed: ++tally.shed; break;
+            case net::Status::kThrottled: ++tally.throttled; break;
+            default:
+              ++tally.other;
+              failed.store(true);
+              return; // not a backpressure signal: do not retry
+          }
+          // Typed backpressure: back off and resubmit the same x.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          const std::uint64_t rid =
+              cli.enqueue_submit(mats[f.mat].id, f.x,
+                                 "client-" + std::to_string(c));
+          cli.flush();
+          res = cli.wait_submit(rid);
+        }
+      };
+
+      for (long r = 0; r < requests; ++r) {
+        while (inflight.size() >= static_cast<std::size_t>(window))
+          complete_front();
+        InFlight f;
+        f.mat = static_cast<std::size_t>(r) % mats.size();
+        f.x.resize(static_cast<std::size_t>(mats[f.mat].cols));
+        for (auto& v : f.x) v = rng.uniform() * 2 - 1;
+        f.rid = cli.enqueue_submit(mats[f.mat].id, f.x,
+                                   "client-" + std::to_string(c));
+        cli.flush();
+        f.start = clock::now();
+        inflight.push_back(std::move(f));
+      }
+      while (!inflight.empty()) complete_front();
+    } catch (const std::exception& e) {
+      std::cerr << "client " << c << ": " << e.what() << '\n';
+      failed.store(true);
+    }
+  };
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) threads.emplace_back(client_fn, c);
+  for (auto& t : threads) t.join();
+  const double secs = wall.seconds();
+
+  const net::StatsSnapshot after = admin.stats();
+  if (args.has("drain")) admin.drain();
+
+  Tally total;
+  Histogram rtt = Histogram::exponential(1e-6, 10.0, 2.0);
+  for (const auto& t : tallies) {
+    total.ok += t.ok;
+    total.queue_full += t.queue_full;
+    total.shed += t.shed;
+    total.throttled += t.throttled;
+    total.other += t.other;
+    rtt.merge(t.rtt);
+  }
+
+  std::cout << "\nserved    " << total.ok << " / "
+            << static_cast<long>(clients) * requests << " requests in " << secs
+            << " s (" << double(total.ok) / secs << " req/s, " << clients
+            << " clients, window " << window << ")\n"
+            << "rejected  " << total.queue_full << " queue-full, "
+            << total.shed << " shed, " << total.throttled
+            << " throttled (all retried), " << total.other << " other\n"
+            << "rtt       p50 " << rtt.percentile(50) * 1e3 << " ms, p99 "
+            << rtt.percentile(99) * 1e3 << " ms, mean " << rtt.mean() * 1e3
+            << " ms (client round-trip)\n"
+            << "server    wait p50 " << after.wait_p50 * 1e3 << " ms, p99 "
+            << after.wait_p99 * 1e3 << " ms; execute p50 "
+            << after.exec_p50 * 1e3 << " ms, p99 " << after.exec_p99 * 1e3
+            << " ms\n";
+
+  // Reconcile: every typed rejection the clients counted must appear in
+  // the server's per-cause counters, and vice versa — the wire protocol
+  // may not lose or misclassify a single refusal.
+  bool ok = !failed.load();
+  const auto delta = [](std::uint64_t a, std::uint64_t b) { return a - b; };
+  const struct {
+    const char* name;
+    std::uint64_t server, client;
+  } checks[] = {
+      {"queue-full", delta(after.queue_full, before.queue_full),
+       total.queue_full},
+      {"shed", delta(after.shed, before.shed), total.shed},
+      {"throttled", delta(after.throttled, before.throttled), total.throttled},
+      {"served", delta(after.served, before.served), total.ok},
+  };
+  for (const auto& c : checks) {
+    if (c.server == c.client) continue;
+    std::cerr << "RECONCILE FAIL: " << c.name << " server delta " << c.server
+              << " != client count " << c.client << '\n';
+    ok = false;
+  }
+  if (ok)
+    std::cout << "reconcile OK: queue-full/shed/throttled/served counters "
+                 "match the STATS deltas\n";
+  if (total.other) {
+    std::cerr << total.other << " requests failed with non-backpressure "
+                               "statuses\n";
+    ok = false;
+  }
+  if (!ok) return 1;
+  return check_slo(args, after.wait_p99, after.exec_p99);
 }
 
 } // namespace
@@ -654,6 +967,10 @@ int main(int argc, char** argv) {
       return cmd_entropy_bench(args);
     if (cmd == "serve-bench" && args.positional().size() == 1)
       return cmd_serve_bench(args);
+    if (cmd == "serve" && args.positional().size() == 1)
+      return cmd_serve(args);
+    if (cmd == "net-bench" && args.positional().size() == 1)
+      return cmd_net_bench(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "brospmv: " << e.what() << '\n';

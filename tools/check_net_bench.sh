@@ -1,0 +1,77 @@
+#!/bin/sh
+# Loopback smoke of the network front-end through the CLI: start a `serve`
+# daemon on an ephemeral port, drive it with `net-bench` (which uploads a
+# working set, spot-checks wire answers bitwise against an in-process
+# server, and reconciles client-side rejection counts with STATS), then
+# shut it down gracefully with DRAIN and check both sides' exits. Also
+# pins the --slo-p99-ms gate (generous budget passes, impossible budget
+# fails) in both net-bench and serve-bench, and the throttled-status path
+# against a rate-limited daemon.
+# Usage: check_net_bench.sh /path/to/brospmv
+set -eu
+
+BROSPMV=${1:?usage: check_net_bench.sh /path/to/brospmv}
+
+start_daemon() { # start_daemon <log> [extra serve args...]
+  log=$1
+  shift
+  rm -f port.txt
+  "$BROSPMV" serve --port 0 --port-file port.txt --threads 2 "$@" \
+      >"$log" 2>&1 &
+  SERVE_PID=$!
+  trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
+}
+
+stop_daemon() { # graceful DRAIN already sent by net-bench --drain
+  wait $SERVE_PID
+  trap - EXIT
+}
+
+echo "== serve + net-bench loopback =="
+start_daemon serve.log
+"$BROSPMV" net-bench --port-file port.txt --clients 3 --requests 50 \
+    --matrices 2 --scale 0.02 --seed 2013 --slo-p99-ms 60000 \
+    --drain >bench.txt
+cat bench.txt
+grep -q "served    150 / 150 requests" bench.txt
+grep -q "verify    wire == in-process" bench.txt
+grep -q "reconcile OK" bench.txt
+grep -q "SLO OK" bench.txt
+stop_daemon
+cat serve.log
+grep -q "drained: served" serve.log
+grep -q " 0 protocol errors" serve.log
+
+echo "== net-bench SLO gate must fail on an impossible budget =="
+start_daemon serve2.log
+if "$BROSPMV" net-bench --port-file port.txt --clients 2 --requests 30 \
+    --matrices 1 --scale 0.02 --seed 7 --slo-p99-ms 0.000001 \
+    --no-verify --drain >slo.txt 2>&1; then
+  echo "FAIL: impossible SLO budget passed"
+  exit 1
+fi
+grep -q "SLO FAIL" slo.txt
+stop_daemon
+
+echo "== throttled rejections retry, reconcile and still serve all =="
+start_daemon serve3.log --admit-rate 200 --admit-burst 1
+"$BROSPMV" net-bench --port-file port.txt --clients 2 --requests 40 \
+    --matrices 1 --scale 0.02 --seed 13 --no-verify --drain >thr.txt
+cat thr.txt
+grep -q "served    80 / 80 requests" thr.txt
+grep -q "reconcile OK" thr.txt
+stop_daemon
+
+echo "== serve-bench --slo-p99-ms gate =="
+"$BROSPMV" serve-bench --threads 2 --clients 2 --requests 24 --matrices 1 \
+    --scale 0.02 --seed 17 --slo-p99-ms 60000 >sb.txt
+grep -q "SLO OK" sb.txt
+if "$BROSPMV" serve-bench --threads 2 --clients 2 --requests 24 --matrices 1 \
+    --scale 0.02 --seed 17 --slo-p99-ms 0.000001 >sb.txt 2>&1; then
+  echo "FAIL: impossible serve-bench SLO budget passed"
+  exit 1
+fi
+grep -q "SLO FAIL" sb.txt
+
+rm -f port.txt serve.log serve2.log serve3.log bench.txt slo.txt thr.txt sb.txt
+echo "check_net_bench: OK"
