@@ -76,6 +76,28 @@ void BM_DecodeSimd(benchmark::State& state, kernels::SimdIsa isa,
       benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
 }
 
+/// BRO-ANS entropy decode through the path dispatch would select at `isa`
+/// (vector kernel set when present for the width, else the interleaved
+/// scalar chains). One synthetic FEM-like matrix per sym_len, checksum
+/// checked against the sequential reference before timing.
+void BM_AnsDecode(benchmark::State& state, kernels::SimdIsa isa,
+                  int sym_len) {
+  const auto c = kernels::make_ans_decode_bench_case(
+      sym_len, 4096, 0xa45eed00u + static_cast<unsigned>(sym_len));
+  if (kernels::ans_decode_pass(c, isa) != c.expect) {
+    state.SkipWithError("BRO-ANS decode disagrees with sequential reference");
+    return;
+  }
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += kernels::ans_decode_pass(c, isa);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["deltas/s"] = benchmark::Counter(
+      static_cast<double>(c.deltas) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+
 /// The BRO-ELL suite scalar-vs-SIMD A/B, printed once before the registered
 /// benchmarks so every perf-smoke artifact's log carries the geomean.
 void print_suite_ab() {
@@ -136,6 +158,16 @@ int main(int argc, char** argv) {
               .c_str(),
           BM_DecodeSimd, isa, sym_len);
       for (const int w : kWidths) b->Arg(w);
+    }
+    for (const kernels::SimdIsa isa :
+         {kernels::SimdIsa::kScalar, kernels::SimdIsa::kSse4,
+          kernels::SimdIsa::kAvx2}) {
+      if (!kernels::simd_isa_runnable(isa)) continue;
+      benchmark::RegisterBenchmark(
+          ("ans-decode-" + std::string(kernels::simd_isa_name(isa)) + "/sym" +
+           std::to_string(sym_len))
+              .c_str(),
+          BM_AnsDecode, isa, sym_len);
     }
   }
   print_suite_ab();

@@ -105,9 +105,10 @@ void AnsTable::build_decode_table() {
   }
 }
 
-void ans_encode_row(const AnsTable& table,
-                    std::span<const std::uint32_t> deltas,
-                    std::vector<AnsEncSym>& scratch, BitString& out) {
+std::uint32_t ans_encode_row_split(const AnsTable& table,
+                                   std::span<const std::uint32_t> deltas,
+                                   std::vector<AnsEncSym>& scratch,
+                                   BitString& out) {
   const int tl = table.table_log();
   BRO_CHECK_MSG(tl > 0, "encoding through an empty AnsTable");
   const std::uint32_t L = 1u << tl;
@@ -138,23 +139,30 @@ void ans_encode_row(const AnsTable& table,
     x = L + table.cum(cls) + ((x >> nb) - f);
   }
 
-  // Emit forward: the final encoder state leads, then each symbol's
-  // mantissa and renormalization bits in decode order.
-  out.append(x - L, tl);
+  // Emit forward: each symbol's mantissa and renormalization bits in
+  // decode order; the final encoder state is the caller's to carry.
   for (const AnsEncSym& rec : scratch) {
     out.append(rec.mantissa, rec.mantissa_nbits);
     out.append(rec.state_bits, rec.state_nbits);
   }
+  return x - L;
 }
 
-std::vector<std::uint32_t> ans_decode_row(const AnsTable& table,
-                                          const BitString& s,
-                                          std::size_t count) {
-  const int tl = table.table_log();
-  BRO_CHECK_MSG(tl > 0, "decoding through an empty AnsTable");
-  const std::uint32_t L = 1u << tl;
-  BitStringReader reader(s);
-  std::uint32_t x = L + static_cast<std::uint32_t>(reader.read(tl));
+void ans_encode_row(const AnsTable& table,
+                    std::span<const std::uint32_t> deltas,
+                    std::vector<AnsEncSym>& scratch, BitString& out) {
+  BitString fields;
+  const std::uint32_t x0 = ans_encode_row_split(table, deltas, scratch, fields);
+  out.append(x0, table.table_log());
+  out.append(fields);
+}
+
+namespace {
+
+/// Shared forward-decode core: `x` is already in the working interval.
+std::vector<std::uint32_t> decode_fields(const AnsTable& table,
+                                         BitStringReader& reader,
+                                         std::uint32_t x, std::size_t count) {
   std::vector<std::uint32_t> deltas(count);
   for (std::size_t i = 0; i < count; ++i) {
     const std::uint32_t e = table.entry(x);
@@ -168,6 +176,31 @@ std::vector<std::uint32_t> ans_decode_row(const AnsTable& table,
     x = AnsTable::entry_base(e) + state_bits;
   }
   return deltas;
+}
+
+} // namespace
+
+std::vector<std::uint32_t> ans_decode_row_split(const AnsTable& table,
+                                                const BitString& s,
+                                                std::uint32_t init_state,
+                                                std::size_t count) {
+  const int tl = table.table_log();
+  BRO_CHECK_MSG(tl > 0, "decoding through an empty AnsTable");
+  const std::uint32_t L = 1u << tl;
+  BRO_CHECK_MSG(init_state < L, "ANS initial state out of range");
+  BitStringReader reader(s);
+  return decode_fields(table, reader, L + init_state, count);
+}
+
+std::vector<std::uint32_t> ans_decode_row(const AnsTable& table,
+                                          const BitString& s,
+                                          std::size_t count) {
+  const int tl = table.table_log();
+  BRO_CHECK_MSG(tl > 0, "decoding through an empty AnsTable");
+  const std::uint32_t L = 1u << tl;
+  BitStringReader reader(s);
+  const std::uint32_t x = L + static_cast<std::uint32_t>(reader.read(tl));
+  return decode_fields(table, reader, x, count);
 }
 
 } // namespace bro::bits

@@ -12,14 +12,20 @@
 //
 // Stream layout per row (MSB-first, decoded strictly forward):
 //
-//   [initial state: table_log bits] then per symbol:
-//   [mantissa: class-1 bits] [state renormalization bits: nb bits]
+//   per symbol: [mantissa: class-1 bits] [state renormalization bits: nb bits]
 //
 // The encoder runs backwards (LIFO, as ANS requires) from state L,
 // recording per-symbol bit fields, and emits them in forward order; the
-// decoder is a strict read-ahead loop — one table lookup plus one bit-read
-// per symbol — with the same symbol-buffer refill structure as the
-// fixed-width LaneDecoder, so it multiplexes across rows unchanged.
+// final encoder state (= the decoder's initial state) is carried out of
+// band so a stream holds nothing but symbol fields — that is what lets
+// BRO-ANS interleave eight rows round-robin into one lane group and decode
+// all eight states from a single aligned load (DESIGN.md §10). The decoder
+// is a strict read-ahead loop — one table lookup plus one bit-read per
+// symbol — with the same symbol-buffer refill structure as the fixed-width
+// LaneDecoder, so it multiplexes across rows unchanged. The legacy
+// single-stream helpers (ans_encode_row / ans_decode_row) prefix the
+// initial state as table_log leading bits and remain the self-contained
+// round-trip oracle.
 #pragma once
 
 #include <cstdint>
@@ -124,16 +130,33 @@ struct AnsEncSym {
   std::uint8_t state_nbits = 0;
 };
 
-/// Encode one row of deltas (padding slots = kInvalidDelta) onto `out` in
-/// the layout documented above. `scratch` is caller-owned to keep repeated
-/// encodes allocation-free; it is resized as needed. Every class present
-/// in `deltas` must have nonzero frequency in `table`.
+/// Encode one row of deltas (padding slots = kInvalidDelta) onto `out` as
+/// symbol fields only — no in-stream initial state — and return the final
+/// encoder state as an offset x - L in [0, L) for out-of-band storage.
+/// `scratch` is caller-owned to keep repeated encodes allocation-free; it
+/// is resized as needed. Every class present in `deltas` must have nonzero
+/// frequency in `table`.
+std::uint32_t ans_encode_row_split(const AnsTable& table,
+                                   std::span<const std::uint32_t> deltas,
+                                   std::vector<AnsEncSym>& scratch,
+                                   BitString& out);
+
+/// Reference forward decode of `count` deltas from the start of a
+/// symbol-fields-only stream, seeded with the encoder's out-of-band state
+/// offset — the bits-level oracle for the interleaved BRO-ANS layout.
+std::vector<std::uint32_t> ans_decode_row_split(const AnsTable& table,
+                                                const BitString& s,
+                                                std::uint32_t init_state,
+                                                std::size_t count);
+
+/// Self-contained variant: prefixes the initial state as table_log leading
+/// bits so one BitString round-trips on its own.
 void ans_encode_row(const AnsTable& table,
                     std::span<const std::uint32_t> deltas,
                     std::vector<AnsEncSym>& scratch, BitString& out);
 
-/// Reference decode of `count` deltas from the start of `s` — the bits-level
-/// round-trip oracle for tests and validators.
+/// Reference decode of `count` deltas from the start of `s` (self-contained
+/// layout) — the bits-level round-trip oracle for tests and validators.
 std::vector<std::uint32_t> ans_decode_row(const AnsTable& table,
                                           const BitString& s,
                                           std::size_t count);

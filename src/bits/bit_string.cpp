@@ -33,6 +33,17 @@ void BitString::append(std::uint64_t value, int nbits) {
   }
 }
 
+void BitString::append(const BitString& other) {
+  std::size_t pos = 0;
+  std::size_t left = other.size_bits_;
+  while (left > 0) {
+    const int take = left < 64 ? static_cast<int>(left) : 64;
+    append(other.peek(pos, take), take);
+    pos += static_cast<std::size_t>(take);
+    left -= static_cast<std::size_t>(take);
+  }
+}
+
 int BitString::pad_to_multiple(int multiple) {
   BRO_CHECK(multiple > 0);
   const int rem = static_cast<int>(size_bits_ % static_cast<std::size_t>(multiple));

@@ -22,6 +22,9 @@ class BitString {
   /// nbits must be in [0, 64] and value must fit in nbits bits.
   void append(std::uint64_t value, int nbits);
 
+  /// Append every bit of `other`, preserving order.
+  void append(const BitString& other);
+
   /// Total number of bits appended so far.
   std::size_t size_bits() const { return size_bits_; }
 

@@ -584,6 +584,41 @@ Issues validate_bro_ans(const core::BroAns& a, const sparse::Csr* ref) {
       os << "slice " << s << " num_col " << sl.num_col << " exceeds width "
          << a.width();
     });
+    // v2 interleaved layout: one initial state per row (below table size)
+    // and one lane-group stream per kAnsLaneGroup rows, each stream as
+    // tall as its group.
+    acc.check(sl.init_states.size() == static_cast<std::size_t>(sl.height),
+              [&](auto& os) {
+                os << "slice " << s << " carries " << sl.init_states.size()
+                   << " initial states for " << sl.height << " rows";
+              });
+    for (const auto st : sl.init_states) {
+      if (st >= tbl.size()) {
+        acc.check(false, [&](auto& os) {
+          os << "slice " << s << " initial state " << st
+             << " outside table size " << tbl.size();
+        });
+        break;
+      }
+    }
+    const index_t ng = core::ans_num_groups(sl.height);
+    acc.check(sl.groups.size() == static_cast<std::size_t>(ng),
+              [&](auto& os) {
+                os << "slice " << s << " has " << sl.groups.size()
+                   << " lane groups, expected " << ng;
+              });
+    if (sl.groups.size() == static_cast<std::size_t>(ng)) {
+      for (index_t g = 0; g < ng; ++g) {
+        const auto& mux = sl.groups[static_cast<std::size_t>(g)];
+        acc.check(mux.height() == static_cast<std::size_t>(
+                                      core::ans_group_width(sl.height, g)),
+                  [&](auto& os) {
+                    os << "slice " << s << " group " << g << " holds "
+                       << mux.height() << " lanes, expected "
+                       << core::ans_group_width(sl.height, g);
+                  });
+      }
+    }
     next_row = sl.first_row + sl.height;
   }
   acc.check(next_row == a.rows(), [&](auto& os) {

@@ -99,41 +99,54 @@ BroAns BroAns::compress(const sparse::Ell& ell, BroAnsOptions opts) {
   }
   out.table_ = bits::AnsTable::from_histogram(histogram, opts.table_log);
 
-  // Pass 2: entropy-code each row against the shared table, pad every row
-  // of a slice to the slice's longest stream (entropy-coded rows differ in
-  // length; the mux requires equal symbol counts) and multiplex.
+  // Pass 2: entropy-code each row against the shared table into a
+  // fields-only stream (the initial state goes to init_states), then pad
+  // every row of a lane group to the group's longest stream (entropy-coded
+  // rows differ in length; the mux requires equal symbol counts) and
+  // multiplex group by group. Group-local padding is what keeps the
+  // interleaved layout competitive: the pad bound is the max over 8 rows,
+  // not over the whole slice.
   std::vector<bits::AnsEncSym> scratch;
   std::vector<std::uint32_t> padded;
   for (index_t s = 0; s < num_slices; ++s) {
     BroAnsSlice& slice = out.slices_[static_cast<std::size_t>(s)];
     const auto& slice_deltas = deltas[static_cast<std::size_t>(s)];
-    if (slice.num_col == 0) {
-      slice.stream = bits::MuxedStream(
-          opts.sym_len, static_cast<std::size_t>(slice.height), 0);
-      continue;
-    }
-    std::vector<bits::BitString> row_streams(
-        static_cast<std::size_t>(slice.height));
-    std::size_t max_bits = 0;
-    for (index_t t = 0; t < slice.height; ++t) {
-      const auto& d = slice_deltas[static_cast<std::size_t>(t)];
-      padded.assign(static_cast<std::size_t>(slice.num_col),
-                    bits::kInvalidDelta);
-      std::copy(d.begin(), d.end(), padded.begin());
-      auto& bs = row_streams[static_cast<std::size_t>(t)];
-      bits::ans_encode_row(out.table_, padded, scratch, bs);
-      max_bits = std::max(max_bits, bs.size_bits());
-    }
-    const std::size_t sym_len = static_cast<std::size_t>(opts.sym_len);
-    const std::size_t target_bits =
-        (max_bits + sym_len - 1) / sym_len * sym_len;
-    for (auto& bs : row_streams) {
-      while (bs.size_bits() < target_bits) {
-        const std::size_t gap = target_bits - bs.size_bits();
-        bs.append(0, static_cast<int>(std::min<std::size_t>(64, gap)));
+    const index_t num_groups = ans_num_groups(slice.height);
+    slice.init_states.assign(static_cast<std::size_t>(slice.height), 0);
+    slice.groups.resize(static_cast<std::size_t>(num_groups));
+    for (index_t g = 0; g < num_groups; ++g) {
+      const index_t gw = ans_group_width(slice.height, g);
+      if (slice.num_col == 0) {
+        slice.groups[static_cast<std::size_t>(g)] =
+            bits::MuxedStream(opts.sym_len, static_cast<std::size_t>(gw), 0);
+        continue;
       }
+      std::vector<bits::BitString> row_streams(static_cast<std::size_t>(gw));
+      std::size_t max_bits = 0;
+      for (index_t j = 0; j < gw; ++j) {
+        const index_t t = g * kAnsLaneGroup + j;
+        const auto& d = slice_deltas[static_cast<std::size_t>(t)];
+        padded.assign(static_cast<std::size_t>(slice.num_col),
+                      bits::kInvalidDelta);
+        std::copy(d.begin(), d.end(), padded.begin());
+        auto& bs = row_streams[static_cast<std::size_t>(j)];
+        slice.init_states[static_cast<std::size_t>(t)] =
+            static_cast<std::uint16_t>(
+                bits::ans_encode_row_split(out.table_, padded, scratch, bs));
+        max_bits = std::max(max_bits, bs.size_bits());
+      }
+      const std::size_t sym_len = static_cast<std::size_t>(opts.sym_len);
+      const std::size_t target_bits =
+          (max_bits + sym_len - 1) / sym_len * sym_len;
+      for (auto& bs : row_streams) {
+        while (bs.size_bits() < target_bits) {
+          const std::size_t gap = target_bits - bs.size_bits();
+          bs.append(0, static_cast<int>(std::min<std::size_t>(64, gap)));
+        }
+      }
+      slice.groups[static_cast<std::size_t>(g)] =
+          bits::MuxedStream::interleave(row_streams, opts.sym_len);
     }
-    slice.stream = bits::MuxedStream::interleave(row_streams, opts.sym_len);
   }
   return out;
 }
@@ -145,9 +158,12 @@ std::vector<index_t> BroAns::decode_row(index_t row) const {
   const index_t t = row - slice.first_row;
   std::vector<index_t> cols;
   if (slice.num_col == 0) return cols;
-  AnsLaneReader rd(slice.stream, t, opts_.sym_len);
+  const index_t g = t / kAnsLaneGroup;
+  AnsLaneReader rd(slice.groups[static_cast<std::size_t>(g)],
+                   t % kAnsLaneGroup, opts_.sym_len);
   const int tl = table_.table_log();
-  std::uint32_t x = (1u << tl) + rd.next(tl);
+  std::uint32_t x =
+      (1u << tl) + slice.init_states[static_cast<std::size_t>(t)];
   index_t acc = -1;
   for (index_t c = 0; c < slice.num_col; ++c) {
     const std::uint32_t e = table_.entry(x);
@@ -187,8 +203,10 @@ void BroAns::spmv(std::span<const value_t> x, std::span<value_t> y) const {
       const index_t r = slice.first_row + t;
       value_t sum = 0;
       if (slice.num_col > 0) {
-        AnsLaneReader rd(slice.stream, t, opts_.sym_len);
-        std::uint32_t st = (1u << tl) + rd.next(tl);
+        AnsLaneReader rd(slice.groups[static_cast<std::size_t>(t / kAnsLaneGroup)],
+                         t % kAnsLaneGroup, opts_.sym_len);
+        std::uint32_t st =
+            (1u << tl) + slice.init_states[static_cast<std::size_t>(t)];
         index_t col = -1;
         for (index_t c = 0; c < slice.num_col; ++c) {
           const std::uint32_t e = table_.entry(st);
@@ -210,7 +228,8 @@ void BroAns::spmv(std::span<const value_t> x, std::span<value_t> y) const {
 std::size_t BroAns::compressed_index_bytes() const {
   std::size_t total = table_.serialized_bytes();
   for (const auto& s : slices_) {
-    total += s.stream.byte_size();
+    for (const auto& g : s.groups) total += g.byte_size();
+    total += s.init_states.size() * sizeof(std::uint16_t);
     total += sizeof(index_t); // num_col entry
   }
   return total;
@@ -219,7 +238,8 @@ std::size_t BroAns::compressed_index_bytes() const {
 std::size_t BroAns::resident_index_bytes() const {
   std::size_t total = table_.resident_bytes();
   for (const auto& s : slices_) {
-    total += s.stream.resident_bytes();
+    for (const auto& g : s.groups) total += g.resident_bytes();
+    total += s.init_states.size() * sizeof(std::uint16_t);
     total += sizeof(index_t);
   }
   return total;

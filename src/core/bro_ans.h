@@ -8,11 +8,19 @@
 // whole matrix, ~log2(1/p) bits per class plus the mantissa, beating the
 // per-column-maximum widths wherever delta widths are skewed.
 //
-// Unlike BRO-ELL, rows of a slice consume different bit counts, so each
-// row's stream is zero-padded up to the slice's longest row before
-// multiplexing; decoders stop after num_col symbols and never read the
-// pad. The values array is ELLPACK's, untouched: like every BRO scheme
-// this compresses index data only.
+// Interleaved-stream layout (v2, DESIGN.md §10): the rows of a slice are
+// partitioned into *lane groups* of kAnsLaneGroup (= 8, the AVX2 u32 SIMD
+// width) consecutive rows. Each group is one MuxedStream — symbol c of
+// group-lane j lives at flat slot c*gw + j — so a single aligned 8x32-bit
+// load feeds all eight ANS states of a group in the vectorized decoder.
+// Streams hold nothing but per-symbol fields (bits/ans.h); each row's
+// initial decoder state is carried out of band in the slice's init_states
+// array (one uint16 offset x0 - L per row). Rows of a group consume
+// different bit counts, so each is zero-padded up to the group's longest
+// row (rounded to sym_len) before multiplexing — a strictly tighter bound
+// than the v1 whole-slice maximum; decoders stop after num_col symbols and
+// never read the pad. The values array is ELLPACK's, untouched: like every
+// BRO scheme this compresses index data only.
 #pragma once
 
 #include <cstdint>
@@ -33,13 +41,32 @@ struct BroAnsOptions {
   int table_log = 10;     // log2 of the ANS table size (4 KiB decode table)
 };
 
-/// One compressed slice: the actual column count and the multiplexed
-/// entropy-coded stream (per-row layout documented in bits/ans.h).
+/// Rows per interleaved lane group — the AVX2 u32 SIMD width. Slices keep
+/// the BRO-ELL slice_height for value layout and row sharding; the lane
+/// group is the unit the SIMD decoder consumes.
+inline constexpr index_t kAnsLaneGroup = 8;
+
+/// Number of lane groups covering `height` rows.
+constexpr index_t ans_num_groups(index_t height) {
+  return (height + kAnsLaneGroup - 1) / kAnsLaneGroup;
+}
+
+/// Width (row count) of group `g` within a slice of `height` rows — the
+/// last group may be partial.
+constexpr index_t ans_group_width(index_t height, index_t g) {
+  const index_t r0 = g * kAnsLaneGroup;
+  return height - r0 < kAnsLaneGroup ? height - r0 : kAnsLaneGroup;
+}
+
+/// One compressed slice: the actual column count, the per-row initial ANS
+/// states, and one multiplexed fields-only stream per lane group (per-row
+/// layout documented in bits/ans.h).
 struct BroAnsSlice {
   index_t first_row = 0;
   index_t height = 0;
-  index_t num_col = 0; // symbols decoded per row (0: empty stream)
-  bits::MuxedStream stream;
+  index_t num_col = 0; // symbols decoded per row (0: empty streams)
+  std::vector<std::uint16_t> init_states; // height entries, x0 - L
+  std::vector<bits::MuxedStream> groups;  // ans_num_groups(height) streams
 };
 
 class BroAns {

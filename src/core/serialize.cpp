@@ -219,6 +219,11 @@ void write_ans_body(std::ostream& out, const BroAns& m) {
   write_pod<std::int32_t>(out, m.options().slice_height);
   write_pod<std::int32_t>(out, m.options().sym_len);
   write_pod<std::int32_t>(out, m.options().table_log);
+  // Payload layout version (the header tag and global version are shared
+  // with every format): 2 = interleaved lane groups with out-of-band
+  // initial states. Version 1 (one whole-slice stream, state in-stream) is
+  // no longer written or read.
+  write_pod<std::uint32_t>(out, 2);
   // The normalized frequency table; the decode table is rebuilt on load.
   write_vec(out, m.table().freqs());
   write_pod<std::uint64_t>(out, m.slices().size());
@@ -226,7 +231,9 @@ void write_ans_body(std::ostream& out, const BroAns& m) {
     write_pod(out, s.first_row);
     write_pod(out, s.height);
     write_pod(out, s.num_col);
-    write_mux(out, s.stream);
+    write_vec(out, s.init_states);
+    write_pod<std::uint64_t>(out, s.groups.size());
+    for (const bits::MuxedStream& g : s.groups) write_mux(out, g);
   }
   write_vec(out, m.vals());
 }
@@ -240,6 +247,10 @@ BroAns read_ans_body(std::istream& in) {
   opts.sym_len = read_pod<std::int32_t>(in);
   opts.table_log = read_pod<std::int32_t>(in);
   BRO_CHECK_MSG(opts.sym_len == 32 || opts.sym_len == 64, "corrupt sym_len");
+  const auto layout = read_pod<std::uint32_t>(in);
+  BRO_CHECK_MSG(layout == 2, "unsupported BRO-ANS payload layout "
+                                 << layout
+                                 << " (this build reads layout 2 only)");
   auto freqs = read_vec<std::uint16_t>(in, kSane);
   // from_freqs validates table_log range, table size and frequency sum.
   bits::AnsTable table =
@@ -251,7 +262,11 @@ BroAns read_ans_body(std::istream& in) {
     s.first_row = read_pod<index_t>(in);
     s.height = read_pod<index_t>(in);
     s.num_col = read_pod<index_t>(in);
-    s.stream = read_mux(in);
+    s.init_states = read_vec<std::uint16_t>(in, kSane);
+    const auto ng = read_pod<std::uint64_t>(in);
+    BRO_CHECK_MSG(ng <= kSane, "implausible lane-group count");
+    s.groups.resize(ng);
+    for (auto& g : s.groups) g = read_mux(in);
   }
   auto vals = read_vec<value_t>(in, kSane);
   return SerializeAccess::make_ans(rows, cols, width, opts, std::move(table),

@@ -20,8 +20,8 @@ void check_sym_len(int sym_len) {
 BroAnsKernel select_bro_ans_kernel(int sym_len, SimdIsa isa) {
   check_sym_len(sym_len);
   BroAnsKernel k;
-  if (const SimdKernelSet* set = simd_kernel_set(isa)) {
-    k.spmv = sym_len == 32 ? set->ans_spmv32 : set->ans_spmv64;
+  if (const AnsSimdKernelSet* set = ans_simd_kernel_set(isa)) {
+    k.spmv = sym_len == 32 ? set->spmv32 : set->spmv64;
     if (k.spmv) {
       k.isa = set->isa;
       return k;

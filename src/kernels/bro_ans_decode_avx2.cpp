@@ -1,0 +1,26 @@
+// AVX2 BRO-ANS entropy decode kernel set (8 interleaved tANS states per
+// lane group, vpgatherdd table lookups, branchless vector renorm).
+// Compiled with -mavx2 -ffp-contract=off when the toolchain supports it
+// (see src/kernels/CMakeLists.txt); collapses to a stub exporting a null
+// set otherwise, so non-x86 builds link unchanged.
+#include "kernels/bro_decode_simd.h"
+
+#if defined(__AVX2__)
+
+#define BRO_SIMD_NS ans_avx2
+#define BRO_SIMD_ISA ::bro::kernels::SimdIsa::kAvx2
+#include "kernels/bro_ans_decode_simd_impl.h"
+#undef BRO_SIMD_NS
+#undef BRO_SIMD_ISA
+
+namespace bro::kernels::detail {
+const AnsSimdKernelSet* const kAnsSimdSetAvx2 = &ans_avx2::kAnsKernelSet;
+} // namespace bro::kernels::detail
+
+#else
+
+namespace bro::kernels::detail {
+const AnsSimdKernelSet* const kAnsSimdSetAvx2 = nullptr;
+} // namespace bro::kernels::detail
+
+#endif

@@ -1,0 +1,27 @@
+// SSE4.2 BRO-ANS entropy decode kernel set. SSE4 has neither gathers nor
+// per-lane variable shifts, so there is nothing to vectorize in a tANS
+// chain at this ISA; its contribution is chain count — all 8 lanes of a
+// group in flight (the baseline interleaves 4) compiled under -msse4.2.
+// Collapses to a stub exporting a null set when the toolchain cannot
+// target the ISA, so non-x86 builds link unchanged.
+#include "kernels/bro_decode_simd.h"
+
+#if defined(__SSE4_2__)
+
+#define BRO_SIMD_NS ans_sse4
+#define BRO_SIMD_ISA ::bro::kernels::SimdIsa::kSse4
+#include "kernels/bro_ans_decode_simd_impl.h"
+#undef BRO_SIMD_NS
+#undef BRO_SIMD_ISA
+
+namespace bro::kernels::detail {
+const AnsSimdKernelSet* const kAnsSimdSetSse4 = &ans_sse4::kAnsKernelSet;
+} // namespace bro::kernels::detail
+
+#else
+
+namespace bro::kernels::detail {
+const AnsSimdKernelSet* const kAnsSimdSetSse4 = nullptr;
+} // namespace bro::kernels::detail
+
+#endif

@@ -44,10 +44,27 @@ struct SimdKernelSet {
   decltype(BroCooKernel::spmv) coo_spmv64 = nullptr;
   decltype(BroCooKernel::spmm) coo_spmm32 = nullptr;
   decltype(BroCooKernel::spmm) coo_spmm64 = nullptr;
-  decltype(BroAnsKernel::spmv) ans_spmv32 = nullptr;
-  decltype(BroAnsKernel::spmv) ans_spmv64 = nullptr;
   SimdChecksumFn<std::uint32_t> checksum32 = nullptr;
   SimdChecksumFn<std::uint64_t> checksum64 = nullptr;
+};
+
+/// What one ISA contributes to BRO-ANS entropy decode. A separate set (and
+/// separate per-ISA TUs, bro_ans_decode_{sse4,avx2}.cpp) because the
+/// entropy decoders share nothing with the fixed-width lockstep kernels:
+/// they run one ANS state per interleaved lane-group row, with vectorized
+/// table gathers and branchless renorm on AVX2. The checksum entries are
+/// the decode-only passes the throughput bench and entropy-bench time.
+/// Every kernel decodes the identical delta sequence and keeps per-row FP
+/// accumulation in scalar program order, so results are bitwise equal to
+/// the scalar chains.
+struct AnsSimdKernelSet {
+  SimdIsa isa = SimdIsa::kScalar;
+  decltype(BroAnsKernel::spmv) spmv32 = nullptr;
+  decltype(BroAnsKernel::spmv) spmv64 = nullptr;
+  std::uint64_t (*checksum32)(const core::BroAns& a,
+                              const core::BroAnsSlice& slice) = nullptr;
+  std::uint64_t (*checksum64)(const core::BroAns& a,
+                              const core::BroAnsSlice& slice) = nullptr;
 };
 
 /// The kernel set compiled for `isa`, or nullptr when the binary does not
@@ -57,11 +74,17 @@ struct SimdKernelSet {
 /// two.
 const SimdKernelSet* simd_kernel_set(SimdIsa isa);
 
+/// Same contract for the BRO-ANS entropy decode set.
+const AnsSimdKernelSet* ans_simd_kernel_set(SimdIsa isa);
+
 namespace detail {
-// Defined by the per-ISA TUs; read by simd_kernel_set(). Constant
-// initialized, so safe to read from any static initializer.
+// Defined by the per-ISA TUs; read by simd_kernel_set() /
+// ans_simd_kernel_set(). Constant initialized, so safe to read from any
+// static initializer.
 extern const SimdKernelSet* const kSimdSetSse4;
 extern const SimdKernelSet* const kSimdSetAvx2;
+extern const AnsSimdKernelSet* const kAnsSimdSetSse4;
+extern const AnsSimdKernelSet* const kAnsSimdSetAvx2;
 } // namespace detail
 
 } // namespace bro::kernels

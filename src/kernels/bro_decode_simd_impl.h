@@ -545,108 +545,6 @@ void coo_interval_spmm(const core::BroCoo& a, std::size_t i,
   }
 }
 
-// ---------------------------------------------------------------- BRO-ANS
-
-/// One tANS decode chain over a muxed-stream lane (local copy of the
-/// baseline AnsChain, per the ODR rule — built on this TU's ScalarLane).
-/// Default-constructible so a V::kLanes-sized array can be init()'d in a
-/// loop; a tANS chain is state-serial, so the ISA contribution here is not
-/// vector unpacking but chain count: kLanes interleaved independent chains
-/// matched to the register width the rest of this TU targets.
-template <typename SymT>
-struct AnsLane {
-  ScalarLane<SymT> dec;
-  std::uint32_t x = 0;
-
-  void init(const SymT* stream, std::size_t stride, std::size_t lane,
-            int tl) {
-    dec = ScalarLane<SymT>(stream, stride, lane);
-    x = (1u << tl) + dec.next(tl);
-  }
-
-  inline std::uint32_t step(const std::uint32_t* table, std::uint32_t L) {
-    const std::uint32_t e = table[x - L];
-    const int cls = static_cast<int>(e & 63u);
-    const int nb = static_cast<int>((e >> 6) & 31u);
-    const int mb = cls > 0 ? cls - 1 : 0;
-    std::uint32_t mantissa, state_bits;
-    if (mb + nb <= 32) {
-      const std::uint32_t r = dec.next(mb + nb);
-      mantissa = r >> nb;
-      state_bits =
-          r & static_cast<std::uint32_t>(bits::max_value_for_bits(nb));
-    } else {
-      mantissa = dec.next(mb);
-      state_bits = dec.next(nb);
-    }
-    x = (e >> 11) + state_bits;
-    return cls > 0 ? ((1u << (cls - 1)) | mantissa) : 0;
-  }
-};
-
-template <typename SymT, typename V>
-void ans_slice_spmv(const core::BroAns& a, const core::BroAnsSlice& slice,
-                    std::span<const value_t> x, std::span<value_t> y) {
-  const std::size_t first = static_cast<std::size_t>(slice.first_row);
-  if (slice.num_col == 0) {
-    for (index_t t = 0; t < slice.height; ++t)
-      y[first + static_cast<std::size_t>(t)] = 0;
-    return;
-  }
-  const SymT* stream = slice.stream.template data<SymT>();
-  const std::size_t h = static_cast<std::size_t>(slice.height);
-  const std::uint32_t* table = a.table().decode_data();
-  const int tl = a.table().table_log();
-  const std::uint32_t L = 1u << tl;
-  const value_t* vals = a.vals().data();
-  const value_t* xp = x.data();
-  const std::size_t m = static_cast<std::size_t>(a.rows());
-  constexpr int W = V::kLanes;
-
-  index_t t = 0;
-  for (; t + W - 1 < slice.height; t += W) {
-    const std::size_t r0 = first + static_cast<std::size_t>(t);
-    AnsLane<SymT> ch[W];
-    for (int j = 0; j < W; ++j)
-      ch[j].init(stream, h, static_cast<std::size_t>(t) +
-                                static_cast<std::size_t>(j),
-                 tl);
-    index_t col[W];
-    value_t sum[W];
-    for (int j = 0; j < W; ++j) col[j] = -1;
-    for (int j = 0; j < W; ++j) sum[j] = 0;
-    std::size_t voff = 0;
-    for (index_t c = 0; c < slice.num_col; ++c, voff += m) {
-      for (int j = 0; j < W; ++j) {
-        const std::uint32_t d = ch[j].step(table, L);
-        if (d != bits::kInvalidDelta) {
-          col[j] += static_cast<index_t>(d);
-          sum[j] += vals[voff + r0 + static_cast<std::size_t>(j)] *
-                    xp[static_cast<std::size_t>(col[j])];
-        }
-      }
-    }
-    for (int j = 0; j < W; ++j)
-      y[r0 + static_cast<std::size_t>(j)] = sum[j];
-  }
-  for (; t < slice.height; ++t) {
-    const std::size_t r = first + static_cast<std::size_t>(t);
-    AnsLane<SymT> ch;
-    ch.init(stream, h, static_cast<std::size_t>(t), tl);
-    index_t col = -1;
-    value_t sum = 0;
-    std::size_t voff = 0;
-    for (index_t c = 0; c < slice.num_col; ++c, voff += m) {
-      const std::uint32_t d = ch.step(table, L);
-      if (d != bits::kInvalidDelta) {
-        col += static_cast<index_t>(d);
-        sum += vals[voff + r] * xp[static_cast<std::size_t>(col)];
-      }
-    }
-    y[r] = sum;
-  }
-}
-
 // --------------------------------------------------------------- checksum
 
 /// Lockstep decode-only checksum over a muxed stream with per-column
@@ -693,8 +591,6 @@ constexpr SimdKernelSet kKernelSet{
     .coo_spmv64 = &coo_interval_spmv<std::uint64_t, VecU64>,
     .coo_spmm32 = &coo_interval_spmm<std::uint32_t, VecU32>,
     .coo_spmm64 = &coo_interval_spmm<std::uint64_t, VecU64>,
-    .ans_spmv32 = &ans_slice_spmv<std::uint32_t, VecU32>,
-    .ans_spmv64 = &ans_slice_spmv<std::uint64_t, VecU64>,
     .checksum32 = &stream_checksum<std::uint32_t, VecU32>,
     .checksum64 = &stream_checksum<std::uint64_t, VecU64>,
 };

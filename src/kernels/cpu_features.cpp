@@ -58,6 +58,15 @@ const SimdKernelSet* simd_kernel_set(SimdIsa isa) {
   return nullptr;
 }
 
+const AnsSimdKernelSet* ans_simd_kernel_set(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar: return nullptr;
+    case SimdIsa::kSse4: return detail::kAnsSimdSetSse4;
+    case SimdIsa::kAvx2: return detail::kAnsSimdSetAvx2;
+  }
+  return nullptr;
+}
+
 bool simd_isa_runnable(SimdIsa isa) {
   if (isa == SimdIsa::kScalar) return true;
   if (!simd_isa_compiled(isa)) return false;

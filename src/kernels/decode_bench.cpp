@@ -17,6 +17,7 @@
 #include "kernels/bro_decode_simd.h"
 #include "kernels/native_spmv.h"
 #include "sparse/convert.h"
+#include "sparse/matgen/generators.h"
 #include "sparse/matgen/suite.h"
 #include "util/error.h"
 
@@ -372,7 +373,7 @@ std::uint64_t ans_suite_checksum(const core::BroAns& a) {
 } // namespace
 
 std::vector<EntropySuiteRow> entropy_suite_sweep(
-    double scale, double min_seconds_per_cell) {
+    SimdIsa isa, double scale, double min_seconds_per_cell) {
   std::vector<EntropySuiteRow> rows;
   for (const auto& entry : sparse::suite_test_set(1)) {
     const sparse::Csr csr = sparse::generate_suite_matrix(entry, scale);
@@ -399,13 +400,14 @@ std::vector<EntropySuiteRow> entropy_suite_sweep(
     BRO_CHECK_MSG(ans_suite_checksum(coded) == scalar_ell_checksum(fixed),
                   "BRO-ANS decode disagrees with BRO-ELL on " << entry.name);
 
-    // Time each format's dispatched scalar SpMV slice kernels — what
-    // execute() actually runs — over the full matrix, single-threaded.
-    // Both formats accumulate per row in column order over the same padded
-    // delta sequence, so the output vectors must match bitwise; fold y's
-    // bit pattern into the pass checksum to pin that every pass.
-    const auto ell_kernels = plan_bro_ell_kernels(fixed, SimdIsa::kScalar);
-    const auto ans_kernels = plan_bro_ans_kernels(coded, SimdIsa::kScalar);
+    // Time each format's dispatched SpMV slice kernels at `isa` — what
+    // execute() actually runs with that ISA active — over the full matrix,
+    // single-threaded. Both formats accumulate per row in column order over
+    // the same padded delta sequence, so the output vectors must match
+    // bitwise; fold y's bit pattern into the pass checksum to pin that
+    // every pass.
+    const auto ell_kernels = plan_bro_ell_kernels(fixed, isa);
+    const auto ans_kernels = plan_bro_ans_kernels(coded, isa);
     std::vector<value_t> x(static_cast<std::size_t>(csr.cols));
     for (std::size_t i = 0; i < x.size(); ++i)
       x[i] = 1.0 + static_cast<value_t>(i % 16) * 0.0625;
@@ -443,6 +445,44 @@ std::vector<EntropySuiteRow> entropy_suite_sweep(
     rows.push_back(std::move(row));
   }
   return rows;
+}
+
+AnsDecodeBenchCase make_ans_decode_bench_case(int sym_len, index_t nrows,
+                                              std::uint64_t seed) {
+  sparse::GenSpec spec;
+  spec.rows = nrows;
+  spec.cols = nrows;
+  spec.mu = 24.0;
+  spec.sigma = 4.0;
+  spec.aligned_blocks = true;
+  spec.run = 4;
+  spec.seed = seed;
+  const sparse::Ell ell = sparse::csr_to_ell(sparse::generate(spec));
+  core::BroAnsOptions opts;
+  opts.sym_len = sym_len;
+  AnsDecodeBenchCase c;
+  c.coded =
+      std::make_shared<const core::BroAns>(core::BroAns::compress(ell, opts));
+  for (const auto& s : c.coded->slices())
+    c.deltas += static_cast<std::size_t>(s.height) *
+                static_cast<std::size_t>(s.num_col);
+  c.expect = ans_suite_checksum(*c.coded);
+  return c;
+}
+
+std::uint64_t ans_decode_pass(const AnsDecodeBenchCase& c, SimdIsa isa) {
+  const core::BroAns& a = *c.coded;
+  const bool w32 = a.options().sym_len == 32;
+  const AnsSimdKernelSet* set = ans_simd_kernel_set(isa);
+  const auto vec = set ? (w32 ? set->checksum32 : set->checksum64) : nullptr;
+  std::uint64_t sum = 0;
+  for (const auto& s : a.slices()) {
+    if (s.height <= 0 || s.num_col <= 0) continue;
+    sum += vec ? vec(a, s)
+               : (w32 ? detail::ans_decode_checksum<std::uint32_t>(a, s)
+                      : detail::ans_decode_checksum<std::uint64_t>(a, s));
+  }
+  return sum;
 }
 
 } // namespace bro::kernels

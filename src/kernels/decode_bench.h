@@ -9,10 +9,12 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bits/mux.h"
+#include "core/bro_ans.h"
 #include "kernels/cpu_features.h"
 
 namespace bro::kernels {
@@ -97,9 +99,11 @@ std::vector<EllSuiteDecodeRow> ell_suite_decode_sweep(
 
 /// Entropy-coding A/B over BRO-ELL vs BRO-ANS compressions of the matgen
 /// suite (Test Set 1): per matrix, index space savings (eta) of both formats
-/// and full-stream decode throughput of each format's dispatched scalar
-/// decode path. Both sides decode the identical delta sequence (checked
-/// bitwise via the checksum before timing).
+/// and full-stream decode throughput of each format's dispatched decode path
+/// planned at `isa` (what execute() would run with that ISA active — the
+/// scalar 4-chain fallback when the ISA has no ANS kernel for the width).
+/// Both sides decode the identical delta sequence (checked bitwise via the
+/// checksum before timing).
 struct EntropySuiteRow {
   std::string matrix;
   std::size_t deltas = 0; // deltas decoded per pass (incl. padding slots)
@@ -109,7 +113,26 @@ struct EntropySuiteRow {
   double ans_gdps = 0;    // BRO-ANS decode throughput
 };
 
-std::vector<EntropySuiteRow> entropy_suite_sweep(double scale,
+std::vector<EntropySuiteRow> entropy_suite_sweep(SimdIsa isa, double scale,
                                                  double min_seconds_per_cell);
+
+/// BRO-ANS full-stream decode workload for the microbenchmark rows: a
+/// synthetic FEM-like matrix (aligned blocks — the structure class BRO-ANS
+/// is built for) compressed at `sym_len`, plus the sequential reference
+/// decoder's checksum that every timed pass is checked against.
+struct AnsDecodeBenchCase {
+  std::shared_ptr<const core::BroAns> coded;
+  std::size_t deltas = 0;   // padded deltas decoded per pass
+  std::uint64_t expect = 0; // sequential reference checksum
+};
+
+AnsDecodeBenchCase make_ans_decode_bench_case(int sym_len, index_t rows,
+                                              std::uint64_t seed);
+
+/// One decode-checksum pass over every slice through the kernel dispatch
+/// would select at `isa`: the per-ISA vector set when it has one for the
+/// stream width, else the baseline interleaved scalar chains. Returns the
+/// checksum (must equal c.expect — the parity contract).
+std::uint64_t ans_decode_pass(const AnsDecodeBenchCase& c, SimdIsa isa);
 
 } // namespace bro::kernels

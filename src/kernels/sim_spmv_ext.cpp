@@ -166,10 +166,21 @@ SimResult sim_spmv_bro_ans(const sim::DeviceSpec& dev, const core::BroAns& a,
   const auto val_arr = sim.alloc(a.vals().size(), sizeof(value_t));
   const auto x_arr = sim.alloc(x.size(), sizeof(value_t));
   const auto y_arr = sim.alloc(static_cast<std::uint64_t>(m), sizeof(value_t));
-  std::vector<sim::VirtualArray> stream_arrs;
-  stream_arrs.reserve(a.slices().size());
-  for (const auto& s : a.slices())
-    stream_arrs.push_back(sim.alloc(s.stream.total_symbols(), sym_bytes));
+  // One device array per lane-group stream plus one per-slice array of
+  // out-of-band initial states (v2 interleaved layout, core/bro_ans.h).
+  std::vector<std::vector<sim::VirtualArray>> group_arrs;
+  std::vector<sim::VirtualArray> init_arrs;
+  group_arrs.reserve(a.slices().size());
+  init_arrs.reserve(a.slices().size());
+  for (const auto& s : a.slices()) {
+    std::vector<sim::VirtualArray> ga;
+    ga.reserve(s.groups.size());
+    for (const auto& g : s.groups)
+      ga.push_back(sim.alloc(g.total_symbols(), sym_bytes));
+    group_arrs.push_back(std::move(ga));
+    init_arrs.push_back(
+        sim.alloc(s.init_states.size(), sizeof(std::uint16_t)));
+  }
 
   SimResult res;
   res.y.assign(static_cast<std::size_t>(m), value_t{0});
@@ -190,7 +201,8 @@ SimResult sim_spmv_bro_ans(const sim::DeviceSpec& dev, const core::BroAns& a,
   for (std::size_t si = 0; si < a.slices().size(); ++si) {
     const core::BroAnsSlice& slice = a.slices()[si];
     auto blk = sim.begin_block(si);
-    const auto& stream_arr = stream_arrs[si];
+    const auto& slice_group_arrs = group_arrs[si];
+    const auto& init_arr = init_arrs[si];
     if (slice.num_col == 0) {
       for (int l = 0; l < kWarp; ++l)
         addrs[static_cast<std::size_t>(l)] =
@@ -211,10 +223,15 @@ SimResult sim_spmv_bro_ans(const sim::DeviceSpec& dev, const core::BroAns& a,
       } else {
         const int high = ln.rb;
         d = high > 0 ? (ln.sym & bits::max_value_for_bits(high)) : 0;
-        ln.sym = slice.stream.at(static_cast<std::size_t>(ln.loads),
-                                 static_cast<std::size_t>(t));
-        load_addr = stream_arr.addr(
-            static_cast<std::uint64_t>(ln.loads) * slice.height + t);
+        const index_t g = t / core::kAnsLaneGroup;
+        const index_t j = t % core::kAnsLaneGroup;
+        const bits::MuxedStream& mux =
+            slice.groups[static_cast<std::size_t>(g)];
+        ln.sym = mux.at(static_cast<std::size_t>(ln.loads),
+                        static_cast<std::size_t>(j));
+        load_addr = slice_group_arrs[static_cast<std::size_t>(g)].addr(
+            static_cast<std::uint64_t>(ln.loads) * mux.height() +
+            static_cast<std::uint64_t>(j));
         ++ln.loads;
         const int low = b - high;
         d = (d << low) |
@@ -230,15 +247,17 @@ SimResult sim_spmv_bro_ans(const sim::DeviceSpec& dev, const core::BroAns& a,
       const int lanes = std::min<index_t>(kWarp, slice.height - t0);
       std::vector<Lane> lane(static_cast<std::size_t>(lanes));
 
-      // Initial state: tl bits per lane — always one (coalesced) load.
+      // Initial state: one coalesced 2-byte load per lane from the
+      // out-of-band init_states array (no in-stream bits in the v2 layout).
       for (int l = 0; l < kWarp; ++l) addrs[static_cast<std::size_t>(l)] = sim::kInactive;
       for (int l = 0; l < lanes; ++l) {
         auto& ln = lane[static_cast<std::size_t>(l)];
-        std::uint64_t la;
-        ln.state = (1u << tl) + read(ln, t0 + l, tl, la);
-        addrs[static_cast<std::size_t>(l)] = la;
+        ln.state = (1u << tl) +
+                   slice.init_states[static_cast<std::size_t>(t0 + l)];
+        addrs[static_cast<std::size_t>(l)] =
+            init_arr.addr(static_cast<std::uint64_t>(t0 + l));
       }
-      blk.load_global(addrs, sym_bytes);
+      blk.load_global(addrs, sizeof(std::uint16_t));
       blk.add_int_ops(static_cast<std::uint64_t>(lanes) * 2);
 
       for (index_t c = 0; c < slice.num_col; ++c) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 #include <tuple>
 #include <vector>
@@ -14,8 +15,11 @@
 #include "core/bro_ans.h"
 #include "core/bro_ell.h"
 #include "core/serialize.h"
+#include "kernels/bro_decode_simd.h"
+#include "kernels/cpu_features.h"
 #include "kernels/native_spmv.h"
 #include "sparse/convert.h"
+#include "sparse/matgen/adversarial.h"
 #include "sparse/matgen/generators.h"
 #include "util/rng.h"
 
@@ -66,6 +70,24 @@ std::vector<std::uint32_t> round_trip(const bb::AnsTable& table,
   std::vector<bb::AnsEncSym> scratch;
   bb::ans_encode_row(table, in, scratch, bits);
   return bb::ans_decode_row(table, bits, in.size());
+}
+
+/// Every ISA the parity sweeps can actually force on this host/binary:
+/// scalar always, each SIMD set when compiled in and supported by the CPU.
+std::vector<bk::SimdIsa> host_isas() {
+  std::vector<bk::SimdIsa> isas = {bk::SimdIsa::kScalar};
+  for (const bk::SimdIsa isa : {bk::SimdIsa::kSse4, bk::SimdIsa::kAvx2})
+    if (bk::simd_isa_runnable(isa)) isas.push_back(isa);
+  return isas;
+}
+
+void expect_bitwise(const std::vector<value_t>& got,
+                    const std::vector<value_t>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t r = 0; r < want.size(); ++r)
+    ASSERT_EQ(std::memcmp(&got[r], &want[r], sizeof(value_t)), 0)
+        << what << " diverges at row " << r << ": " << got[r] << " vs "
+        << want[r];
 }
 
 } // namespace
@@ -302,4 +324,129 @@ TEST(BroAnsSavings, BeatsFixedWidthOnStructuredMatrices) {
   EXPECT_LT(ans.compressed_index_bytes(), ref.compressed_index_bytes());
   EXPECT_LT(ans.compressed_index_bytes(), ans.original_index_bytes());
   EXPECT_LE(ans.compressed_index_bytes(), ans.resident_index_bytes());
+}
+
+// ---- SIMD dispatch parity ----
+
+/// Selection honors the forced ISA when its kernel set carries an SpMV for
+/// the symbol length and falls back to the scalar multi-chain kernel
+/// (tagged kScalar) otherwise — today that is every 64-bit-symbol request.
+TEST(AnsSimdParity, SelectionTagsAndScalarFallback) {
+  for (const bk::SimdIsa isa : host_isas()) {
+    for (const int sym_len : {32, 64}) {
+      const bk::BroAnsKernel k = bk::select_bro_ans_kernel(sym_len, isa);
+      ASSERT_NE(k.spmv, nullptr);
+      EXPECT_EQ(k.width, -1);
+      const bk::AnsSimdKernelSet* set = bk::ans_simd_kernel_set(isa);
+      const bool vec = set != nullptr &&
+                       (sym_len == 32 ? set->spmv32 : set->spmv64) != nullptr;
+      EXPECT_EQ(k.isa, vec ? isa : bk::SimdIsa::kScalar)
+          << bk::simd_isa_name(isa) << " sym" << sym_len;
+      if (vec) {
+        EXPECT_EQ(k.spmv, sym_len == 32 ? set->spmv32 : set->spmv64);
+      }
+    }
+    bk::ScopedSimdIsa forced(isa);
+    const bs::Csr csr = bs::generate_poisson2d(12, 13);
+    const auto bro = bc::BroAns::compress(bs::csr_to_ell(csr));
+    const auto kernels = bk::plan_bro_ans_kernels(bro);
+    ASSERT_EQ(kernels.size(), bro.slices().size());
+    for (const auto& k : kernels)
+      EXPECT_EQ(k.spmv,
+                bk::select_bro_ans_kernel(bro.options().sym_len, isa).spmv);
+  }
+}
+
+/// The adversarial battery swept across every host ISA, both symbol
+/// lengths, and the table_log extremes: the dispatched SpMV (inline and
+/// plan-time selection) must reproduce the single-chain sequential
+/// decoder bit for bit. Compressions are ISA-independent, so each config
+/// is built once and only the kernel calls sweep the forced ISA — the
+/// shape of test_decode_dispatch's AdversarialParity.
+TEST(AnsSimdParity, AdversarialSweepAcrossIsasTableLogsSymLens) {
+  const auto isas = host_isas();
+  for (auto& adversarial : bs::adversarial_suite(5)) {
+    const bs::Csr& csr = adversarial.csr;
+    if (csr.nnz() == 0 || csr.rows == 0) continue;
+    // ELLPACK blows up on spike shapes; gate like the registry does.
+    const double expand = static_cast<double>(csr.rows) *
+                          static_cast<double>(csr.max_row_length());
+    if (expand > 3.0 * static_cast<double>(csr.nnz())) continue;
+    const bs::Ell ell = bs::csr_to_ell(csr);
+    const auto x = random_vector(static_cast<std::size_t>(csr.cols), 31);
+    std::vector<value_t> y(static_cast<std::size_t>(csr.rows));
+    std::vector<value_t> y_gen(static_cast<std::size_t>(csr.rows));
+
+    for (const int sym_len : {32, 64})
+      for (const int table_log :
+           {bb::AnsTable::kMinTableLog, 10, bb::AnsTable::kMaxTableLog}) {
+        bc::BroAnsOptions opts;
+        opts.sym_len = sym_len;
+        opts.table_log = table_log;
+        opts.slice_height = 64; // several full lane groups + partial tails
+        const bc::BroAns bro = bc::BroAns::compress(ell, opts);
+        bk::native_spmv_bro_ans_generic(bro, x, y_gen);
+
+        for (const bk::SimdIsa isa : isas) {
+          bk::ScopedSimdIsa forced(isa);
+          bk::native_spmv_bro_ans(bro, x, y);
+          expect_bitwise(y, y_gen, adversarial.name.c_str());
+
+          const auto kernels = bk::plan_bro_ans_kernels(bro);
+          bk::native_spmv_bro_ans(bro, kernels, x, y);
+          expect_bitwise(y, y_gen, adversarial.name.c_str());
+        }
+      }
+  }
+}
+
+// ---- 64-bit eager refill ----
+
+/// Regression for the AnsChain<uint64_t> eager two-slot refill: wide
+/// deltas at the largest table make per-symbol reads of up to
+/// mantissa + renorm ~ 34 bits, so consecutive symbols drain the 64-bit
+/// window fast enough that nearly every refill splices bits across a slot
+/// boundary. The stream must round-trip exactly and the multi-chain
+/// decoder must match the single-chain baseline bitwise.
+TEST(BroAnsDecode, EagerRefillSpliceAtSymLen64) {
+  bs::Coo coo;
+  coo.rows = 24; // three lane groups, every chain hits the wide deltas
+  coo.cols = 1 << 20;
+  bro::Rng rng(0xeefe11);
+  for (index_t r = 0; r < coo.rows; ++r) {
+    index_t col = static_cast<index_t>(rng.next() % 64);
+    for (int j = 0; j < 48 && col < coo.cols; ++j) {
+      coo.push(r, col, rng.uniform() * 2 - 1);
+      // Alternate near-maximal jumps (19-bit mantissas) with tiny local
+      // steps so renorm counts swing across the whole [0, table_log] range.
+      const index_t jump = (j % 2 == 0)
+                               ? (coo.cols >> 6) +
+                                     static_cast<index_t>(rng.next() % 1024)
+                               : 1 + static_cast<index_t>(rng.next() % 3);
+      col += jump;
+    }
+  }
+  const bs::Csr csr = bs::coo_to_csr(coo);
+  const bs::Ell ell = bs::csr_to_ell(csr);
+
+  bc::BroAnsOptions opts;
+  opts.sym_len = 64;
+  opts.table_log = bb::AnsTable::kMaxTableLog;
+  opts.slice_height = 8;
+  const bc::BroAns bro = bc::BroAns::compress(ell, opts);
+
+  const bs::Ell out = bro.decompress();
+  ASSERT_EQ(out.col_idx, ell.col_idx);
+  ASSERT_EQ(out.vals, ell.vals);
+  EXPECT_TRUE(bro::check::validate_bro_ans(bro, &csr).empty());
+
+  const auto x = random_vector(static_cast<std::size_t>(csr.cols), 7);
+  std::vector<value_t> y(static_cast<std::size_t>(csr.rows));
+  std::vector<value_t> y_gen(static_cast<std::size_t>(csr.rows));
+  bk::native_spmv_bro_ans_generic(bro, x, y_gen);
+  for (const bk::SimdIsa isa : host_isas()) {
+    bk::ScopedSimdIsa forced(isa);
+    bk::native_spmv_bro_ans(bro, x, y);
+    expect_bitwise(y, y_gen, "eager-refill-sym64");
+  }
 }

@@ -399,21 +399,28 @@ int cmd_bench_decode(const Args& args) {
 }
 
 /// `entropy-bench`: the BRO-ANS vs BRO-ELL A/B on Test Set 1 — per matrix,
-/// index space savings of both formats and dispatched scalar decode
-/// throughput. With --gate, exits non-zero unless BRO-ANS wins mean savings
-/// and its decode throughput stays within --max-slowdown of BRO-ELL's
-/// (geomean), the PR's acceptance claim as a CI check.
+/// index space savings of both formats and decode throughput of the paths
+/// dispatch plans at the active ISA (BRO_SIMD honored). With --gate, exits
+/// non-zero unless BRO-ANS wins mean savings and its decode throughput
+/// stays within --max-slowdown of BRO-ELL's (geomean), the PR's acceptance
+/// claim as a CI check.
 int cmd_entropy_bench(const Args& args) {
   const double scale = args.get_double("scale", 0.125);
   const double min_time = args.get_double("min-time", 0.02);
-  // Entropy decode is uop-bound at roughly 2.5-3x the fixed-width kernels
-  // single-threaded (see EXPERIMENTS.md); the default budget leaves CI
-  // headroom above that measured band rather than restating the design
-  // target. Tighten with --max-slowdown when chasing decode regressions.
-  const double max_slowdown = args.get_double("max-slowdown", 4.0);
-  std::cout << "BRO-ANS vs BRO-ELL on Test Set 1 (scale " << scale
-            << "): index savings eta and scalar decode Gdeltas/s\n";
-  const auto rows = kernels::entropy_suite_sweep(scale, min_time);
+  const kernels::SimdIsa isa = kernels::active_simd_isa();
+  // With the AVX2 interleaved-stream decoder the design target itself is
+  // the budget: BRO-ANS must hold within 1.5x of BRO-ELL (EXPERIMENTS.md).
+  // ISAs without a vector tANS kernel (scalar, SSE4) decode on the
+  // chain-interleaved scalar path in the 2.5-3x band, so they keep the old
+  // 4x headroom — the BRO_SIMD=scalar CI pass still gates that path.
+  // Tighten with --max-slowdown when chasing decode regressions.
+  const double default_budget =
+      isa == kernels::SimdIsa::kAvx2 ? 1.5 : 4.0;
+  const double max_slowdown = args.get_double("max-slowdown", default_budget);
+  std::cout << "BRO-ANS vs BRO-ELL on Test Set 1 (scale " << scale << ", "
+            << kernels::simd_isa_name(isa)
+            << "): index savings eta and dispatched decode Gdeltas/s\n";
+  const auto rows = kernels::entropy_suite_sweep(isa, scale, min_time);
   Table t({"Matrix", "deltas", "eta ELL", "eta ANS", "ELL Gd/s", "ANS Gd/s",
            "slowdown"});
   double ell_eta_sum = 0, ans_eta_sum = 0, log_slowdown_sum = 0;
