@@ -98,6 +98,28 @@ void BM_AnsDecode(benchmark::State& state, kernels::SimdIsa isa,
       benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
 }
 
+/// BRO-BCSR block-index decode through the path dispatch would select at
+/// `isa` — the same slice machinery the decode-* rows time, fed the
+/// one-index-per-block stream of a truss-FEM compression. Checksum checked
+/// against the scalar dispatch path before timing.
+void BM_BcsrDecode(benchmark::State& state, kernels::SimdIsa isa,
+                   int sym_len) {
+  const auto c = kernels::make_bcsr_decode_bench_case(
+      sym_len, /*panels=*/2000, 0xbc5eed00u + static_cast<unsigned>(sym_len));
+  if (kernels::bcsr_decode_pass(c, isa) != c.expect) {
+    state.SkipWithError("BRO-BCSR decode disagrees with scalar dispatch");
+    return;
+  }
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += kernels::bcsr_decode_pass(c, isa);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["deltas/s"] = benchmark::Counter(
+      static_cast<double>(c.deltas) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+
 /// The BRO-ELL suite scalar-vs-SIMD A/B, printed once before the registered
 /// benchmarks so every perf-smoke artifact's log carries the geomean.
 void print_suite_ab() {
@@ -168,6 +190,11 @@ int main(int argc, char** argv) {
            std::to_string(sym_len))
               .c_str(),
           BM_AnsDecode, isa, sym_len);
+      benchmark::RegisterBenchmark(
+          ("bcsr-decode-" + std::string(kernels::simd_isa_name(isa)) +
+           "/sym" + std::to_string(sym_len))
+              .c_str(),
+          BM_BcsrDecode, isa, sym_len);
     }
   }
   print_suite_ab();

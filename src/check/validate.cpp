@@ -665,4 +665,119 @@ Issues validate_bro_ans(const core::BroAns& a, const sparse::Csr* ref) {
   return issues;
 }
 
+Issues validate_bro_bcsr(const core::BroBcsr& a, const sparse::Csr* ref) {
+  Issues issues;
+  Acc acc(issues);
+  const int br = a.block_r();
+  const int bc = a.block_c();
+  acc.check(br >= 1 && br <= 8 &&
+                (bc == 1 || bc == 2 || bc == 4 || bc == 8),
+            [&](auto& os) {
+              os << "block shape " << br << "x" << bc
+                 << " outside the candidate space (r in [1,8], c in "
+                    "{1,2,4,8})";
+            });
+  if (!issues.empty()) return issues;
+
+  // The slices must tile [0, block_rows) contiguously, with sane widths and
+  // a value array holding exactly one tile per (block row, column slot).
+  const index_t block_rows = (a.rows() + br - 1) / br;
+  acc.check(a.block_rows() == block_rows, [&](auto& os) {
+    os << "block_rows " << a.block_rows() << " != ceil(rows/br) "
+       << block_rows;
+  });
+  const auto tile = static_cast<std::size_t>(br) * static_cast<std::size_t>(bc);
+  std::size_t want_slots = 0;
+  index_t next = 0;
+  for (std::size_t s = 0; s < a.slices().size(); ++s) {
+    const auto& sl = a.slices()[s];
+    acc.check(sl.first_row == next, [&](auto& os) {
+      os << "slice " << s << " starts at block row " << sl.first_row
+         << ", expected " << next;
+    });
+    acc.check(sl.height > 0 && sl.height <= a.options().slice_height,
+              [&](auto& os) {
+                os << "slice " << s << " height " << sl.height
+                   << " out of (0, " << a.options().slice_height << "]";
+              });
+    acc.check(sl.bit_alloc.size() == static_cast<std::size_t>(sl.num_col),
+              [&](auto& os) {
+                os << "slice " << s << " bit_alloc has " << sl.bit_alloc.size()
+                   << " widths for " << sl.num_col << " columns";
+              });
+    for (const auto b : sl.bit_alloc)
+      acc.check(b >= 1 && b <= 32, [&](auto& os) {
+        os << "slice " << s << " bit width " << int(b) << " out of [1, 32]";
+      });
+    want_slots += static_cast<std::size_t>(sl.height) *
+                  static_cast<std::size_t>(sl.num_col) * tile;
+    next = sl.first_row + sl.height;
+  }
+  acc.check(next == block_rows, [&](auto& os) {
+    os << "slices cover block rows [0, " << next << "), matrix has "
+       << block_rows;
+  });
+  acc.check(a.value_slots() == want_slots, [&](auto& os) {
+    os << "vals holds " << a.value_slots() << " entries, expected "
+       << want_slots;
+  });
+  if (!issues.empty()) return issues;
+
+  // Decoded block columns must be strictly increasing and in range.
+  const index_t bcols = (a.cols() + bc - 1) / bc;
+  for (index_t b = 0; b < block_rows && !acc.full(); ++b) {
+    index_t prev = -1;
+    for (const index_t c : a.decode_block_row(b)) {
+      acc.check(c > prev && c >= 0 && c < bcols, [&](auto& os) {
+        os << "block row " << b << ": decoded block column " << c
+           << " not strictly increasing in [0, " << bcols << ")";
+      });
+      prev = c;
+    }
+  }
+  if (!issues.empty() || !ref) return issues;
+
+  // Block-cover-exactness: the cover's CSR must contain every reference
+  // entry with its exact value, and nothing else but explicit fill zeros.
+  const sparse::Csr cover = a.to_csr();
+  structural_csr(acc, cover);
+  acc.check(cover.rows == ref->rows && cover.cols == ref->cols,
+            [&](auto& os) {
+              os << "cover dimensions " << cover.rows << " x " << cover.cols
+                 << " != reference " << ref->rows << " x " << ref->cols;
+            });
+  if (!issues.empty()) return issues;
+  for (index_t r = 0; r < ref->rows && !acc.full(); ++r) {
+    std::size_t g = static_cast<std::size_t>(cover.row_ptr[r]);
+    const std::size_t gend = static_cast<std::size_t>(cover.row_ptr[r + 1]);
+    for (std::size_t e = static_cast<std::size_t>(ref->row_ptr[r]);
+         e < static_cast<std::size_t>(ref->row_ptr[r + 1]); ++e) {
+      while (g < gend && cover.col_idx[g] < ref->col_idx[e]) {
+        acc.check(cover.vals[g] == value_t{0}, [&](auto& os) {
+          os << "row " << r << " column " << cover.col_idx[g]
+             << ": cover adds a non-zero value absent from the source";
+        });
+        ++g;
+      }
+      const bool found = g < gend && cover.col_idx[g] == ref->col_idx[e];
+      acc.check(found, [&](auto& os) {
+        os << "row " << r << " column " << ref->col_idx[e]
+           << ": source entry missing from the block cover";
+      });
+      if (!found) continue;
+      acc.check(cover.vals[g] == ref->vals[e], [&](auto& os) {
+        os << "row " << r << " column " << ref->col_idx[e]
+           << ": cover value differs from the source";
+      });
+      ++g;
+    }
+    for (; g < gend; ++g)
+      acc.check(cover.vals[g] == value_t{0}, [&](auto& os) {
+        os << "row " << r << " column " << cover.col_idx[g]
+           << ": cover adds a non-zero value absent from the source";
+      });
+  }
+  return issues;
+}
+
 } // namespace bro::check

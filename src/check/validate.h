@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/bro_ans.h"
+#include "core/bro_bcsr.h"
 #include "core/bro_coo.h"
 #include "core/bro_csr.h"
 #include "core/bro_ell.h"
@@ -54,5 +55,10 @@ Issues validate_bro_csr(const core::BroCsr& a,
                         const sparse::Csr* ref = nullptr);
 Issues validate_bro_ans(const core::BroAns& a,
                         const sparse::Csr* ref = nullptr);
+/// BRO-BCSR's cross-check is block-cover-exactness rather than a bitwise
+/// round-trip: every reference entry must appear in the cover with its exact
+/// value, and every extra cover entry must be an explicit fill zero.
+Issues validate_bro_bcsr(const core::BroBcsr& a,
+                         const sparse::Csr* ref = nullptr);
 
 } // namespace bro::check

@@ -63,6 +63,11 @@ const BroAns& Matrix::bro_ans() const {
   return *bro_ans_;
 }
 
+const BroBcsr& Matrix::bro_bcsr() const {
+  if (!bro_bcsr_) bro_bcsr_ = BroBcsr::compress(csr_, opts_.bcsr);
+  return *bro_bcsr_;
+}
+
 const BroCsr& Matrix::bro_csr() const {
   if (!bro_csr_) bro_csr_ = BroCsr::compress(csr_);
   return *bro_csr_;

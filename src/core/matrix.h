@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/bro_ans.h"
+#include "core/bro_bcsr.h"
 #include "core/bro_coo.h"
 #include "core/bro_csr.h"
 #include "core/bro_ell.h"
@@ -36,8 +37,9 @@ enum class Format {
   kBroEll,
   kBroCoo,
   kBroHyb,
-  kBroCsr, // extension format (see core/bro_csr.h)
-  kBroAns, // extension format (see core/bro_ans.h)
+  kBroCsr,  // extension format (see core/bro_csr.h)
+  kBroAns,  // extension format (see core/bro_ans.h)
+  kBroBcsr, // blocked format (see core/bro_bcsr.h)
 };
 
 /// Human-readable format name ("BRO-ELL", ...). Backed by the engine's
@@ -50,6 +52,7 @@ struct MatrixOptions {
   BroEllOptions ell;
   BroCooOptions coo;
   BroAnsOptions ans;
+  BroBcsrOptions bcsr;
   /// ELLPACK is considered viable when rows*k <= max_ell_expand * nnz.
   double max_ell_expand = 3.0;
 };
@@ -89,6 +92,7 @@ class Matrix {
   const BroHyb& bro_hyb() const;
   const BroCsr& bro_csr() const;
   const BroAns& bro_ans() const;
+  const BroBcsr& bro_bcsr() const;
 
  private:
   explicit Matrix(sparse::Csr csr, MatrixOptions opts);
@@ -106,6 +110,7 @@ class Matrix {
   mutable std::optional<BroHyb> bro_hyb_;
   mutable std::optional<BroCsr> bro_csr_;
   mutable std::optional<BroAns> bro_ans_;
+  mutable std::optional<BroBcsr> bro_bcsr_;
 };
 
 } // namespace bro::core

@@ -4,6 +4,8 @@
 #include <istream>
 #include <ostream>
 
+#include "sparse/convert.h"
+#include "sparse/coo.h"
 #include "util/error.h"
 
 namespace bro::core {
@@ -65,6 +67,26 @@ struct SerializeAccess {
     m.vals_ = std::move(vals);
     return m;
   }
+  static BroBcsr make_bcsr(index_t rows, index_t cols, int br, int bc,
+                           index_t ell_width, std::size_t nnz,
+                           BroBcsrOptions opts,
+                           std::vector<BroEllSlice> slices,
+                           std::vector<std::size_t> val_off,
+                           std::vector<value_t> vals) {
+    BroBcsr m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.br_ = br;
+    m.bc_ = bc;
+    m.block_rows_ = rows == 0 ? 0 : (rows + br - 1) / br;
+    m.ell_width_ = ell_width;
+    m.nnz_ = nnz;
+    m.opts_ = opts;
+    m.slices_ = std::move(slices);
+    m.val_off_ = std::move(val_off);
+    m.vals_ = std::move(vals);
+    return m;
+  }
   static BroCsr make_csr(index_t rows, index_t cols, BroCsrOptions opts,
                          std::vector<index_t> row_ptr,
                          std::vector<std::uint8_t> bits,
@@ -94,6 +116,7 @@ enum class Tag : std::uint8_t {
   kBroHyb = 3,
   kBroCsr = 4,
   kBroAns = 5,
+  kBroBcsr = 6,
 };
 
 template <typename T>
@@ -312,6 +335,114 @@ BroCoo read_coo_body(std::istream& in) {
                                    std::move(col_idx), std::move(vals));
 }
 
+void write_bcsr_body(std::ostream& out, const BroBcsr& m) {
+  write_pod(out, m.rows());
+  write_pod(out, m.cols());
+  write_pod<std::int32_t>(out, m.block_r());
+  write_pod<std::int32_t>(out, m.block_c());
+  write_pod(out, m.ell_width());
+  write_pod<std::uint64_t>(out, m.nnz());
+  write_pod<std::int32_t>(out, m.options().block_rows);
+  write_pod<std::int32_t>(out, m.options().block_cols);
+  write_pod<std::int32_t>(out, m.options().slice_height);
+  write_pod<std::int32_t>(out, m.options().sym_len);
+  write_pod<double>(out, m.options().min_fill);
+  write_pod<std::uint64_t>(out, m.slices().size());
+  for (const BroEllSlice& s : m.slices()) {
+    write_pod(out, s.first_row);
+    write_pod(out, s.height);
+    write_pod(out, s.num_col);
+    write_pod<std::int32_t>(out, s.pad_bits);
+    write_vec(out, s.bit_alloc);
+    write_mux(out, s.stream);
+  }
+  std::vector<value_t> vals(m.vals().begin(), m.vals().end());
+  write_vec(out, vals);
+}
+
+BroBcsr read_bcsr_body(std::istream& in) {
+  const auto rows = read_pod<index_t>(in);
+  const auto cols = read_pod<index_t>(in);
+  const auto br = read_pod<std::int32_t>(in);
+  const auto bc = read_pod<std::int32_t>(in);
+  BRO_CHECK_MSG(br >= 1 && br <= 8 && (bc == 1 || bc == 2 || bc == 4 || bc == 8),
+                "corrupt BRO-BCSR block shape " << br << 'x' << bc);
+  const auto ell_width = read_pod<index_t>(in);
+  const auto nnz = read_pod<std::uint64_t>(in);
+  BroBcsrOptions opts;
+  opts.block_rows = read_pod<std::int32_t>(in);
+  opts.block_cols = read_pod<std::int32_t>(in);
+  opts.slice_height = read_pod<std::int32_t>(in);
+  opts.sym_len = read_pod<std::int32_t>(in);
+  opts.min_fill = read_pod<double>(in);
+  BRO_CHECK_MSG(opts.sym_len == 32 || opts.sym_len == 64, "corrupt sym_len");
+  BRO_CHECK_MSG(opts.slice_height > 0, "corrupt slice_height");
+  const auto n = read_pod<std::uint64_t>(in);
+  BRO_CHECK_MSG(n <= kSane, "implausible slice count");
+  std::vector<BroEllSlice> slices(n);
+  std::vector<std::size_t> val_off;
+  val_off.reserve(n);
+  std::size_t slots = 0;
+  const auto tile = static_cast<std::size_t>(br) * static_cast<std::size_t>(bc);
+  for (auto& s : slices) {
+    s.first_row = read_pod<index_t>(in);
+    s.height = read_pod<index_t>(in);
+    s.num_col = read_pod<index_t>(in);
+    s.pad_bits = read_pod<std::int32_t>(in);
+    s.bit_alloc = read_vec<std::uint8_t>(in, kSane);
+    BRO_CHECK_MSG(s.height >= 0 && s.num_col >= 0 &&
+                      s.bit_alloc.size() ==
+                          static_cast<std::size_t>(s.num_col),
+                  "corrupt BRO-BCSR slice header");
+    s.stream = read_mux(in);
+    val_off.push_back(slots);
+    slots += static_cast<std::size_t>(s.height) *
+             static_cast<std::size_t>(s.num_col) * tile;
+  }
+  auto vals = read_vec<value_t>(in, kSane);
+  BRO_CHECK_MSG(vals.size() == slots,
+                "BRO-BCSR value array size mismatches its slices");
+  return SerializeAccess::make_bcsr(rows, cols, br, bc, ell_width, nnz, opts,
+                                    std::move(slices), std::move(val_off),
+                                    std::move(vals));
+}
+
+/// The real (unpadded) entries of a BRO-COO as canonical COO triples. The
+/// stream enumerates entries in original row-sorted order (lane j of 2-D
+/// position c owns entry base + c*warp_size + j), so the first nnz decoded
+/// coordinates are exactly the source entries.
+void append_bro_coo_entries(const BroCoo& coo, sparse::Coo& out) {
+  const auto rows = coo.decode_rows();
+  for (std::size_t i = 0; i < coo.nnz(); ++i)
+    out.push(rows[i], coo.col_idx()[i], coo.vals()[i]);
+}
+
+sparse::Csr csr_from_bro_coo(const BroCoo& m) {
+  sparse::Coo coo;
+  coo.rows = m.rows();
+  coo.cols = m.cols();
+  coo.reserve(m.nnz());
+  append_bro_coo_entries(m, coo);
+  return sparse::coo_to_csr(coo);
+}
+
+sparse::Csr csr_from_bro_hyb(const BroHyb& m) {
+  // Merge both parts through one COO: the split is by row width, so the
+  // parts never hold duplicate coordinates and coo_to_csr just re-sorts.
+  sparse::Coo coo;
+  coo.rows = m.rows();
+  coo.cols = m.cols();
+  coo.reserve(m.total_nnz());
+  const sparse::Csr ell_csr = sparse::ell_to_csr(m.ell_part().decompress());
+  for (index_t r = 0; r < ell_csr.rows; ++r)
+    for (index_t k = ell_csr.row_ptr[static_cast<std::size_t>(r)];
+         k < ell_csr.row_ptr[static_cast<std::size_t>(r) + 1]; ++k)
+      coo.push(r, ell_csr.col_idx[static_cast<std::size_t>(k)],
+               ell_csr.vals[static_cast<std::size_t>(k)]);
+  append_bro_coo_entries(m.coo_part(), coo);
+  return sparse::coo_to_csr(coo);
+}
+
 } // namespace
 
 Format peek_bro_format(std::istream& in) {
@@ -326,6 +457,7 @@ Format peek_bro_format(std::istream& in) {
     case Tag::kBroHyb: return Format::kBroHyb;
     case Tag::kBroCsr: return Format::kBroCsr;
     case Tag::kBroAns: return Format::kBroAns;
+    case Tag::kBroBcsr: return Format::kBroBcsr;
   }
   BRO_CHECK_MSG(false, "unknown format tag " << int(tag));
   return Format::kBroHyb; // unreachable
@@ -414,6 +546,61 @@ BroCsr read_bro_csr(std::istream& in) {
       rows, cols, opts, std::move(row_ptr), std::move(bits_v),
       std::move(sym_ptr), std::move(vals),
       bits::BitString::from_words(std::move(words), size_bits));
+}
+
+void write_bro_bcsr(std::ostream& out, const BroBcsr& m) {
+  write_header(out, Tag::kBroBcsr);
+  write_bcsr_body(out, m);
+}
+
+BroBcsr read_bro_bcsr(std::istream& in) {
+  read_header(in, Tag::kBroBcsr);
+  return read_bcsr_body(in);
+}
+
+sparse::Csr read_bro_to_csr(std::istream& in, Format* fmt) {
+  const std::istream::pos_type start = in.tellg();
+  const Format f = peek_bro_format(in);
+  in.seekg(start);
+  if (fmt != nullptr) *fmt = f;
+  switch (f) {
+    case Format::kBroEll:
+      return sparse::ell_to_csr(read_bro_ell(in).decompress());
+    case Format::kBroAns:
+      return sparse::ell_to_csr(read_bro_ans(in).decompress());
+    case Format::kBroCsr:
+      return read_bro_csr(in).decompress();
+    case Format::kBroCoo:
+      return csr_from_bro_coo(read_bro_coo(in));
+    case Format::kBroHyb:
+      return csr_from_bro_hyb(read_bro_hyb(in));
+    case Format::kBroBcsr: {
+      // The cover stores fill-in zeros; strip them so serialize ->
+      // deserialize -> serialize is bitwise idempotent for any matrix
+      // without explicitly stored zero values. (A source entry that IS
+      // exactly 0.0 is indistinguishable from fill and gets dropped too —
+      // the one lossy corner of this format's serialization. SpMV results
+      // are unaffected either way.)
+      const sparse::Csr cover = read_bro_bcsr(in).to_csr();
+      sparse::Csr out;
+      out.rows = cover.rows;
+      out.cols = cover.cols;
+      out.row_ptr.reserve(cover.row_ptr.size());
+      out.row_ptr.push_back(0);
+      for (index_t r = 0; r < cover.rows; ++r) {
+        for (index_t e = cover.row_ptr[r]; e < cover.row_ptr[r + 1]; ++e) {
+          if (cover.vals[static_cast<std::size_t>(e)] == value_t{0}) continue;
+          out.col_idx.push_back(cover.col_idx[static_cast<std::size_t>(e)]);
+          out.vals.push_back(cover.vals[static_cast<std::size_t>(e)]);
+        }
+        out.row_ptr.push_back(static_cast<index_t>(out.col_idx.size()));
+      }
+      return out;
+    }
+    default:
+      BRO_CHECK_MSG(false, "unsupported .bro payload format tag");
+  }
+  return {}; // unreachable
 }
 
 void save_bro_ell(const std::string& path, const BroEll& m) {

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "core/bro_ans.h"
+#include "core/bro_bcsr.h"
 #include "core/bro_coo.h"
 #include "core/bro_csr.h"
 #include "core/bro_ell.h"
@@ -40,6 +41,17 @@ BroHyb read_bro_hyb(std::istream& in);
 
 void write_bro_csr(std::ostream& out, const BroCsr& m);
 BroCsr read_bro_csr(std::istream& in);
+
+void write_bro_bcsr(std::ostream& out, const BroBcsr& m);
+BroBcsr read_bro_bcsr(std::istream& in);
+
+/// Decompress whichever serialized format the stream holds back to canonical
+/// CSR. This is the ONE tag-dispatch site: callers that accept arbitrary
+/// .bro payloads (CLI `spmv <file.bro>`, net uploads) route through it
+/// instead of switching on formats themselves, so a new tag lands in every
+/// consumer automatically. Reports the stream's format via `fmt` when
+/// non-null; the stream must be positioned at the header.
+sparse::Csr read_bro_to_csr(std::istream& in, Format* fmt = nullptr);
 
 // File-path conveniences.
 void save_bro_ell(const std::string& path, const BroEll& m);

@@ -46,7 +46,7 @@ const std::vector<FormatTraits>& build_registry() {
        // The host CSR reference is the correctness baseline, not a GPU
        // cocktail candidate (the CSR-scalar/vector simulator baselines live
        // in bench_baselines_csr).
-       /*tunable=*/false, /*auto_priority=*/2, always_applicable,
+       /*tunable=*/false, /*auto_priority=*/3, always_applicable,
        /*build=*/nullptr,
        [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
          sparse::spmv_csr_reference(m.csr(), x, y);
@@ -178,7 +178,7 @@ const std::vector<FormatTraits>& build_registry() {
        },
        /*native_generic=*/nullptr, /*row_shardable=*/true},
 
-      {Format::kBroEll, "BRO-ELL", true, false, true, 0, ell_applicable,
+      {Format::kBroEll, "BRO-ELL", true, false, true, 1, ell_applicable,
        [](const Matrix& m, Workspace& ws) { ws.bro_ell_kernels(m.bro_ell()); },
        [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
          m.bro_ell().spmv(x, y);
@@ -285,7 +285,7 @@ const std::vector<FormatTraits>& build_registry() {
        // offsets; a shard's re-compression regroups them differently.
        /*row_shardable=*/false},
 
-      {Format::kBroHyb, "BRO-HYB", true, false, true, 1, nonzero_applicable,
+      {Format::kBroHyb, "BRO-HYB", true, false, true, 2, nonzero_applicable,
        [](const Matrix& m, Workspace& ws) {
          const auto& bro = m.bro_hyb();
          ws.bro_ell_kernels(bro.ell_part());
@@ -430,6 +430,71 @@ const std::vector<FormatTraits>& build_registry() {
        // Entropy coding is per-row-slice with a per-matrix table; a shard
        // rebuild re-derives its own table, but decode stays lossless and
        // accumulation left-to-right, so sharded results are bitwise equal.
+       /*row_shardable=*/true},
+
+      {Format::kBroBcsr, "BRO-BCSR", true, /*extension=*/true, true,
+       // First pick when its strict applicability gate (block cover with
+       // enough fill AND a real byte win over the unblocked streams —
+       // core/bro_bcsr.cpp) passes: on matrices that block well it beats
+       // BRO-ELL on both eta and decode rate, and the gate keeps it off
+       // everything else (notably all of Test Set 1).
+       /*auto_priority=*/0,
+       [](const sparse::Csr& csr, double max_ell_expand) {
+         return core::bro_bcsr_applicable(csr, max_ell_expand);
+       },
+       [](const Matrix& m, Workspace& ws) {
+         ws.bro_bcsr_kernels(m.bro_bcsr());
+       },
+       [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
+         m.bro_bcsr().spmv(x, y);
+       },
+       [](const Matrix& m, Workspace& ws, std::span<const value_t> x,
+          std::span<value_t> y) {
+         const auto& bro = m.bro_bcsr();
+         kernels::native_spmv_bro_bcsr(bro, ws.bro_bcsr_kernels(bro), x, y);
+       },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) -> TuneOutcome {
+         const auto& bro = m.bro_bcsr();
+         // eta is fill-adjusted: compressed_index_bytes charges the cover's
+         // explicit-zero value slots against the index-bit savings.
+         return {kernels::sim_spmv_bro_bcsr(dev, bro, x).time.gflops,
+                 index_savings(bro.original_index_bytes(),
+                               bro.compressed_index_bytes())
+                     .eta()};
+       },
+       [](const Matrix& m) {
+         return index_savings(m.bro_bcsr().original_index_bytes(),
+                              m.bro_bcsr().compressed_index_bytes());
+       },
+       [](std::ostream& out, const Matrix& m) {
+         core::write_bro_bcsr(out, m.bro_bcsr());
+       },
+       [](const Matrix& m) {
+         return check::validate_bro_bcsr(m.bro_bcsr(), &m.csr());
+       },
+       [](const DeviceSpec& dev, const Matrix& m,
+          std::span<const value_t> x) {
+         return kernels::sim_spmv_bro_bcsr(dev, m.bro_bcsr(), x).y;
+       },
+       [](const Matrix& m, Workspace& ws, std::span<const value_t> x,
+          std::span<value_t> y, int k) {
+         const auto& bro = m.bro_bcsr();
+         kernels::native_spmm_bro_bcsr(bro, ws.bro_bcsr_kernels(bro), x, y,
+                                       k);
+       },
+       [](const Matrix& m) {
+         return m.bro_bcsr().resident_index_bytes() +
+                m.bro_bcsr().vals().size() * sizeof(value_t);
+       },
+       [](const Matrix& m, std::span<const value_t> x, std::span<value_t> y) {
+         kernels::native_spmv_bro_bcsr_generic(m.bro_bcsr(), x, y);
+       },
+       // Per-row accumulation is the 8-lane contract in ascending column
+       // order; a shard's re-blocked cover only changes which exact-zero
+       // fill products appear, and those never alter a lane (the reduce's
+       // trailing +0.0 also normalizes the -0.0 edge), so sharded results
+       // stay bitwise equal.
        /*row_shardable=*/true},
   };
   return registry;

@@ -129,6 +129,19 @@ std::span<const kernels::BroAnsKernel> Workspace::bro_ans_kernels(
   return ans_kernels_;
 }
 
+std::span<const kernels::BroBcsrKernel> Workspace::bro_bcsr_kernels(
+    const core::BroBcsr& a) {
+  const kernels::SimdIsa isa = kernels::active_simd_isa();
+  if (bcsr_kernels_for_ != &a || bcsr_kernels_.size() != a.slices().size() ||
+      bcsr_kernels_isa_ != isa) {
+    bcsr_kernels_ = kernels::plan_bro_bcsr_kernels(a, isa);
+    bcsr_kernels_for_ = &a;
+    bcsr_kernels_isa_ = isa;
+    ++allocations_;
+  }
+  return bcsr_kernels_;
+}
+
 SpmvPlan::SpmvPlan(std::shared_ptr<const core::Matrix> matrix,
                    std::optional<core::Format> format)
     : matrix_(std::move(matrix)) {

@@ -32,6 +32,7 @@
 
 #include "core/matrix.h"
 #include "engine/format_registry.h"
+#include "kernels/bro_bcsr_decode.h"
 #include "kernels/native_spmv.h"
 #include "solver/operator.h"
 
@@ -79,6 +80,8 @@ class Workspace {
       const core::BroCoo& a);
   std::span<const kernels::BroAnsKernel> bro_ans_kernels(
       const core::BroAns& a);
+  std::span<const kernels::BroBcsrKernel> bro_bcsr_kernels(
+      const core::BroBcsr& a);
 
   /// Number of (re)allocations performed so far.
   std::size_t allocations() const { return allocations_; }
@@ -102,6 +105,9 @@ class Workspace {
   std::vector<kernels::BroAnsKernel> ans_kernels_;
   const core::BroAns* ans_kernels_for_ = nullptr;
   kernels::SimdIsa ans_kernels_isa_ = kernels::SimdIsa::kScalar;
+  std::vector<kernels::BroBcsrKernel> bcsr_kernels_;
+  const core::BroBcsr* bcsr_kernels_for_ = nullptr;
+  kernels::SimdIsa bcsr_kernels_isa_ = kernels::SimdIsa::kScalar;
   std::size_t allocations_ = 0;
 };
 

@@ -1,0 +1,26 @@
+// SSE4.2 BRO-BCSR kernel set (2 x f64 lanes). Compiled with
+// -msse4.2 -ffp-contract=off when the toolchain supports it (see
+// src/kernels/CMakeLists.txt); collapses to a stub exporting a null set
+// otherwise, so non-x86 builds link unchanged.
+#include "kernels/bro_bcsr_decode.h"
+
+#if defined(__SSE4_2__)
+
+#define BRO_SIMD_NS simd_bcsr_sse4
+#define BRO_SIMD_ISA ::bro::kernels::SimdIsa::kSse4
+#include "kernels/bro_bcsr_decode_simd_impl.h"
+#undef BRO_SIMD_NS
+#undef BRO_SIMD_ISA
+
+namespace bro::kernels::detail {
+const BcsrSimdKernelSet* const kBcsrSimdSetSse4 =
+    &simd_bcsr_sse4::kBcsrKernelSet;
+} // namespace bro::kernels::detail
+
+#else
+
+namespace bro::kernels::detail {
+const BcsrSimdKernelSet* const kBcsrSimdSetSse4 = nullptr;
+} // namespace bro::kernels::detail
+
+#endif

@@ -10,9 +10,11 @@
 #include "bits/bit_string.h"
 #include "bits/bitwidth.h"
 #include "core/bro_ans.h"
+#include "core/bro_bcsr.h"
 #include "core/bro_ell.h"
 #include "core/savings.h"
 #include "kernels/bro_ans_decode.h"
+#include "kernels/bro_bcsr_decode.h"
 #include "kernels/bro_decode.h"
 #include "kernels/bro_decode_simd.h"
 #include "kernels/native_spmv.h"
@@ -256,16 +258,18 @@ std::vector<DecodeThroughputRow> decode_throughput_sweep(
 
 namespace {
 
-/// Scalar decode checksum over every slice of a BRO-ELL compression, taking
-/// exactly the decode path PR 4's dispatch selected: the width-specialized
-/// kernel when the slice's bit allocation is uniform and within
-/// kMaxSpecializedDecodeWidth, the runtime-width generic decoder otherwise.
+/// Scalar decode checksum over a span of BRO-ELL-layout index slices,
+/// taking exactly the decode path PR 4's dispatch selected: the
+/// width-specialized kernel when the slice's bit allocation is uniform and
+/// within kMaxSpecializedDecodeWidth, the runtime-width generic decoder
+/// otherwise. Span-based so BRO-BCSR — whose block-index slices are the
+/// same BroEllSlice layout — times the identical decode machinery.
 template <typename SymT>
-std::uint64_t scalar_ell_checksum(const core::BroEll& a,
-                                  const std::array<ChecksumFn,
-                                      kMaxSpecializedDecodeWidth + 1>& table) {
+std::uint64_t scalar_slices_checksum(
+    std::span<const core::BroEllSlice> slices,
+    const std::array<ChecksumFn, kMaxSpecializedDecodeWidth + 1>& table) {
   std::uint64_t sum = 0;
-  for (const auto& s : a.slices()) {
+  for (const auto& s : slices) {
     if (s.height <= 0 || s.num_col <= 0) continue;
     const SymT* stream = s.stream.template data<SymT>();
     const std::size_t h = static_cast<std::size_t>(s.height);
@@ -288,20 +292,21 @@ std::uint64_t scalar_ell_checksum(const core::BroEll& a,
   return sum;
 }
 
-std::uint64_t scalar_ell_checksum(const core::BroEll& a) {
-  return a.options().sym_len == 32
-             ? scalar_ell_checksum<std::uint32_t>(a, kChecksum32)
-             : scalar_ell_checksum<std::uint64_t>(a, kChecksum64);
+std::uint64_t scalar_slices_checksum(std::span<const core::BroEllSlice> slices,
+                                     int sym_len) {
+  return sym_len == 32
+             ? scalar_slices_checksum<std::uint32_t>(slices, kChecksum32)
+             : scalar_slices_checksum<std::uint64_t>(slices, kChecksum64);
 }
 
-std::uint64_t simd_ell_checksum(const core::BroEll& a,
-                                const SimdKernelSet& set) {
+std::uint64_t simd_slices_checksum(std::span<const core::BroEllSlice> slices,
+                                   int sym_len, const SimdKernelSet& set) {
   std::uint64_t sum = 0;
-  for (const auto& s : a.slices()) {
+  for (const auto& s : slices) {
     if (s.height <= 0 || s.num_col <= 0) continue;
     const std::size_t h = static_cast<std::size_t>(s.height);
     const std::size_t cols = static_cast<std::size_t>(s.num_col);
-    if (a.options().sym_len == 32)
+    if (sym_len == 32)
       sum += set.checksum32(s.stream.data<std::uint32_t>(), h,
                             s.bit_alloc.data(), cols);
     else
@@ -309,6 +314,15 @@ std::uint64_t simd_ell_checksum(const core::BroEll& a,
                             s.bit_alloc.data(), cols);
   }
   return sum;
+}
+
+std::uint64_t scalar_ell_checksum(const core::BroEll& a) {
+  return scalar_slices_checksum(a.slices(), a.options().sym_len);
+}
+
+std::uint64_t simd_ell_checksum(const core::BroEll& a,
+                                const SimdKernelSet& set) {
+  return simd_slices_checksum(a.slices(), a.options().sym_len, set);
 }
 
 } // namespace
@@ -447,6 +461,135 @@ std::vector<EntropySuiteRow> entropy_suite_sweep(
   return rows;
 }
 
+std::vector<BlockSuiteRow> block_suite_sweep(SimdIsa isa, double scale,
+                                             double min_seconds_per_cell) {
+  std::vector<BlockSuiteRow> rows;
+  for (const auto& entry : sparse::suite_test_set(3)) {
+    const sparse::Csr csr = sparse::generate_suite_matrix(entry, scale);
+    const core::BroEll ell = core::BroEll::compress(sparse::csr_to_ell(csr));
+    const core::BroBcsr bcsr = core::BroBcsr::compress(csr);
+
+    BlockSuiteRow row;
+    row.matrix = entry.name;
+    row.rows = csr.rows;
+    row.nnz = csr.nnz();
+    row.shape_r = bcsr.block_r();
+    row.shape_c = bcsr.block_c();
+    row.fill = bcsr.value_slots() == 0
+                   ? 0.0
+                   : static_cast<double>(bcsr.nnz()) /
+                         static_cast<double>(bcsr.value_slots());
+
+    // Fill-adjusted etas: BRO-BCSR's compressed_index_bytes() already
+    // charges its explicit-zero fill; charge BRO-ELL's value padding the
+    // same way so the comparison prices total stored bytes, not just index
+    // bits. Both originals are rows * max_row_len * 4, so the etas share a
+    // baseline.
+    std::size_t ell_slots = 0;
+    for (const auto& s : ell.slices())
+      ell_slots += static_cast<std::size_t>(s.height) *
+                   static_cast<std::size_t>(s.num_col);
+    const std::size_t ell_pad =
+        ell_slots > csr.nnz() ? ell_slots - csr.nnz() : 0;
+    row.ell_eta = core::make_savings(ell.original_index_bytes(),
+                                     ell.compressed_index_bytes() +
+                                         sizeof(value_t) * ell_pad)
+                      .eta();
+    row.bcsr_eta = core::make_savings(bcsr.original_index_bytes(),
+                                      bcsr.compressed_index_bytes())
+                       .eta();
+
+    std::vector<value_t> x(static_cast<std::size_t>(csr.cols));
+    for (std::size_t i = 0; i < x.size(); ++i)
+      x[i] = 1.0 + static_cast<value_t>(i % 16) * 0.0625;
+    std::vector<value_t> y(static_cast<std::size_t>(csr.rows));
+    const auto fold_y = [&y] {
+      std::uint64_t h = 0;
+      for (const value_t v : y) h += std::bit_cast<std::uint64_t>(v);
+      return h;
+    };
+
+    const auto ell_kernels = plan_bro_ell_kernels(ell, isa);
+    const auto ell_pass = [&] {
+      const auto& slices = ell.slices();
+      for (std::size_t si = 0; si < slices.size(); ++si)
+        ell_kernels[si].spmv(ell, slices[si], x, y);
+      return fold_y();
+    };
+
+    const auto bcsr_scalar = plan_bro_bcsr_kernels(bcsr, SimdIsa::kScalar);
+    const auto bcsr_kernels = plan_bro_bcsr_kernels(bcsr, isa);
+    const auto bcsr_pass_with = [&](const std::vector<BroBcsrKernel>& ks) {
+      for (std::size_t si = 0; si < ks.size(); ++si)
+        ks[si].spmv(bcsr, si, x, y);
+      return fold_y();
+    };
+
+    // Pin the tentpole contract before timing: the `isa` kernels must
+    // reproduce the scalar 8-lane reference bit-for-bit.
+    const std::uint64_t bcsr_expect = bcsr_pass_with(bcsr_scalar);
+    BRO_CHECK_MSG(bcsr_pass_with(bcsr_kernels) == bcsr_expect,
+                  simd_isa_name(isa)
+                      << " BRO-BCSR SpMV differs bitwise from scalar on "
+                      << entry.name);
+    const std::uint64_t ell_expect = ell_pass();
+
+    // Gate metric: index decode throughput through the dispatched decode
+    // path at `isa`. BCSR block-index slices share BRO-ELL's layout, so
+    // both sides run the identical decode machinery — the difference is
+    // purely how many symbols each format stores per matrix row.
+    const SimdKernelSet* set =
+        isa == SimdIsa::kScalar ? nullptr : simd_kernel_set(isa);
+    const auto ell_decode = [&] {
+      return set ? simd_slices_checksum(ell.slices(), ell.options().sym_len,
+                                        *set)
+                 : scalar_slices_checksum(ell.slices(),
+                                          ell.options().sym_len);
+    };
+    const auto bcsr_decode = [&] {
+      return set ? simd_slices_checksum(bcsr.slices(),
+                                        bcsr.options().sym_len, *set)
+                 : scalar_slices_checksum(bcsr.slices(),
+                                          bcsr.options().sym_len);
+    };
+    const std::uint64_t ell_decode_expect =
+        scalar_slices_checksum(ell.slices(), ell.options().sym_len);
+    const std::uint64_t bcsr_decode_expect =
+        scalar_slices_checksum(bcsr.slices(), bcsr.options().sym_len);
+    BRO_CHECK_MSG(ell_decode() == ell_decode_expect,
+                  simd_isa_name(isa)
+                      << " BRO-ELL decode disagrees with scalar on "
+                      << entry.name);
+    BRO_CHECK_MSG(bcsr_decode() == bcsr_decode_expect,
+                  simd_isa_name(isa)
+                      << " BRO-BCSR decode disagrees with scalar on "
+                      << entry.name);
+
+    // Alternate sides and keep CPU-time minima (max throughput), the same
+    // protocol as the other suite sweeps. time_pass reports giga-units/s,
+    // so feed it matrix rows and rescale to rows/s.
+    const auto nrows = static_cast<std::size_t>(csr.rows);
+    for (int round = 0; round < 3; ++round) {
+      row.ell_rps = std::max(
+          row.ell_rps, 1e9 * time_pass(nrows, ell_decode_expect, ell_decode,
+                                       min_seconds_per_cell));
+      row.bcsr_rps = std::max(
+          row.bcsr_rps, 1e9 * time_pass(nrows, bcsr_decode_expect,
+                                        bcsr_decode, min_seconds_per_cell));
+      row.ell_spmv_rps = std::max(
+          row.ell_spmv_rps,
+          1e9 * time_pass(nrows, ell_expect, ell_pass, min_seconds_per_cell));
+      row.bcsr_spmv_rps = std::max(
+          row.bcsr_spmv_rps,
+          1e9 * time_pass(nrows, bcsr_expect,
+                          [&] { return bcsr_pass_with(bcsr_kernels); },
+                          min_seconds_per_cell));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 AnsDecodeBenchCase make_ans_decode_bench_case(int sym_len, index_t nrows,
                                               std::uint64_t seed) {
   sparse::GenSpec spec;
@@ -483,6 +626,33 @@ std::uint64_t ans_decode_pass(const AnsDecodeBenchCase& c, SimdIsa isa) {
                       : detail::ans_decode_checksum<std::uint64_t>(a, s));
   }
   return sum;
+}
+
+BcsrDecodeBenchCase make_bcsr_decode_bench_case(int sym_len, index_t panels,
+                                                std::uint64_t seed) {
+  const sparse::Csr csr = sparse::generate_truss2d(panels, /*stories=*/6,
+                                                   seed);
+  core::BroBcsrOptions opts;
+  opts.sym_len = sym_len;
+  BcsrDecodeBenchCase c;
+  c.coded = std::make_shared<const core::BroBcsr>(
+      core::BroBcsr::compress(csr, opts));
+  for (const auto& s : c.coded->slices())
+    c.deltas += static_cast<std::size_t>(s.height) *
+                static_cast<std::size_t>(s.num_col);
+  c.expect = scalar_slices_checksum(c.coded->slices(),
+                                    c.coded->options().sym_len);
+  return c;
+}
+
+std::uint64_t bcsr_decode_pass(const BcsrDecodeBenchCase& c, SimdIsa isa) {
+  const core::BroBcsr& a = *c.coded;
+  if (isa == SimdIsa::kScalar)
+    return scalar_slices_checksum(a.slices(), a.options().sym_len);
+  const SimdKernelSet* set = simd_kernel_set(isa);
+  BRO_CHECK_MSG(set != nullptr, "no SIMD kernel set for "
+                                    << simd_isa_name(isa));
+  return simd_slices_checksum(a.slices(), a.options().sym_len, *set);
 }
 
 } // namespace bro::kernels

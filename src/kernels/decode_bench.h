@@ -15,6 +15,7 @@
 
 #include "bits/mux.h"
 #include "core/bro_ans.h"
+#include "core/bro_bcsr.h"
 #include "kernels/cpu_features.h"
 
 namespace bro::kernels {
@@ -116,6 +117,36 @@ struct EntropySuiteRow {
 std::vector<EntropySuiteRow> entropy_suite_sweep(SimdIsa isa, double scale,
                                                  double min_seconds_per_cell);
 
+/// Blocked A/B over the truss-FEM workload (matgen suite Test Set 3): per
+/// matrix, fill-adjusted index space savings of BRO-ELL and BRO-BCSR (both
+/// charged a stored double per value slot beyond nnz, so padding — ELL's
+/// row-length variance or BCSR's explicit-zero fill — costs the same on
+/// either side) and index decode throughput of each format's dispatched
+/// decode path at `isa`, in matrix rows per second. Decode throughput is
+/// the gate metric: both formats decompress the identical row structure,
+/// and BRO-BCSR's one-index-per-block stream decodes ~block_r*block_c
+/// fewer symbols per matrix row. End-to-end SpMV rows/s ride along as
+/// informational columns, and the BRO-BCSR SpMV side is pinned bitwise:
+/// the `isa` kernels must reproduce the scalar 8-lane reference exactly
+/// before any timing is trusted.
+struct BlockSuiteRow {
+  std::string matrix;
+  index_t rows = 0;
+  std::size_t nnz = 0;
+  int shape_r = 0;     // chosen block shape
+  int shape_c = 0;
+  double fill = 0;     // nnz / stored BCSR value slots (padding included)
+  double ell_eta = 0;  // fill-adjusted BRO-ELL savings
+  double bcsr_eta = 0; // fill-adjusted BRO-BCSR savings
+  double ell_rps = 0;  // BRO-ELL index decode, matrix rows/s at `isa`
+  double bcsr_rps = 0; // BRO-BCSR index decode, matrix rows/s at `isa`
+  double ell_spmv_rps = 0;  // BRO-ELL SpMV rows/s at `isa` (informational)
+  double bcsr_spmv_rps = 0; // BRO-BCSR SpMV rows/s at `isa` (informational)
+};
+
+std::vector<BlockSuiteRow> block_suite_sweep(SimdIsa isa, double scale,
+                                             double min_seconds_per_cell);
+
 /// BRO-ANS full-stream decode workload for the microbenchmark rows: a
 /// synthetic FEM-like matrix (aligned blocks — the structure class BRO-ANS
 /// is built for) compressed at `sym_len`, plus the sequential reference
@@ -134,5 +165,25 @@ AnsDecodeBenchCase make_ans_decode_bench_case(int sym_len, index_t rows,
 /// stream width, else the baseline interleaved scalar chains. Returns the
 /// checksum (must equal c.expect — the parity contract).
 std::uint64_t ans_decode_pass(const AnsDecodeBenchCase& c, SimdIsa isa);
+
+/// BRO-BCSR block-index decode workload for the microbenchmark rows: a
+/// truss-FEM assembly (the structure class the blocked format is built
+/// for) compressed at `sym_len`, plus the scalar dispatch path's checksum
+/// that every timed pass is checked against. `deltas` counts block
+/// indices (incl. slice padding) — the whole point of the format is that
+/// this is ~block-area smaller than the matrix's nnz.
+struct BcsrDecodeBenchCase {
+  std::shared_ptr<const core::BroBcsr> coded;
+  std::size_t deltas = 0;   // block indices decoded per pass
+  std::uint64_t expect = 0; // scalar dispatch-path checksum
+};
+
+BcsrDecodeBenchCase make_bcsr_decode_bench_case(int sym_len, index_t panels,
+                                                std::uint64_t seed);
+
+/// One decode-checksum pass over the block-index slices through the decode
+/// path dispatch selects at `isa` — identical machinery to BRO-ELL decode
+/// (the slices share the layout), so A/B against `decode-*` rows is fair.
+std::uint64_t bcsr_decode_pass(const BcsrDecodeBenchCase& c, SimdIsa isa);
 
 } // namespace bro::kernels

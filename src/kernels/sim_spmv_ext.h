@@ -4,6 +4,7 @@
 #pragma once
 
 #include "core/bro_ans.h"
+#include "core/bro_bcsr.h"
 #include "core/bro_csr.h"
 #include "core/bro_ell_values.h"
 #include "core/bro_ell_vector.h"
@@ -23,6 +24,14 @@ SimResult sim_spmv_bro_csr(const sim::DeviceSpec& dev, const core::BroCsr& a,
 /// an extra decode-table lookup served from shared memory.
 SimResult sim_spmv_bro_ans(const sim::DeviceSpec& dev, const core::BroAns& a,
                            std::span<const value_t> x);
+
+/// Thread-per-block-row BRO-BCSR: index decode as in the BRO-ELL kernel but
+/// over block columns (1/(r*c) of the symbol traffic), then r*c value loads
+/// and FMAs per decoded block — fill-in zeros execute like real entries, so
+/// the estimate inherently charges the cover's overhead. x reads go through
+/// the texture path, one per block column of the tile.
+SimResult sim_spmv_bro_bcsr(const sim::DeviceSpec& dev, const core::BroBcsr& a,
+                            std::span<const value_t> x);
 
 SimResult sim_spmv_sliced_ell(const sim::DeviceSpec& dev,
                               const core::SlicedEll& a,

@@ -330,75 +330,13 @@ std::vector<std::uint8_t> matrix_to_bro_bytes(const core::Matrix& m,
   return std::vector<std::uint8_t>(s.begin(), s.end());
 }
 
-namespace {
-
-/// The real (unpadded) entries of a BRO-COO as canonical COO triples. The
-/// stream enumerates entries in original row-sorted order (lane j of
-/// 2-D position c owns entry base + c*warp_size + j), so the first nnz
-/// decoded coordinates are exactly the source entries.
-void append_bro_coo_entries(const core::BroCoo& coo, sparse::Coo& out) {
-  const auto rows = coo.decode_rows();
-  for (std::size_t i = 0; i < coo.nnz(); ++i)
-    out.push(rows[i], coo.col_idx()[i], coo.vals()[i]);
-}
-
-sparse::Csr csr_from_bro_coo(const core::BroCoo& m) {
-  sparse::Coo coo;
-  coo.rows = m.rows();
-  coo.cols = m.cols();
-  coo.reserve(m.nnz());
-  append_bro_coo_entries(m, coo);
-  return sparse::coo_to_csr(coo);
-}
-
-sparse::Csr csr_from_bro_hyb(const core::BroHyb& m) {
-  // Merge both parts through one COO: the split is by row width, so the
-  // parts never hold duplicate coordinates and coo_to_csr just re-sorts.
-  sparse::Coo coo;
-  coo.rows = m.rows();
-  coo.cols = m.cols();
-  coo.reserve(m.total_nnz());
-  const sparse::Csr ell_csr =
-      sparse::ell_to_csr(m.ell_part().decompress());
-  for (index_t r = 0; r < ell_csr.rows; ++r)
-    for (index_t k = ell_csr.row_ptr[static_cast<std::size_t>(r)];
-         k < ell_csr.row_ptr[static_cast<std::size_t>(r) + 1]; ++k)
-      coo.push(r, ell_csr.col_idx[static_cast<std::size_t>(k)],
-               ell_csr.vals[static_cast<std::size_t>(k)]);
-  append_bro_coo_entries(m.coo_part(), coo);
-  return sparse::coo_to_csr(coo);
-}
-
-} // namespace
-
 core::Matrix matrix_from_bro_bytes(std::span<const std::uint8_t> bytes) {
   std::istringstream in(
       std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()),
       std::ios::binary);
-  const core::Format f = core::peek_bro_format(in);
-  in.seekg(0);
-  sparse::Csr csr;
-  switch (f) {
-    case core::Format::kBroEll:
-      csr = sparse::ell_to_csr(core::read_bro_ell(in).decompress());
-      break;
-    case core::Format::kBroAns:
-      csr = sparse::ell_to_csr(core::read_bro_ans(in).decompress());
-      break;
-    case core::Format::kBroCsr:
-      csr = core::read_bro_csr(in).decompress();
-      break;
-    case core::Format::kBroCoo:
-      csr = csr_from_bro_coo(core::read_bro_coo(in));
-      break;
-    case core::Format::kBroHyb:
-      csr = csr_from_bro_hyb(core::read_bro_hyb(in));
-      break;
-    default:
-      BRO_CHECK_MSG(false, "unsupported .bro payload format "
-                               << core::format_name(f));
-  }
-  return core::Matrix::from_csr(std::move(csr));
+  // The tag dispatch lives in core::read_bro_to_csr, so uploads accept every
+  // serializable format automatically.
+  return core::Matrix::from_csr(core::read_bro_to_csr(in));
 }
 
 } // namespace bro::net

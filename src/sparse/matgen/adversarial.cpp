@@ -126,6 +126,55 @@ std::vector<AdversarialCase> adversarial_suite(std::uint64_t seed) {
     add("alternating-empty-dense-rows", from_pattern(300, 256, e, rng));
   }
 
+  // --- Block-structure edge cases (BRO-BCSR cover stress) ---
+
+  // One fully dense 8x8 block in an otherwise empty matrix: the cover is a
+  // single tile (or one tile column) with fill 1.0 — the most blocked
+  // matrix possible, and the one case in this battery that must pass the
+  // BRO-BCSR applicability test.
+  {
+    std::vector<std::pair<index_t, index_t>> e;
+    for (index_t r = 8; r < 16; ++r)
+      for (index_t c = 16; c < 24; ++c) e.push_back({r, c});
+    add("single-dense-block", from_pattern(64, 64, e, rng));
+  }
+
+  // Dense 2x2 tiles placed at odd offsets around matrix row 512 — the
+  // block-row slice boundary for 2x2 blocks at the default slice height of
+  // 256 block rows. Each tile straddles two block rows, so the cover must
+  // split it across slices without losing entries.
+  {
+    std::vector<std::pair<index_t, index_t>> e;
+    for (index_t r = 503; r < 521; r += 2)
+      for (index_t dr = 0; dr < 2; ++dr)
+        for (index_t dc = 0; dc < 2; ++dc)
+          e.push_back({r + dr, (r * 3) % 128 + 1 + dc});
+    for (index_t r = 0; r < 528; r += 16) e.push_back({r, 0});
+    add("blocks-straddling-slice-boundary", from_pattern(528, 192, e, rng));
+  }
+
+  // Pure 1xN row-run structure: every row is a train of aligned 8-wide
+  // runs with nothing to gain from multi-row blocks; exercises the 1x8
+  // shape and block rows of height one.
+  {
+    std::vector<std::pair<index_t, index_t>> e;
+    for (index_t r = 0; r < 96; ++r)
+      for (index_t blk = 0; blk < 3; ++blk)
+        for (index_t j = 0; j < 8; ++j)
+          e.push_back({r, ((r * 5 + blk * 11) % 20) * 8 + j});
+    add("one-by-n-block-rows", from_pattern(96, 160, e, rng));
+  }
+
+  // Checkerboard: every candidate tile is exactly half explicit zeros, the
+  // worst admissible fill. The cover must account every fill-in slot and
+  // decode must produce bitwise-identical results despite the padding.
+  {
+    std::vector<std::pair<index_t, index_t>> e;
+    for (index_t r = 0; r < 80; ++r)
+      for (index_t c = (r & 1); c < 80; c += 2) e.push_back({r, c});
+    add("all-fill-in-checkerboard", from_pattern(80, 80, e, rng));
+  }
+
   return out;
 }
 

@@ -3,10 +3,11 @@
 // Every matrix here is a shape the BRO compression pipeline must survive
 // losslessly but that the synthetic suite generators never produce: empty
 // matrices, empty rows inside and at the end of slices, single dense rows,
-// maximum column deltas, duplicate-heavy pre-canonical COO input, and
-// dimensions close to the index_t limit. The differential fuzz driver and
-// the cross-format test sweep iterate this list in front of every random
-// round.
+// maximum column deltas, duplicate-heavy pre-canonical COO input, block
+// covers at their extremes (a single dense block, tiles straddling the
+// slice boundary, 1xN block rows, half-fill checkerboards), and dimensions
+// close to the index_t limit. The differential fuzz driver and the
+// cross-format test sweep iterate this list in front of every random round.
 #pragma once
 
 #include <cstdint>

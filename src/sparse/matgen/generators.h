@@ -85,6 +85,19 @@ Csr generate_poisson2d(index_t nx, index_t ny);
 Csr generate_lattice4d(index_t side, index_t row_len, int run,
                        std::uint64_t seed = 1);
 
+/// 2-D truss-FEM stiffness matrix (Golden-Gate style): a deck of `panels`
+/// X-braced bays, `stories` node rows tall, assembled from bar elements
+/// with 2 displacement dofs per node. Each member (direction cosines cx,
+/// cy; stiffness ~ 1/length) contributes +-k*[cx^2, cx*cy; cx*cy, cy^2]
+/// 2x2 node blocks, so the pattern is a union of dof-aligned 2x2 tiles —
+/// the structure class BRO-BCSR targets. When `panels` is large enough a
+/// pair of tower nodes gains long suspension-cable members to the deck,
+/// adding the far-off-diagonal blocks real bridge models show. Node
+/// coordinates carry fabrication jitter, so no member is axis-aligned,
+/// every stored 2x2 node block is fully dense, and the assembly produces
+/// no exact zeros.
+Csr generate_truss2d(index_t panels, index_t stories, std::uint64_t seed = 1);
+
 /// Make the matrix strictly diagonally dominant (adds/boosts the diagonal);
 /// keeps the sparsity pattern otherwise. Requires a square matrix.
 void make_diag_dominant(Csr& csr, double margin = 1.0);

@@ -21,7 +21,13 @@ struct Recipe {
   index_t spike_rows = 0;
   index_t spike_len = 0;
   // Special cases built by dedicated generators.
-  enum class Special { kNone, kGrid2d, kLattice4d } special = Special::kNone;
+  enum class Special {
+    kNone,
+    kGrid2d,
+    kLattice4d,
+    kTrussFem
+  } special = Special::kNone;
+  index_t stories = 4; // kTrussFem: node rows of the truss
   bool aligned_blocks = false; // FEM structure (see GenSpec::aligned_blocks)
   // Bulk row-length overrides for spike-dominated matrices: the paper's
   // mu/sigma include the spikes, so the non-spike bulk needs its own
@@ -115,6 +121,24 @@ std::vector<Recipe> build_recipes() {
        0.134},
       LenDist::kPareto, 0.15, 0.05, 1, 40, 4000);
 
+  // --- Test Set 3 (truss-FEM workload: 2-dof node blocks, BRO-BCSR's
+  // target class; rows = 2 * (panels + 1) * stories, geometry derived from
+  // the paper_rows entry in generate_from_recipe) ---
+  add({"fem", 3, 24012, 24012, 372000, 15.5, 3.5, -1, -1, -1, -1},
+      LenDist::kNormal, 1.0, 0.0, 2, 0, 0, Recipe::Special::kTrussFem);
+  add({"truss-deck", 3, 24004, 24004, 264000, 11.0, 3.0, -1, -1, -1, -1},
+      LenDist::kNormal, 1.0, 0.0, 2, 0, 0, Recipe::Special::kTrussFem);
+  add({"truss-tower", 3, 12200, 12200, 196000, 16.1, 2.9, -1, -1, -1, -1},
+      LenDist::kNormal, 1.0, 0.0, 2, 0, 0, Recipe::Special::kTrussFem);
+  add({"truss-wide", 3, 12024, 12024, 194000, 16.1, 3.0, -1, -1, -1, -1},
+      LenDist::kNormal, 1.0, 0.0, 2, 0, 0, Recipe::Special::kTrussFem);
+  for (auto& rec : r) {
+    if (rec.entry.name == "fem") rec.stories = 6;
+    if (rec.entry.name == "truss-deck") rec.stories = 2;
+    if (rec.entry.name == "truss-tower") rec.stories = 100;
+    if (rec.entry.name == "truss-wide") rec.stories = 12;
+  }
+
   // Spike-dominated matrices: bulk distributions excluding the spikes.
   for (auto& rec : r) {
     if (rec.entry.name == "rajat30") { rec.bulk_mu = 9.2; rec.bulk_sigma = 2.0; }
@@ -168,6 +192,13 @@ Csr generate_from_recipe(const Recipe& rec, double scale) {
           4, static_cast<index_t>(std::lround(std::pow(double(n), 0.25))));
       return generate_lattice4d(side, static_cast<index_t>(e.paper_mu),
                                 rec.run, name_seed(e.name));
+    }
+    case Recipe::Special::kTrussFem: {
+      const index_t rows = scaled(e.paper_rows);
+      const index_t stories = rec.stories;
+      const index_t panels =
+          std::max<index_t>(4, rows / (2 * stories) - 1);
+      return generate_truss2d(panels, stories, name_seed(e.name));
     }
     case Recipe::Special::kNone:
       break;

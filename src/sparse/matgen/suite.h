@@ -13,7 +13,10 @@ namespace bro::sparse {
 
 struct SuiteEntry {
   std::string name;
-  int test_set = 1; // 1 = BRO-ELL-representable, 2 = needs BRO-HYB
+  // 1 = BRO-ELL-representable, 2 = needs BRO-HYB, 3 = truss-FEM workload
+  // (block-structured; the BRO-BCSR benchmark set — no published paper
+  // statistics, so the paper_* result columns stay -1).
+  int test_set = 1;
 
   // Published Table 2 statistics (full-scale matrix).
   index_t paper_rows = 0;
@@ -29,10 +32,11 @@ struct SuiteEntry {
   double paper_eta_brohyb = -1; // Table 4 space savings (Test Set 2)
 };
 
-/// All 30 entries in Table 2 order (Test Set 1 then Test Set 2).
+/// All entries: the 30 Table 2 matrices (Test Set 1 then Test Set 2)
+/// followed by the truss-FEM workload (Test Set 3).
 const std::vector<SuiteEntry>& suite_entries();
 
-/// Entries filtered by test set (1 or 2).
+/// Entries filtered by test set (1, 2 or 3).
 std::vector<SuiteEntry> suite_test_set(int set);
 
 /// Look up an entry by name; nullopt if unknown.

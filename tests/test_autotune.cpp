@@ -5,6 +5,8 @@
 #include <set>
 
 #include "engine/autotune.h"
+#include "engine/format_registry.h"
+#include "sparse/convert.h"
 #include "sparse/matgen/generators.h"
 #include "sparse/matgen/suite.h"
 
@@ -61,11 +63,49 @@ TEST(Autotune, SpikedMatrixExcludesEllFamily) {
     if (e.format == bc::Format::kEll || e.format == bc::Format::kEllR ||
         e.format == bc::Format::kBroEll)
       EXPECT_FALSE(e.applicable);
+    else if (e.format == bc::Format::kBroBcsr)
+      // A random spiked pattern has no block structure; the cover gate
+      // (fill + byte-win) must keep BRO-BCSR out too.
+      EXPECT_FALSE(e.applicable);
     else
       EXPECT_TRUE(e.applicable);
   }
   // The winner must be an applicable format.
   EXPECT_TRUE(res.ranking.front().applicable);
+}
+
+TEST(Autotune, PureDiagonalNeverPicksBcsr) {
+  // A pure diagonal is the worst block cover: every r x c tile holds one
+  // real entry, so the fill-adjusted cost model must reject every shape and
+  // the tuner must never rank BRO-BCSR as applicable, let alone pick it.
+  bs::Coo coo;
+  coo.rows = 2048;
+  coo.cols = 2048;
+  for (index_t i = 0; i < 2048; ++i) coo.push(i, i, 1.0 + i * 0.001);
+  coo.canonicalize();
+  const bs::Csr csr = bs::coo_to_csr(coo);
+  const auto res = bk::autotune(csr, gs::tesla_k20());
+  for (const auto& e : res.ranking) {
+    if (e.format == bc::Format::kBroBcsr) EXPECT_FALSE(e.applicable);
+  }
+  EXPECT_NE(res.best(), bc::Format::kBroBcsr);
+  // Same conclusion at the registry auto-selection layer.
+  EXPECT_NE(bk::auto_select(csr, 3.0), bc::Format::kBroBcsr);
+}
+
+TEST(Autotune, TrussFemAutoSelectsBcsr) {
+  // The Test Set 3 truss assembly is the workload BRO-BCSR exists for: the
+  // 2x2 dof cover must pass the applicability gate and, having the highest
+  // auto-selection priority, win it.
+  const auto entry = bs::find_suite_entry("fem");
+  ASSERT_TRUE(entry.has_value());
+  const bs::Csr csr = bs::generate_suite_matrix(*entry, 0.25);
+  EXPECT_EQ(bk::auto_select(csr, 3.0), bc::Format::kBroBcsr);
+  // And no paper-suite Test Set 1 matrix may ever make that choice.
+  for (const auto& e : bs::suite_test_set(1)) {
+    const bs::Csr m = bs::generate_suite_matrix(e, 1.0 / 8.0);
+    EXPECT_NE(bk::auto_select(m, 3.0), bc::Format::kBroBcsr) << e.name;
+  }
 }
 
 TEST(Autotune, CompressedFormatsReportSavings) {

@@ -122,9 +122,11 @@ TEST(Generators, DiagDominantFixup) {
 }
 
 TEST(Suite, HasAllThirtyMatrices) {
-  EXPECT_EQ(bs::suite_entries().size(), 30u);
+  // 30 paper matrices plus the Test Set 3 truss-FEM workload.
+  EXPECT_EQ(bs::suite_entries().size(), 34u);
   EXPECT_EQ(bs::suite_test_set(1).size(), 16u);
   EXPECT_EQ(bs::suite_test_set(2).size(), 14u);
+  EXPECT_EQ(bs::suite_test_set(3).size(), 4u);
 }
 
 TEST(Suite, LookupByName) {

@@ -2,7 +2,10 @@
 # Drives the brospmv CLI across every registered format:
 #   1. `tune` must rank formats on a suite matrix,
 #   2. `spmv --format F` must run for each name printed by `formats`,
-#   3. an unknown --format must be a hard error listing registered names.
+#   3. every format with a serialized form must round-trip
+#      `compress` -> `spmv <file.bro>` with the file's own tag driving
+#      format selection (no --format on the reading side),
+#   4. an unknown --format must be a hard error listing registered names.
 # Usage: check_format_registry.sh /path/to/brospmv
 set -eu
 
@@ -20,6 +23,36 @@ for f in $FORMATS; do
   echo "== spmv --format $f =="
   "$BROSPMV" spmv "$MATRIX" --scale "$SCALE" --format "$f"
 done
+
+echo "== compress -> spmv round-trip for every serializable format =="
+ROUND_TRIPS=0
+for f in $FORMATS; do
+  if "$BROSPMV" compress "$MATRIX" rt_fmt.bro --scale "$SCALE" \
+      --format "$f" 2>rt_err.txt; then
+    "$BROSPMV" spmv rt_fmt.bro >rt_out.txt
+    # The reader must identify the format from the file tag alone.
+    grep -q "$f (from file)" rt_out.txt || {
+      echo "FAIL: spmv rt_fmt.bro did not report '$f (from file)'"
+      cat rt_out.txt
+      exit 1
+    }
+    echo "   $f round-tripped"
+    ROUND_TRIPS=$((ROUND_TRIPS + 1))
+  else
+    # Only simulator-only formats (no serialized form) may skip.
+    grep -q "no serialized form" rt_err.txt || {
+      echo "FAIL: compress --format $f failed unexpectedly"
+      cat rt_err.txt
+      exit 1
+    }
+    echo "   $f has no serialized form (skipped)"
+  fi
+done
+rm -f rt_fmt.bro rt_err.txt rt_out.txt
+[ "$ROUND_TRIPS" -ge 6 ] || {
+  echo "FAIL: only $ROUND_TRIPS formats round-tripped (expected >= 6)"
+  exit 1
+}
 
 echo "== unknown format must fail =="
 if "$BROSPMV" spmv "$MATRIX" --scale "$SCALE" --format NO-SUCH-FORMAT \
